@@ -1,0 +1,45 @@
+//! Criterion benches of the congestion-control algorithms themselves —
+//! the paper's argument that "congestion control is relatively
+//! light-weight" (§2.2): one `on_ack` invocation per algorithm.
+
+use acdc_cc::{AckEvent, CcConfig, CcKind, CongestionControl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ccalgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_on_ack");
+    let kinds = [
+        CcKind::Reno,
+        CcKind::Cubic,
+        CcKind::Vegas,
+        CcKind::Illinois,
+        CcKind::HighSpeed,
+        CcKind::Dctcp,
+        CcKind::DctcpPriority(0.5),
+    ];
+    for kind in kinds {
+        let mut cc = kind.build(CcConfig::host(1448));
+        let mut now = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind}")),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    now += 100_000;
+                    cc.on_ack(&AckEvent {
+                        now,
+                        newly_acked: 1448,
+                        marked: if now % 10_000_000 == 0 { 1448 } else { 0 },
+                        rtt: Some(100_000),
+                        in_flight: 100_000,
+                        ece: false,
+                    });
+                    std::hint::black_box(cc.cwnd())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ccalgs);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the per-packet datapath cost — the statistical
+//! version of the paper's CPU-overhead measurement (Figures 11/12).
+//!
+//! `baseline` is the disabled datapath (plain-OVS pass-through);
+//! `acdc` runs the full sender/receiver module work. Flow-table scale is
+//! swept from 100 to 10 000 concurrent connections.
+
+use acdc_bench::experiments::fig1112::{ack_packet, data_packet, populate};
+use acdc_vswitch::{AcdcConfig, AcdcDatapath};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_side(c: &mut Criterion, egress: bool) {
+    let mut group = c.benchmark_group(if egress {
+        "fig11_sender_datapath"
+    } else {
+        "fig12_receiver_datapath"
+    });
+    for flows in [100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(1));
+        for (label, cfg) in [
+            ("baseline", AcdcConfig::disabled(1500)),
+            ("acdc", AcdcConfig::dctcp(1500)),
+        ] {
+            let dp = AcdcDatapath::new(cfg);
+            populate(&dp, flows);
+            let mut i = 0usize;
+            let mut now = 1_000u64;
+            group.bench_with_input(
+                BenchmarkId::new(label, flows),
+                &flows,
+                |b, &flows| {
+                    b.iter(|| {
+                        i = (i + 1) % flows;
+                        now += 1;
+                        if egress {
+                            std::hint::black_box(dp.egress(now, data_packet(i, 1_448)))
+                        } else {
+                            std::hint::black_box(dp.ingress(now, ack_packet(i, 1_448)))
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn sender(c: &mut Criterion) {
+    bench_side(c, true);
+}
+
+fn receiver(c: &mut Criterion) {
+    bench_side(c, false);
+}
+
+criterion_group!(benches, sender, receiver);
+criterion_main!(benches);

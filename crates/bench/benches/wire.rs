@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the wire-format operations on the AC/DC
+//! fast path: parse, emit, the RWND rewrite (2-byte write + incremental
+//! checksum), ECN remarking, and PACK append/strip.
+
+use acdc_packet::{
+    Ecn, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_segment(payload: usize) -> Segment {
+    let ip = Ipv4Repr {
+        src_addr: [10, 0, 0, 1],
+        dst_addr: [10, 0, 0, 2],
+        protocol: PROTO_TCP,
+        ecn: Ecn::Ect0,
+        payload_len: 0,
+        ttl: 64,
+    };
+    let mut t = TcpRepr::new(40_000, 5_001);
+    t.seq = SeqNumber(123_456);
+    t.ack = SeqNumber(654_321);
+    t.flags = TcpFlags::ACK;
+    t.window = 60_000;
+    Segment::new_tcp(ip, t, payload)
+}
+
+fn wire_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+
+    group.bench_function("tcp_repr_parse", |b| {
+        let seg = sample_segment(1448);
+        b.iter(|| std::hint::black_box(seg.tcp_repr().unwrap()))
+    });
+
+    group.bench_function("segment_emit", |b| {
+        let ip = Ipv4Repr {
+            src_addr: [10, 0, 0, 1],
+            dst_addr: [10, 0, 0, 2],
+            protocol: PROTO_TCP,
+            ecn: Ecn::Ect0,
+            payload_len: 0,
+            ttl: 64,
+        };
+        let mut t = TcpRepr::new(40_000, 5_001);
+        t.flags = TcpFlags::ACK;
+        b.iter(|| std::hint::black_box(Segment::new_tcp(ip, t.clone(), 1448)))
+    });
+
+    group.bench_function("rwnd_rewrite_incremental_checksum", |b| {
+        let mut seg = sample_segment(0);
+        let mut w = 100u16;
+        b.iter(|| {
+            w = w.wrapping_add(1);
+            seg.tcp_mut().set_window_update_checksum(w);
+            std::hint::black_box(&seg);
+        })
+    });
+
+    group.bench_function("ecn_remark_incremental_checksum", |b| {
+        let mut seg = sample_segment(1448);
+        let mut ce = false;
+        b.iter(|| {
+            ce = !ce;
+            seg.ip_mut()
+                .set_ecn_update_checksum(if ce { Ecn::Ce } else { Ecn::Ect0 });
+            std::hint::black_box(&seg);
+        })
+    });
+
+    group.bench_function("pack_option_parse", |b| {
+        let p = PackOption {
+            total_bytes: 123_456,
+            marked_bytes: 7_890,
+        };
+        let mut buf = [0u8; PackOption::WIRE_LEN];
+        p.emit(&mut buf);
+        b.iter(|| std::hint::black_box(PackOption::parse(&buf).unwrap()))
+    });
+
+    group.bench_function("checksum_full_1448B", |b| {
+        let data = vec![0xabu8; 1448];
+        b.iter(|| std::hint::black_box(acdc_packet::checksum::checksum(&data)))
+    });
+
+    group.bench_function("append_pack_rebuild", |b| {
+        // The header rebuild the receiver module performs to piggy-back
+        // feedback (the paper's skb-headroom trick equivalent).
+        let seg = sample_segment(0);
+        b.iter(|| {
+            let ip = Ipv4Repr::parse(&seg.ip()).unwrap();
+            let mut t = seg.tcp_repr().unwrap();
+            t.options.push(TcpOption::Pack(PackOption {
+                total_bytes: 1448,
+                marked_bytes: 0,
+            }));
+            std::hint::black_box(Segment::new_tcp(ip, t, 0))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, wire_ops);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! **Figures 11/12** — CPU overhead of AC/DC at the sender and receiver.
+//!
+//! The paper measures whole-system CPU with `sar` on its testbed and
+//! finds the AC/DC–vs–baseline difference under one percentage point at
+//! up to 10 K concurrent connections. CPU% is machine-specific, so the
+//! transferable quantity we measure is **per-packet datapath cost** at
+//! matched flow-table scale: the same OVS-lookalike code path with AC/DC
+//! off (baseline) and on. Criterion benches (`cargo bench -p acdc-bench`)
+//! repeat this with proper statistics; this module gives the quick
+//! in-process version for `repro`.
+//!
+//! The paper's workload: every connection offers 10 Mbps in 128 KB bursts,
+//! 1 000 connections saturating 10 Gbps. At 10 Gbps and 1.5 KB packets
+//! the budget is ~1.2 µs/packet/core; AC/DC's added cost per packet
+//! should be a small fraction of that.
+
+use std::time::Instant;
+
+use acdc_packet::{Ecn, Ipv4Repr, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP};
+use acdc_vswitch::{AcdcConfig, AcdcDatapath};
+
+use super::common::{Opts, Report};
+
+/// Flow counts swept (paper: 100 … 10 000).
+pub const FLOW_COUNTS: [usize; 5] = [100, 500, 1_000, 5_000, 10_000];
+
+fn ip(src: [u8; 4], dst: [u8; 4]) -> Ipv4Repr {
+    Ipv4Repr {
+        src_addr: src,
+        dst_addr: dst,
+        protocol: PROTO_TCP,
+        ecn: Ecn::NotEct,
+        payload_len: 0,
+        ttl: 64,
+    }
+}
+
+fn flow_ips(i: usize) -> ([u8; 4], [u8; 4]) {
+    (
+        [10, 1, (i >> 8) as u8, i as u8],
+        [10, 2, (i >> 8) as u8, i as u8],
+    )
+}
+
+/// Populate a datapath with `n` established flows (SYN handshakes seen on
+/// egress, SYN-ACKs on ingress), as on a busy sender.
+pub fn populate(dp: &AcdcDatapath, n: usize) {
+    for i in 0..n {
+        let (a, b) = flow_ips(i);
+        let mut syn = TcpRepr::new(40_000, 5_001);
+        syn.seq = SeqNumber(1_000);
+        syn.flags = TcpFlags::SYN;
+        syn.options = vec![TcpOption::MaxSegmentSize(1448), TcpOption::WindowScale(9)];
+        let syn = Segment::new_tcp(ip(a, b), syn, 0);
+        let _ = dp.egress(0, syn);
+
+        let mut synack = TcpRepr::new(5_001, 40_000);
+        synack.seq = SeqNumber(9_000);
+        synack.ack = SeqNumber(1_001);
+        synack.flags = TcpFlags::SYN | TcpFlags::ACK;
+        synack.options = vec![TcpOption::MaxSegmentSize(1448), TcpOption::WindowScale(9)];
+        let synack = Segment::new_tcp(ip(b, a), synack, 0);
+        let _ = dp.ingress(1, synack);
+    }
+}
+
+/// A data segment of flow `i` (sender egress direction).
+pub fn data_packet(i: usize, off: u32) -> Segment {
+    let (a, b) = flow_ips(i);
+    let mut t = TcpRepr::new(40_000, 5_001);
+    t.seq = SeqNumber(1_001 + off);
+    t.ack = SeqNumber(9_001);
+    t.flags = TcpFlags::ACK;
+    t.window = 1_000;
+    Segment::new_tcp(ip(a, b), t, 1_448)
+}
+
+/// An ACK of flow `i` arriving at the sender (ingress direction).
+pub fn ack_packet(i: usize, off: u32) -> Segment {
+    let (a, b) = flow_ips(i);
+    let mut t = TcpRepr::new(5_001, 40_000);
+    t.seq = SeqNumber(9_001);
+    t.ack = SeqNumber(1_001 + off);
+    t.flags = TcpFlags::ACK;
+    t.window = 60_000;
+    Segment::new_tcp(ip(b, a), t, 0)
+}
+
+fn measure(dp: &AcdcDatapath, n_flows: usize, iters: usize, egress: bool) -> f64 {
+    // Round-robin over flows so the flow-table working set matches scale.
+    let start = Instant::now();
+    let mut off = 0u32;
+    for k in 0..iters {
+        let i = k % n_flows;
+        if egress {
+            let seg = data_packet(i, off);
+            let _ = std::hint::black_box(dp.egress(1_000 + k as u64, seg));
+        } else {
+            let seg = ack_packet(i, off);
+            let _ = std::hint::black_box(dp.ingress(1_000 + k as u64, seg));
+        }
+        if i == n_flows - 1 {
+            off = off.wrapping_add(1_448);
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_side(opts: &Opts, egress: bool) -> Report {
+    let (id, title): (&'static str, &'static str) = if egress {
+        ("fig11", "per-packet datapath cost, sender side (CPU-overhead proxy)")
+    } else {
+        ("fig12", "per-packet datapath cost, receiver side (CPU-overhead proxy)")
+    };
+    let mut rep = Report::new(id, title);
+    let iters = if opts.full { 400_000 } else { 100_000 };
+    rep.line("flows   baseline(ns/pkt)   AC/DC(ns/pkt)   added(ns/pkt)");
+    for &n in &FLOW_COUNTS {
+        let base_dp = AcdcDatapath::new(AcdcConfig::disabled(1500));
+        populate(&base_dp, n);
+        let base = measure(&base_dp, n, iters, egress);
+
+        let acdc_dp = AcdcDatapath::new(AcdcConfig::dctcp(1500));
+        populate(&acdc_dp, n);
+        let acdc = measure(&acdc_dp, n, iters, egress);
+
+        rep.line(format!(
+            "{n:>6}   {base:>14.0}   {acdc:>13.0}   {:>+12.0}",
+            acdc - base
+        ));
+    }
+    rep.line("context: at 10 Gbps / 1.5 KB the per-packet budget is ~1200 ns;");
+    rep.line("paper claim: AC/DC adds <1 percentage point of system CPU — i.e. the added");
+    rep.line("cost must stay a small fraction of the budget. Criterion versions: `cargo bench -p acdc-bench`.");
+    rep
+}
+
+/// Figure 11 (sender side).
+pub fn run_sender(opts: &Opts) -> Report {
+    run_side(opts, true)
+}
+
+/// Figure 12 (receiver side).
+pub fn run_receiver(opts: &Opts) -> Report {
+    run_side(opts, false)
+}

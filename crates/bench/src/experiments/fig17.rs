@@ -1,0 +1,61 @@
+//! **Figure 17** — AC/DC restores fairness when guests run different
+//! stacks: five different host stacks under AC/DC behave like five
+//! native DCTCP flows (contrast with Figure 1a's chaos).
+
+use acdc_core::Scheme;
+
+use super::common::{run_dumbbell, DumbbellSpec, Opts, Report, SEC};
+use super::fig01::STACKS;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> Report {
+    let mut rep = Report::new(
+        "fig17",
+        "AC/DC fairness with heterogeneous guest stacks (vs native all-DCTCP)",
+    );
+    let runs = opts.runs(10, 5);
+    let dur = opts.dur(20 * SEC, SEC);
+
+    rep.line("(a) all native DCTCP (Gbps): max / min / mean / median / jain");
+    for t in 0..runs {
+        let out = run_dumbbell(&DumbbellSpec {
+            probe: false,
+            jitter: t as u64 + 1,
+            ..DumbbellSpec::five_pairs(Scheme::Dctcp, 9000, dur)
+        });
+        let mut d = acdc_stats::Distribution::new();
+        d.extend(out.tputs_gbps.iter().copied());
+        rep.line(format!(
+            "    test {:>2}: {:.2} / {:.2} / {:.2} / {:.2} / {:.3}",
+            t + 1,
+            d.max().unwrap(),
+            d.min().unwrap(),
+            d.mean().unwrap(),
+            d.median().unwrap(),
+            out.jain
+        ));
+    }
+
+    rep.line("(b) five different stacks under AC/DC (Gbps): max / min / mean / median / jain");
+    for t in 0..runs {
+        let out = run_dumbbell(&DumbbellSpec {
+            per_flow_cc: Some(STACKS.iter().map(|&cc| (cc, false)).collect()),
+            probe: false,
+            jitter: t as u64 + 1,
+            ..DumbbellSpec::five_pairs(Scheme::acdc(), 9000, dur)
+        });
+        let mut d = acdc_stats::Distribution::new();
+        d.extend(out.tputs_gbps.iter().copied());
+        rep.line(format!(
+            "    test {:>2}: {:.2} / {:.2} / {:.2} / {:.2} / {:.3}",
+            t + 1,
+            d.max().unwrap(),
+            d.min().unwrap(),
+            d.mean().unwrap(),
+            d.median().unwrap(),
+            out.jain
+        ));
+    }
+    rep.line("paper shape: (b) tracks (a) — AC/DC pins heterogeneous stacks to DCTCP fairness");
+    rep
+}

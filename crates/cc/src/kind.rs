@@ -1,0 +1,122 @@
+//! Algorithm selection by name: the knob an administrator (or a per-flow
+//! policy, §3.4) turns.
+
+use crate::{CcConfig, CongestionControl, Cubic, Dctcp, HighSpeed, Illinois, NewReno, Vegas};
+
+/// The congestion-control algorithms available in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// TCP New Reno.
+    Reno,
+    /// CUBIC (Linux default).
+    Cubic,
+    /// TCP Vegas (delay-based).
+    Vegas,
+    /// TCP Illinois (delay-adaptive AIMD).
+    Illinois,
+    /// HighSpeed TCP (RFC 3649).
+    HighSpeed,
+    /// DCTCP.
+    Dctcp,
+    /// Priority-weighted DCTCP with the given β ∈ [0, 1] (§3.4, Eq. 1).
+    DctcpPriority(f64),
+}
+
+impl CcKind {
+    /// All plain variants (as exercised by Table 1 / Figure 1).
+    pub const ALL: [CcKind; 6] = [
+        CcKind::Cubic,
+        CcKind::Illinois,
+        CcKind::Reno,
+        CcKind::Vegas,
+        CcKind::HighSpeed,
+        CcKind::Dctcp,
+    ];
+
+    /// Instantiate the algorithm with `cfg`.
+    pub fn build(&self, cfg: CcConfig) -> Box<dyn CongestionControl> {
+        match *self {
+            CcKind::Reno => Box::new(NewReno::new(cfg)),
+            CcKind::Cubic => Box::new(Cubic::new(cfg)),
+            CcKind::Vegas => Box::new(Vegas::new(cfg)),
+            CcKind::Illinois => Box::new(Illinois::new(cfg)),
+            CcKind::HighSpeed => Box::new(HighSpeed::new(cfg)),
+            CcKind::Dctcp => Box::new(Dctcp::new(cfg)),
+            CcKind::DctcpPriority(beta) => Box::new(Dctcp::with_priority(cfg, beta)),
+        }
+    }
+
+    /// Short name matching `CongestionControl::name` (priority DCTCP maps
+    /// to `"dctcp"`, as it is the same module in the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Vegas => "vegas",
+            CcKind::Illinois => "illinois",
+            CcKind::HighSpeed => "highspeed",
+            CcKind::Dctcp | CcKind::DctcpPriority(_) => "dctcp",
+        }
+    }
+
+    /// Parse from a name as an administrator would write it.
+    pub fn parse(s: &str) -> Option<CcKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "reno" | "newreno" => CcKind::Reno,
+            "cubic" => CcKind::Cubic,
+            "vegas" => CcKind::Vegas,
+            "illinois" => CcKind::Illinois,
+            "highspeed" | "hstcp" => CcKind::HighSpeed,
+            "dctcp" => CcKind::Dctcp,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for CcKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CcKind::DctcpPriority(beta) => write!(f, "dctcp(β={beta})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        let cfg = CcConfig::host(1448);
+        for kind in CcKind::ALL {
+            let cc = kind.build(cfg);
+            assert_eq!(cc.name(), kind.name());
+            assert_eq!(cc.cwnd(), cfg.initial_window_bytes());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in CcKind::ALL {
+            assert_eq!(CcKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CcKind::parse("HSTCP"), Some(CcKind::HighSpeed));
+        assert_eq!(CcKind::parse("bbr"), None);
+    }
+
+    #[test]
+    fn priority_variant_builds_dctcp() {
+        let cc = CcKind::DctcpPriority(0.5).build(CcConfig::host(1000));
+        assert_eq!(cc.name(), "dctcp");
+        assert!(cc.wants_ecn());
+    }
+
+    #[test]
+    fn only_ecn_algorithms_want_ecn() {
+        let cfg = CcConfig::host(1000);
+        assert!(CcKind::Dctcp.build(cfg).wants_ecn());
+        assert!(!CcKind::Cubic.build(cfg).wants_ecn());
+        assert!(!CcKind::Vegas.build(cfg).wants_ecn());
+    }
+}

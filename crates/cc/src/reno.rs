@@ -1,0 +1,192 @@
+//! TCP New Reno (RFC 5681 / RFC 6582): the baseline loss-based algorithm,
+//! and the additive-increase engine DCTCP borrows when no congestion is
+//! signalled.
+
+use crate::{reno_cong_avoid, AckEvent, CcConfig, CongestionControl};
+use acdc_stats::time::Nanos;
+
+/// TCP New Reno congestion control.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    cfg: CcConfig,
+    cwnd: u64,
+    ssthresh: u64,
+    /// React to classic ECN echoes (RFC 3168) as to loss?
+    ecn_enabled: bool,
+    /// Start of the current "reaction window": we cut at most once per RTT.
+    last_cut: Option<Nanos>,
+    srtt_hint: Nanos,
+}
+
+impl NewReno {
+    /// Create with the given configuration.
+    pub fn new(cfg: CcConfig) -> NewReno {
+        NewReno {
+            cfg,
+            cwnd: cfg.initial_window_bytes(),
+            ssthresh: u64::MAX,
+            ecn_enabled: false,
+            last_cut: None,
+            srtt_hint: acdc_stats::time::MILLISECOND,
+        }
+    }
+
+    /// Enable classic ECN reaction (halve on ECE, once per RTT).
+    pub fn with_ecn(mut self) -> NewReno {
+        self.ecn_enabled = true;
+        self
+    }
+
+    fn halve(&mut self, now: Nanos) {
+        self.ssthresh = (self.cwnd / 2).max(self.cfg.min_window_bytes);
+        self.cwnd = self.ssthresh;
+        self.last_cut = Some(now);
+    }
+
+    fn can_cut(&self, now: Nanos) -> bool {
+        match self.last_cut {
+            None => true,
+            Some(t) => now.saturating_sub(t) >= self.srtt_hint,
+        }
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        if let Some(rtt) = ack.rtt {
+            // Keep a rough RTT to pace once-per-RTT reactions.
+            self.srtt_hint = (self.srtt_hint * 7 + rtt) / 8;
+        }
+        if self.ecn_enabled && ack.ece {
+            if self.can_cut(ack.now) {
+                self.halve(ack.now);
+            }
+            return;
+        }
+        if ack.newly_acked == 0 {
+            return;
+        }
+        self.cwnd = reno_cong_avoid(self.cwnd, self.ssthresh, ack.newly_acked, self.cfg.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, now: Nanos) {
+        if self.can_cut(now) {
+            self.halve(now);
+        }
+    }
+
+    fn on_retransmit_timeout(&mut self, _now: Nanos) {
+        self.ssthresh = (self.cwnd / 2).max(self.cfg.min_window_bytes);
+        // RFC 5681: collapse to one segment (the "loss window").
+        self.cwnd = u64::from(self.cfg.mss);
+        self.last_cut = None;
+    }
+
+    fn wants_ecn(&self) -> bool {
+        self.ecn_enabled
+    }
+
+    fn reset(&mut self, _now: Nanos) {
+        self.cwnd = self.cfg.initial_window_bytes();
+        self.ssthresh = u64::MAX;
+        self.last_cut = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_stats::time::MILLISECOND;
+
+    fn cfg() -> CcConfig {
+        CcConfig::host(1000)
+    }
+
+    #[test]
+    fn starts_at_initial_window() {
+        let r = NewReno::new(cfg());
+        assert_eq!(r.cwnd(), 10_000);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_growth() {
+        let mut r = NewReno::new(cfg());
+        for i in 0..10 {
+            r.on_ack(&AckEvent::simple(i * 1000, 1000));
+        }
+        assert_eq!(r.cwnd(), 20_000);
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut r = NewReno::new(cfg());
+        r.on_fast_retransmit(MILLISECOND);
+        assert_eq!(r.cwnd(), 5_000);
+        assert_eq!(r.ssthresh(), 5_000);
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn at_most_one_cut_per_rtt() {
+        let mut r = NewReno::new(cfg());
+        r.on_fast_retransmit(10 * MILLISECOND);
+        let after_first = r.cwnd();
+        // A second loss indication within the same RTT must not cut again.
+        r.on_fast_retransmit(10 * MILLISECOND + MILLISECOND / 10);
+        assert_eq!(r.cwnd(), after_first);
+        // But after an RTT it may.
+        r.on_fast_retransmit(20 * MILLISECOND);
+        assert!(r.cwnd() < after_first);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_segment() {
+        let mut r = NewReno::new(cfg());
+        r.on_retransmit_timeout(0);
+        assert_eq!(r.cwnd(), 1000);
+    }
+
+    #[test]
+    fn floor_respected() {
+        let mut r = NewReno::new(cfg());
+        for i in 0..64 {
+            r.on_fast_retransmit(i * 10 * MILLISECOND);
+        }
+        assert!(r.cwnd() >= cfg().min_window_bytes);
+    }
+
+    #[test]
+    fn ece_ignored_unless_enabled() {
+        let mut r = NewReno::new(cfg());
+        let mut ack = AckEvent::simple(0, 1000);
+        ack.ece = true;
+        r.on_ack(&ack);
+        assert_eq!(r.cwnd(), 11_000); // grew, did not cut
+
+        let mut r = NewReno::new(cfg()).with_ecn();
+        r.on_ack(&ack);
+        assert_eq!(r.cwnd(), 5_000); // cut like loss
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut r = NewReno::new(cfg());
+        r.on_fast_retransmit(0);
+        r.reset(0);
+        assert_eq!(r.cwnd(), 10_000);
+        assert!(r.in_slow_start());
+    }
+}

@@ -1,0 +1,205 @@
+//! Host-level fan-out sender: drives bulk transfers across a set of the
+//! host's connections with bounded concurrency.
+//!
+//! Covers two macrobenchmarks:
+//!
+//! * **concurrent stride** (Figure 21): 512 MB to servers
+//!   `i+1..=i+4 (mod n)` "in sequential fashion" — concurrency 1;
+//! * **shuffle** (Figure 22): 512 MB to every other server in random
+//!   order, "a sender sends at most 2 flows simultaneously" —
+//!   concurrency 2.
+
+use acdc_stats::time::Nanos;
+use acdc_workloads::{FctKind, FctRecorder};
+
+use crate::host::{MultiApp, MultiConnAccess};
+
+/// Sends `bytes` on each listed connection, at most `concurrency` at a
+/// time, in list order; records one Background FCT per transfer.
+pub struct FanoutSender {
+    order: Vec<usize>,
+    bytes: u64,
+    concurrency: usize,
+    next: usize,
+    /// In-flight transfers: (conn index, target acked offset, start time).
+    active: Vec<(usize, u64, Nanos)>,
+    fct: FctRecorder,
+    /// Loop over `order` until `repeat_until` (background traffic runs for
+    /// the whole experiment, as in the paper's 10-minute runs).
+    repeat_until: Option<Nanos>,
+    /// Do not launch anything before this time (phase staggering).
+    start_at: Nanos,
+}
+
+impl FanoutSender {
+    /// Transfers of `bytes` over `order`, `concurrency` at a time.
+    pub fn new(order: Vec<usize>, bytes: u64, concurrency: usize) -> FanoutSender {
+        assert!(concurrency >= 1);
+        assert!(bytes > 0);
+        assert!(!order.is_empty(), "fanout needs at least one connection");
+        FanoutSender {
+            order,
+            bytes,
+            concurrency,
+            next: 0,
+            active: Vec::new(),
+            fct: FctRecorder::new(),
+            repeat_until: None,
+            start_at: 0,
+        }
+    }
+
+    /// Delay the first transfer until `at` (staggers senders so their
+    /// phases do not stay locked in step).
+    pub fn starting_at(mut self, at: Nanos) -> FanoutSender {
+        self.start_at = at;
+        self
+    }
+
+    /// Loop the transfer list until `until`, then stop issuing new ones.
+    pub fn repeating(mut self, until: Nanos) -> FanoutSender {
+        self.repeat_until = Some(until);
+        self
+    }
+
+    /// Completed transfers.
+    pub fn recorder(&self) -> &FctRecorder {
+        &self.fct
+    }
+
+    /// All transfers finished?
+    pub fn done(&self) -> bool {
+        self.next >= self.order.len() && self.active.is_empty()
+    }
+}
+
+impl MultiApp for FanoutSender {
+    fn poll(&mut self, now: Nanos, conns: &mut dyn MultiConnAccess) -> Option<Nanos> {
+        // Reap completions.
+        let mut i = 0;
+        while i < self.active.len() {
+            let (conn, target, start) = self.active[i];
+            if conns.acked(conn) >= target {
+                self.fct.record(FctKind::Background, start, now, self.bytes);
+                self.active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Launch up to the concurrency limit.
+        if now < self.start_at {
+            return Some(self.start_at);
+        }
+        loop {
+            if self.active.len() >= self.concurrency {
+                break;
+            }
+            if self.next >= self.order.len() {
+                match self.repeat_until {
+                    Some(until) if now < until => self.next = 0,
+                    _ => break,
+                }
+            }
+            let conn = self.order[self.next];
+            if !conns.established(conn) {
+                // Connection not up yet; retry on the next progress event.
+                break;
+            }
+            conns.send(conn, self.bytes);
+            self.active.push((conn, conns.queued(conn), now));
+            self.next += 1;
+        }
+        None // event-driven
+    }
+
+    fn fct(&self) -> Option<&FctRecorder> {
+        Some(&self.fct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        established: Vec<bool>,
+        queued: Vec<u64>,
+        acked: Vec<u64>,
+    }
+
+    impl Fake {
+        fn new(n: usize) -> Fake {
+            Fake {
+                established: vec![true; n],
+                queued: vec![0; n],
+                acked: vec![0; n],
+            }
+        }
+    }
+
+    impl MultiConnAccess for Fake {
+        fn count(&self) -> usize {
+            self.established.len()
+        }
+        fn send(&mut self, idx: usize, bytes: u64) {
+            self.queued[idx] += bytes;
+        }
+        fn acked(&self, idx: usize) -> u64 {
+            self.acked[idx]
+        }
+        fn queued(&self, idx: usize) -> u64 {
+            self.queued[idx]
+        }
+        fn established(&self, idx: usize) -> bool {
+            self.established[idx]
+        }
+    }
+
+    #[test]
+    fn sequential_concurrency_one() {
+        let mut app = FanoutSender::new(vec![0, 1, 2], 100, 1);
+        let mut fake = Fake::new(3);
+        app.poll(0, &mut fake);
+        assert_eq!(fake.queued, vec![100, 0, 0]);
+        app.poll(1, &mut fake);
+        assert_eq!(fake.queued, vec![100, 0, 0], "no parallelism at c=1");
+        fake.acked[0] = 100;
+        app.poll(2, &mut fake);
+        assert_eq!(fake.queued, vec![100, 100, 0]);
+        assert_eq!(app.recorder().len(), 1);
+    }
+
+    #[test]
+    fn shuffle_concurrency_two() {
+        let mut app = FanoutSender::new(vec![0, 1, 2, 3], 50, 2);
+        let mut fake = Fake::new(4);
+        app.poll(0, &mut fake);
+        assert_eq!(
+            fake.queued.iter().filter(|&&q| q > 0).count(),
+            2,
+            "two in flight"
+        );
+        fake.acked[0] = 50;
+        app.poll(1, &mut fake);
+        assert_eq!(fake.queued.iter().filter(|&&q| q > 0).count(), 3);
+        assert!(!app.done());
+        fake.acked = fake.queued.clone();
+        app.poll(2, &mut fake);
+        fake.acked = fake.queued.clone();
+        app.poll(3, &mut fake);
+        assert!(app.done());
+        assert_eq!(app.recorder().len(), 4);
+    }
+
+    #[test]
+    fn waits_for_establishment_in_order() {
+        let mut app = FanoutSender::new(vec![0, 1], 10, 1);
+        let mut fake = Fake::new(2);
+        fake.established[0] = false;
+        app.poll(0, &mut fake);
+        assert_eq!(fake.queued, vec![0, 0], "head-of-line waits");
+        fake.established[0] = true;
+        app.poll(1, &mut fake);
+        assert_eq!(fake.queued, vec![10, 0]);
+    }
+}

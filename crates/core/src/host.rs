@@ -1,0 +1,529 @@
+//! A server node: guest TCP endpoints + AC/DC vSwitch + NIC.
+//!
+//! The packet path matches Figure 3 of the paper:
+//!
+//! ```text
+//!   app ── Endpoint ── AcdcDatapath::egress ── [rate limiter] ── NIC ─▶ net
+//!   app ◀─ Endpoint ◀─ AcdcDatapath::ingress ◀──────────────── NIC ◀─ net
+//! ```
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use acdc_netsim::{Ctx, Node, PortId, TokenBucket};
+
+/// TCP-Small-Queues-style cap on bytes each *connection* may park in the
+/// NIC queue. As in Linux, a socket is not polled for more data while its
+/// share of the queue is above this — bounding sender-side bufferbloat
+/// without letting bulk flows starve small ones.
+const TSQ_PER_CONN_CAP: u64 = 64 * 1024;
+use acdc_packet::{FlowKey, Segment};
+use acdc_stats::time::Nanos;
+use acdc_stats::TimeSeries;
+use acdc_tcp::{Endpoint, TcpConfig};
+use acdc_vswitch::{AcdcConfig, AcdcDatapath, Verdict};
+use acdc_workloads::apps::App;
+
+/// Identifies one flow end-to-end in a [`crate::Testbed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowHandle {
+    /// Index of the client (active-opening) host.
+    pub client_host: usize,
+    /// Index of the server (passive) host.
+    pub server_host: usize,
+    /// The client-side flow key (client → server direction).
+    pub key: FlowKey,
+}
+
+/// Measurement taps attachable to a connection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnTaps {
+    /// Sample the guest congestion window over time (Figures 9/10).
+    pub trace_cwnd: bool,
+    /// Sample the enforced (peer-advertised) receive window over time.
+    pub trace_rwnd: bool,
+    /// Record per-interval throughput of acknowledged bytes.
+    pub tput_bin: Option<Nanos>,
+}
+
+struct Conn {
+    ep: Endpoint,
+    app: Option<Box<dyn App>>,
+    start_at: Option<Nanos>,
+    stop_at: Option<Nanos>,
+    started: bool,
+    stopped: bool,
+    app_wake: Option<Nanos>,
+    /// Bytes of this connection currently in the NIC (or rate-limiter)
+    /// queue; the TSQ gate.
+    nic_queued: u64,
+    tsq_blocked: bool,
+    cwnd_trace: Option<TimeSeries>,
+    rwnd_trace: Option<TimeSeries>,
+    tput: Option<acdc_stats::ThroughputMeter>,
+    last_acked: u64,
+}
+
+impl Conn {
+    fn sample_taps(&mut self, now: Nanos) {
+        if let Some(ts) = &mut self.cwnd_trace {
+            let v = self.ep.cwnd() as f64;
+            if ts.samples().last().map_or(true, |s| s.value != v) {
+                ts.push(now, v);
+            }
+        }
+        if let Some(ts) = &mut self.rwnd_trace {
+            let v = self.ep.peer_rwnd() as f64;
+            if ts.samples().last().map_or(true, |s| s.value != v) {
+                ts.push(now, v);
+            }
+        }
+        if let Some(m) = &mut self.tput {
+            let acked = self.ep.acked_bytes();
+            if acked > self.last_acked {
+                m.record(now, acked - self.last_acked);
+                self.last_acked = acked;
+            }
+        }
+    }
+}
+
+/// Access to a host's connections for host-level ("multi-connection")
+/// applications such as the trace-driven generator.
+pub trait MultiConnAccess {
+    /// Number of connections on the host.
+    fn count(&self) -> usize;
+    /// Enqueue bytes on connection `idx`.
+    fn send(&mut self, idx: usize, bytes: u64);
+    /// Acknowledged stream bytes of connection `idx`.
+    fn acked(&self, idx: usize) -> u64;
+    /// Queued stream bytes of connection `idx`.
+    fn queued(&self, idx: usize) -> u64;
+    /// Is connection `idx` established?
+    fn established(&self, idx: usize) -> bool;
+}
+
+/// A host-level application spanning all of the host's connections.
+pub trait MultiApp: Send {
+    /// Poll; return the next absolute wake-up time wanted.
+    fn poll(&mut self, now: Nanos, conns: &mut dyn MultiConnAccess) -> Option<Nanos>;
+    /// Completed-flow records, if measured.
+    fn fct(&self) -> Option<&acdc_workloads::FctRecorder> {
+        None
+    }
+}
+
+struct ConnsAccess<'a> {
+    conns: &'a mut [Conn],
+    /// Connections written to during this poll (only these need pumping).
+    touched: Vec<usize>,
+}
+
+impl MultiConnAccess for ConnsAccess<'_> {
+    fn count(&self) -> usize {
+        self.conns.len()
+    }
+    fn send(&mut self, idx: usize, bytes: u64) {
+        self.conns[idx].ep.send(bytes);
+        self.touched.push(idx);
+    }
+    fn acked(&self, idx: usize) -> u64 {
+        self.conns[idx].ep.acked_bytes()
+    }
+    fn queued(&self, idx: usize) -> u64 {
+        self.conns[idx].ep.queued_bytes()
+    }
+    fn established(&self, idx: usize) -> bool {
+        self.conns[idx].ep.is_established()
+    }
+}
+
+/// Egress rate limiter state (Figure 2's 2 Gbps token bucket).
+struct RateLimiter {
+    tb: TokenBucket,
+    queue: VecDeque<Segment>,
+}
+
+/// One simulated server.
+pub struct HostNode {
+    ip: [u8; 4],
+    nic: PortId,
+    datapath: Arc<AcdcDatapath>,
+    conns: Vec<Conn>,
+    by_key: HashMap<FlowKey, usize>,
+    multi_apps: Vec<(Box<dyn MultiApp>, Option<Nanos>)>,
+    rl: Option<RateLimiter>,
+    /// Earliest wake-up currently scheduled with the engine.
+    armed: Option<Nanos>,
+}
+
+impl HostNode {
+    /// Create a host with address `ip`, NIC port `nic`, and a fresh
+    /// datapath configured by `acdc`.
+    pub fn new(ip: [u8; 4], nic: PortId, acdc: AcdcConfig) -> HostNode {
+        HostNode {
+            ip,
+            nic,
+            datapath: Arc::new(AcdcDatapath::new(acdc)),
+            conns: Vec::new(),
+            by_key: HashMap::new(),
+            multi_apps: Vec::new(),
+            rl: None,
+            armed: None,
+        }
+    }
+
+    /// The host's IP.
+    pub fn ip(&self) -> [u8; 4] {
+        self.ip
+    }
+
+    /// The host's vSwitch datapath (counters, flow table).
+    pub fn datapath(&self) -> &AcdcDatapath {
+        &self.datapath
+    }
+
+    /// Install an egress token-bucket rate limiter.
+    pub fn set_rate_limit(&mut self, rate_bps: u64, burst_bytes: u64) {
+        self.rl = Some(RateLimiter {
+            tb: TokenBucket::new(rate_bps, burst_bytes, 0),
+            queue: VecDeque::new(),
+        });
+    }
+
+    /// Install a host-level application (e.g. one of the five concurrent
+    /// trace generators of Figure 23). Returns its index.
+    pub fn add_multi_app(&mut self, app: Box<dyn MultiApp>) -> usize {
+        self.multi_apps.push((app, None));
+        self.multi_apps.len() - 1
+    }
+
+    /// Host-level application by index.
+    pub fn multi_app(&self, idx: usize) -> Option<&dyn MultiApp> {
+        self.multi_apps.get(idx).map(|(a, _)| a.as_ref())
+    }
+
+    /// Number of host-level applications.
+    pub fn multi_app_count(&self) -> usize {
+        self.multi_apps.len()
+    }
+
+    /// Add a connection. Active ones open at `start_at`; passive ones
+    /// wait for a SYN. Returns the connection index.
+    pub fn add_connection(
+        &mut self,
+        cfg: TcpConfig,
+        active: bool,
+        start_at: Option<Nanos>,
+        app: Option<Box<dyn App>>,
+        taps: ConnTaps,
+    ) -> usize {
+        let key = FlowKey {
+            src_ip: cfg.local_ip,
+            dst_ip: cfg.remote_ip,
+            src_port: cfg.local_port,
+            dst_port: cfg.remote_port,
+        };
+        let ep = if active {
+            Endpoint::new_active(cfg)
+        } else {
+            Endpoint::new_passive(cfg)
+        };
+        let idx = self.conns.len();
+        self.conns.push(Conn {
+            ep,
+            app,
+            start_at: if active { Some(start_at.unwrap_or(0)) } else { None },
+            stop_at: None,
+            started: !active,
+            stopped: false,
+            app_wake: None,
+            nic_queued: 0,
+            tsq_blocked: false,
+            cwnd_trace: taps.trace_cwnd.then(TimeSeries::new),
+            rwnd_trace: taps.trace_rwnd.then(TimeSeries::new),
+            tput: taps
+                .tput_bin
+                .map(|bin| acdc_stats::ThroughputMeter::new(0).with_bins(bin)),
+            last_acked: 0,
+        });
+        self.by_key.insert(key, idx);
+        idx
+    }
+
+    /// Schedule the end of a long-lived flow (Figure 14).
+    pub fn set_stop_at(&mut self, conn: usize, at: Nanos) {
+        self.conns[conn].stop_at = Some(at);
+    }
+
+    /// Immutable access to a connection's endpoint.
+    pub fn endpoint(&self, conn: usize) -> &Endpoint {
+        &self.conns[conn].ep
+    }
+
+    /// The per-connection application, if any.
+    pub fn app(&self, conn: usize) -> Option<&dyn App> {
+        self.conns[conn].app.as_deref()
+    }
+
+    /// Recorded congestion-window trace.
+    pub fn cwnd_trace(&self, conn: usize) -> Option<&TimeSeries> {
+        self.conns[conn].cwnd_trace.as_ref()
+    }
+
+    /// Recorded peer-receive-window trace.
+    pub fn rwnd_trace(&self, conn: usize) -> Option<&TimeSeries> {
+        self.conns[conn].rwnd_trace.as_ref()
+    }
+
+    /// Recorded throughput meter.
+    pub fn tput(&self, conn: usize) -> Option<&acdc_stats::ThroughputMeter> {
+        self.conns[conn].tput.as_ref()
+    }
+
+    /// Number of connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Push one endpoint-produced segment through the datapath toward the
+    /// NIC; returns the wire bytes that ended up *waiting* in the NIC
+    /// queue (TSQ accounting: packets that start serializing immediately
+    /// never wait, and the engine only reports queue departures).
+    fn send_out(&mut self, ctx: &mut Ctx<'_>, seg: Segment) -> u64 {
+        let now = ctx.now();
+        match self.datapath.egress(now, seg) {
+            Verdict::Forward(s) => self.rl_transmit(ctx, s),
+            Verdict::ForwardWithExtra(s, extra) => {
+                self.rl_transmit(ctx, s) + self.rl_transmit(ctx, extra)
+            }
+            Verdict::Drop(_) => 0,
+        }
+    }
+
+    /// Returns the TSQ-counted bytes (0 for packets that began
+    /// transmission immediately or took the rate-limited path, which is
+    /// exempt from TSQ accounting).
+    fn rl_transmit(&mut self, ctx: &mut Ctx<'_>, seg: Segment) -> u64 {
+        let now = ctx.now();
+        let nic = self.nic;
+        match &mut self.rl {
+            None => {
+                let queued = if ctx.port_busy(nic) {
+                    seg.wire_len() as u64
+                } else {
+                    0
+                };
+                ctx.enqueue(nic, seg);
+                queued
+            }
+            Some(rl) => {
+                if rl.queue.is_empty() {
+                    match rl.tb.try_consume(seg.wire_len(), now) {
+                        Ok(()) => ctx.enqueue(nic, seg),
+                        Err(_) => rl.queue.push_back(seg),
+                    }
+                } else {
+                    rl.queue.push_back(seg);
+                }
+                0
+            }
+        }
+    }
+
+    fn rl_drain(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let nic = self.nic;
+        if let Some(rl) = &mut self.rl {
+            while let Some(front) = rl.queue.front() {
+                match rl.tb.try_consume(front.wire_len(), now) {
+                    Ok(()) => {
+                        let seg = rl.queue.pop_front().unwrap();
+                        ctx.enqueue(nic, seg);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let now = ctx.now();
+        loop {
+            if self.conns[idx].nic_queued >= TSQ_PER_CONN_CAP {
+                self.conns[idx].tsq_blocked = true;
+                break;
+            }
+            let out = self.conns[idx].ep.poll_transmit(now);
+            match out {
+                Some(seg) => {
+                    let n = self.send_out(ctx, seg);
+                    self.conns[idx].nic_queued += n;
+                }
+                None => break,
+            }
+        }
+        self.conns[idx].sample_taps(now);
+    }
+
+    fn poll_app(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let now = ctx.now();
+        let conn = &mut self.conns[idx];
+        if let Some(app) = &mut conn.app {
+            conn.app_wake = app.poll(now, &mut conn.ep);
+        }
+    }
+
+    /// Poll the host-level apps; returns the connections they queued data
+    /// on (the only ones that need pumping afterwards).
+    fn poll_multi(&mut self, ctx: &mut Ctx<'_>) -> Vec<usize> {
+        let now = ctx.now();
+        let mut touched = Vec::new();
+        for (app, wake) in &mut self.multi_apps {
+            let mut access = ConnsAccess {
+                conns: &mut self.conns,
+                touched: Vec::new(),
+            };
+            *wake = app.poll(now, &mut access);
+            touched.extend(access.touched);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    fn service_conn(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let now = ctx.now();
+        // Scheduled start / stop.
+        let conn = &mut self.conns[idx];
+        if !conn.started {
+            if let Some(at) = conn.start_at {
+                if now >= at {
+                    conn.ep.open(now);
+                    conn.started = true;
+                }
+            }
+        }
+        if !conn.stopped {
+            if let Some(at) = conn.stop_at {
+                if now >= at {
+                    conn.ep.stop_sending();
+                    conn.stopped = true;
+                }
+            }
+        }
+        // Endpoint timer.
+        if self.conns[idx].ep.next_timer().is_some_and(|t| t <= now) {
+            self.conns[idx].ep.on_timer(now);
+        }
+        self.poll_app(ctx, idx);
+        self.pump(ctx, idx);
+    }
+
+    fn reschedule(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut earliest: Option<Nanos> = None;
+        let mut fold = |t: Option<Nanos>| {
+            if let Some(t) = t {
+                earliest = Some(earliest.map_or(t, |e: Nanos| e.min(t)));
+            }
+        };
+        for c in &self.conns {
+            fold(c.ep.next_timer());
+            fold(c.app_wake);
+            if !c.started {
+                fold(c.start_at);
+            }
+            if !c.stopped {
+                fold(c.stop_at);
+            }
+        }
+        for (_, wake) in &self.multi_apps {
+            fold(*wake);
+        }
+        if let Some(rl) = &mut self.rl {
+            if let Some(front) = rl.queue.front() {
+                // Probe the release time without consuming tokens.
+                let mut probe = rl.tb.clone();
+                match probe.try_consume(front.wire_len(), now) {
+                    Ok(()) => fold(Some(now + 1)),
+                    Err(at) => fold(Some(at)),
+                }
+            }
+        }
+        if let Some(t) = earliest {
+            let t = t.max(now);
+            // Avoid re-arming for a deadline we already have armed.
+            if self.armed.map_or(true, |a| t < a || a <= now) {
+                self.armed = Some(t);
+                ctx.set_timer(t - now, 0);
+            }
+        }
+    }
+}
+
+impl Node for HostNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, seg: Segment) {
+        let now = ctx.now();
+        match self.datapath.ingress(now, seg) {
+            Verdict::Forward(s) => {
+                let key = s.flow_key().reverse();
+                if let Some(&idx) = self.by_key.get(&key) {
+                    self.conns[idx].ep.on_segment(now, &s);
+                    self.service_conn(ctx, idx);
+                    if !self.multi_apps.is_empty() {
+                        for i in self.poll_multi(ctx) {
+                            self.pump(ctx, i);
+                        }
+                    }
+                }
+            }
+            Verdict::ForwardWithExtra(..) => unreachable!("ingress never generates packets"),
+            Verdict::Drop(_) => {}
+        }
+        self.rl_drain(ctx);
+        self.reschedule(ctx);
+    }
+
+    fn on_tx_start(&mut self, ctx: &mut Ctx<'_>, port: PortId, seg: &Segment) {
+        // A packet of ours began serialization: release its TSQ budget and
+        // refill the owning connection if the gate had closed on it.
+        if port != self.nic {
+            return;
+        }
+        let key = seg.flow_key();
+        if let Some(&idx) = self.by_key.get(&key) {
+            let c = &mut self.conns[idx];
+            c.nic_queued = c.nic_queued.saturating_sub(seg.wire_len() as u64);
+            if c.tsq_blocked && c.nic_queued < TSQ_PER_CONN_CAP {
+                c.tsq_blocked = false;
+                self.pump(ctx, idx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.armed = None;
+        self.rl_drain(ctx);
+        for idx in 0..self.conns.len() {
+            self.service_conn(ctx, idx);
+        }
+        if !self.multi_apps.is_empty() {
+            for i in self.poll_multi(ctx) {
+                self.pump(ctx, i);
+            }
+        }
+        self.rl_drain(ctx);
+        self.reschedule(ctx);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

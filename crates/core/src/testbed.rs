@@ -1,0 +1,798 @@
+//! Topology + flow plumbing: the simulated counterpart of the paper's
+//! 17-server, 10 GbE testbed.
+
+use acdc_cc::CcKind;
+use acdc_netsim::{LinkSpec, Network, NodeId, SwitchCounters, SwitchNode};
+use acdc_packet::FlowKey;
+use acdc_stats::time::Nanos;
+use acdc_tcp::Endpoint;
+use acdc_workloads::apps::{App, BulkSender, EchoServer, MessageSender, PingPong, SequentialSender};
+use acdc_workloads::{FctKind, FctRecorder};
+
+use crate::host::{ConnTaps, FlowHandle, HostNode};
+use crate::scheme::{Scheme, DEFAULT_MARK_THRESHOLD};
+
+/// Default host/switch link: 10 GbE, 1.5 µs propagation per hop.
+pub fn default_link() -> LinkSpec {
+    LinkSpec::ten_gbe(1_500)
+}
+
+/// A built topology with hosts, switches and flow bookkeeping.
+pub struct Testbed {
+    /// The underlying simulator.
+    pub net: Network,
+    /// Experiment scheme.
+    pub scheme: Scheme,
+    /// MTU used by all links/stacks.
+    pub mtu: usize,
+    hosts: Vec<NodeId>,
+    host_ips: Vec<[u8; 4]>,
+    switches: Vec<NodeId>,
+    next_port: Vec<u16>,
+    iss: u32,
+    acdc_tweak: Option<Box<dyn Fn(&mut acdc_vswitch::AcdcConfig)>>,
+    mark_bytes: u64,
+}
+
+impl Testbed {
+    /// WRED/ECN threshold used by all builders.
+    pub fn mark_threshold() -> u64 {
+        DEFAULT_MARK_THRESHOLD
+    }
+
+    fn host_ip(i: usize) -> [u8; 4] {
+        [10, 0, (i / 250) as u8, (i % 250 + 1) as u8]
+    }
+
+    fn empty(scheme: Scheme, mtu: usize) -> Testbed {
+        Testbed {
+            net: Network::new(),
+            scheme,
+            mtu,
+            hosts: Vec::new(),
+            host_ips: Vec::new(),
+            switches: Vec::new(),
+            next_port: Vec::new(),
+            iss: 7,
+            acdc_tweak: None,
+            mark_bytes: DEFAULT_MARK_THRESHOLD,
+        }
+    }
+
+    /// An empty testbed for custom construction: set options (marking
+    /// threshold, vSwitch tweaks) and then call a `build_*` method.
+    pub fn custom(scheme: Scheme, mtu: usize) -> Testbed {
+        Testbed::empty(scheme, mtu)
+    }
+
+    /// Override the switch WRED/ECN marking threshold `K` (takes effect
+    /// for switches created by a subsequent `build_*` call).
+    pub fn set_mark_threshold(&mut self, bytes: u64) {
+        self.mark_bytes = bytes;
+    }
+
+    /// Install a vSwitch-config tweak applied to every host added from now
+    /// on (experiments use it for log-only mode, window traces, custom
+    /// per-flow policies, policing and RWND caps).
+    pub fn set_acdc_tweak(&mut self, tweak: impl Fn(&mut acdc_vswitch::AcdcConfig) + 'static) {
+        self.acdc_tweak = Some(Box::new(tweak));
+    }
+
+    /// Add a host attached to `switch` via `link`; returns its index.
+    fn add_host(&mut self, switch: NodeId, link: LinkSpec) -> usize {
+        let idx = self.hosts.len();
+        let ip = Self::host_ip(idx);
+        let node = self.net.reserve_node();
+        let (host_port, switch_port) = self.net.connect(node, switch, link);
+        let mut acdc_cfg = self.scheme.acdc_config(self.mtu);
+        if let Some(tweak) = &self.acdc_tweak {
+            tweak(&mut acdc_cfg);
+        }
+        let host = HostNode::new(ip, host_port, acdc_cfg);
+        self.net.install(node, Box::new(host));
+        // Route the host's address at its switch.
+        if let Some(sw) = self.net.node_mut::<SwitchNode>(switch) {
+            sw.add_route(ip, switch_port);
+        }
+        self.hosts.push(node);
+        self.host_ips.push(ip);
+        self.next_port.push(40_000);
+        idx
+    }
+
+    /// Like [`Testbed::star`] with a vSwitch-config tweak.
+    pub fn star_with(
+        n: usize,
+        scheme: Scheme,
+        mtu: usize,
+        tweak: impl Fn(&mut acdc_vswitch::AcdcConfig) + 'static,
+    ) -> Testbed {
+        let mut tb = Testbed::empty(scheme.clone(), mtu);
+        tb.set_acdc_tweak(tweak);
+        tb.build_star(n);
+        tb
+    }
+
+    /// The single-switch star of the macrobenchmarks (§5.2): `n` hosts on
+    /// one 48-port switch.
+    pub fn star(n: usize, scheme: Scheme, mtu: usize) -> Testbed {
+        let mut tb = Testbed::empty(scheme, mtu);
+        tb.build_star(n);
+        tb
+    }
+
+    /// Build the single-switch star topology (see [`Testbed::star`]).
+    pub fn build_star(&mut self, n: usize) {
+        let tb = self;
+        let cfg = tb.scheme.switch_config(tb.mark_bytes);
+        let sw = tb.net.add_node(Box::new(SwitchNode::new(cfg)));
+        tb.switches.push(sw);
+        for _ in 0..n {
+            tb.add_host(sw, default_link());
+        }
+    }
+
+    /// Like [`Testbed::dumbbell`] with a vSwitch-config tweak.
+    pub fn dumbbell_with(
+        n: usize,
+        scheme: Scheme,
+        mtu: usize,
+        tweak: impl Fn(&mut acdc_vswitch::AcdcConfig) + 'static,
+    ) -> Testbed {
+        let mut tb = Testbed::empty(scheme.clone(), mtu);
+        tb.set_acdc_tweak(tweak);
+        tb.build_dumbbell(n);
+        tb
+    }
+
+    /// The dumbbell of Figure 7a: `n` sender/receiver pairs across a
+    /// 10 G trunk. Hosts `0..n` are senders, `n..2n` receivers.
+    pub fn dumbbell(n: usize, scheme: Scheme, mtu: usize) -> Testbed {
+        let mut tb = Testbed::empty(scheme, mtu);
+        tb.build_dumbbell(n);
+        tb
+    }
+
+    /// Build the dumbbell topology (see [`Testbed::dumbbell`]).
+    pub fn build_dumbbell(&mut self, n: usize) {
+        let tb = self;
+        let cfg = tb.scheme.switch_config(tb.mark_bytes);
+        let sw1 = tb.net.add_node(Box::new(SwitchNode::new(cfg)));
+        let sw2 = tb.net.add_node(Box::new(SwitchNode::new(cfg)));
+        tb.switches.push(sw1);
+        tb.switches.push(sw2);
+        let (p1, p2) = tb.net.connect(sw1, sw2, default_link());
+        // Default routes point across the trunk.
+        tb.net
+            .node_mut::<SwitchNode>(sw1)
+            .unwrap()
+            .set_default_route(p1);
+        tb.net
+            .node_mut::<SwitchNode>(sw2)
+            .unwrap()
+            .set_default_route(p2);
+        for _ in 0..n {
+            tb.add_host(sw1, default_link());
+        }
+        for _ in 0..n {
+            tb.add_host(sw2, default_link());
+        }
+    }
+
+    /// The multi-hop, multi-bottleneck "parking lot" of Figure 7b:
+    /// `n` senders, one per switch along a chain, all reaching the single
+    /// receiver attached to the last switch. Host `n` is the receiver.
+    pub fn parking_lot(n: usize, scheme: Scheme, mtu: usize) -> Testbed {
+        assert!(n >= 2);
+        let mut tb = Testbed::empty(scheme, mtu);
+        let cfg = tb.scheme.switch_config(tb.mark_bytes);
+        for _ in 0..n {
+            let sw = tb.net.add_node(Box::new(SwitchNode::new(cfg)));
+            tb.switches.push(sw);
+        }
+        // Chain the switches; default routes point "rightward".
+        for i in 0..n - 1 {
+            let (pa, _pb) = tb.net.connect(tb.switches[i], tb.switches[i + 1], default_link());
+            tb.net
+                .node_mut::<SwitchNode>(tb.switches[i])
+                .unwrap()
+                .set_default_route(pa);
+        }
+        for i in 0..n {
+            tb.add_host(tb.switches[i], default_link());
+        }
+        // The receiver hangs off the last switch.
+        tb.add_host(tb.switches[n - 1], default_link());
+        // Receiver→sender routes walk leftward: give every non-first
+        // switch a back-route per sender.
+        for i in (1..n).rev() {
+            let (pa, _pb) = tb.net.connect(tb.switches[i], tb.switches[i - 1], default_link());
+            for s in 0..i {
+                let ip = tb.host_ips[s];
+                tb.net
+                    .node_mut::<SwitchNode>(tb.switches[i])
+                    .unwrap()
+                    .add_route(ip, pa);
+            }
+        }
+        tb
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Host index → IP.
+    pub fn ip_of(&self, host: usize) -> [u8; 4] {
+        self.host_ips[host]
+    }
+
+    /// Attach a CBR UDP source to switch `sw` targeting `dst_host`'s IP;
+    /// returns the source's engine node id (for post-run inspection).
+    pub fn add_udp_source(
+        &mut self,
+        sw: usize,
+        dst_host: usize,
+        rate_bps: u64,
+        payload: usize,
+        ecn: acdc_packet::Ecn,
+    ) -> NodeId {
+        let node = self.net.reserve_node();
+        let (np, swp) = self.net.connect(node, self.switches[sw], default_link());
+        // Give the source its own routable address (unused for replies).
+        let src_ip = Self::host_ip(200 + self.host_ips.len());
+        if let Some(s) = self.net.node_mut::<SwitchNode>(self.switches[sw]) {
+            s.add_route(src_ip, swp);
+        }
+        let dst_ip = self.host_ips[dst_host];
+        self.net.install(
+            node,
+            Box::new(crate::udp::UdpSourceNode::new(
+                np, src_ip, dst_ip, rate_bps, payload, ecn,
+            )),
+        );
+        self.net.schedule_timer_at(node, 0, 0);
+        node
+    }
+
+    /// Attach a UDP sink to switch `sw`; returns `(node id, sink ip)` —
+    /// point sources at the returned address.
+    pub fn add_udp_sink(&mut self, sw: usize) -> (NodeId, [u8; 4]) {
+        let node = self.net.reserve_node();
+        let (_np, swp) = self.net.connect(node, self.switches[sw], default_link());
+        let ip = Self::host_ip(100 + self.host_ips.len());
+        if let Some(s) = self.net.node_mut::<SwitchNode>(self.switches[sw]) {
+            s.add_route(ip, swp);
+        }
+        self.net.install(node, Box::new(crate::udp::UdpSinkNode::new()));
+        (node, ip)
+    }
+
+    /// Schedule a wake-up for a host (needed after adding connections via
+    /// the low-level [`HostNode::add_connection`] API so active opens at
+    /// `at` actually fire).
+    pub fn kick_host(&mut self, host: usize, at: Nanos) {
+        let id = self.hosts[host];
+        self.net.schedule_timer_at(id, at, 0);
+    }
+
+    /// Mutable access to a host.
+    pub fn host_mut(&mut self, idx: usize) -> &mut HostNode {
+        let id = self.hosts[idx];
+        self.net
+            .node_mut::<HostNode>(id)
+            .expect("host node")
+    }
+
+    /// Switch counters of switch `i`.
+    pub fn switch_counters(&mut self, i: usize) -> SwitchCounters {
+        let id = self.switches[i];
+        self.net
+            .node_mut::<SwitchNode>(id)
+            .expect("switch node")
+            .counters()
+    }
+
+    /// Aggregate drop rate across all switches.
+    pub fn drop_rate(&mut self) -> f64 {
+        let mut fwd = 0u64;
+        let mut drop = 0u64;
+        for i in 0..self.switches.len() {
+            let c = self.switch_counters(i);
+            fwd += c.forwarded;
+            drop += c.total_drops();
+        }
+        if fwd + drop == 0 {
+            0.0
+        } else {
+            drop as f64 / (fwd + drop) as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow plumbing
+    // ------------------------------------------------------------------
+
+    fn next_flow_params(&mut self, client: usize) -> (u16, u32, u32) {
+        let port = self.next_port[client];
+        self.next_port[client] += 1;
+        self.iss = self.iss.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        let iss_c = self.iss;
+        self.iss = self.iss.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        let iss_s = self.iss;
+        (port, iss_c, iss_s)
+    }
+
+    /// Create a connection between two hosts with the given apps. The
+    /// client opens at `start`.
+    pub fn add_flow(
+        &mut self,
+        client: usize,
+        server: usize,
+        client_app: Option<Box<dyn App>>,
+        server_app: Option<Box<dyn App>>,
+        start: Nanos,
+        taps: ConnTaps,
+    ) -> FlowHandle {
+        assert_ne!(client, server, "flow endpoints must differ");
+        let (cport, iss_c, iss_s) = self.next_flow_params(client);
+        let sport = 5_001;
+        let cip = self.host_ips[client];
+        let sip = self.host_ips[server];
+        let ccfg = self
+            .scheme
+            .tcp_config(cip, cport, sip, sport, self.mtu, iss_c);
+        let scfg = self
+            .scheme
+            .tcp_config(sip, sport, cip, cport, self.mtu, iss_s);
+        let key = FlowKey {
+            src_ip: cip,
+            dst_ip: sip,
+            src_port: cport,
+            dst_port: sport,
+        };
+        self.host_mut(client)
+            .add_connection(ccfg, true, Some(start), client_app, taps);
+        self.host_mut(server)
+            .add_connection(scfg, false, None, server_app, ConnTaps::default());
+        // Kick the client host at the start time so it opens the flow.
+        let client_id = self.hosts[client];
+        self.net.schedule_timer_at(client_id, start, 0);
+        FlowHandle {
+            client_host: client,
+            server_host: server,
+            key,
+        }
+    }
+
+    /// A bulk transfer (`None` = long-lived/unbounded), iperf-style.
+    pub fn add_bulk(
+        &mut self,
+        client: usize,
+        server: usize,
+        bytes: Option<u64>,
+        start: Nanos,
+    ) -> FlowHandle {
+        let app: Box<dyn App> = match bytes {
+            Some(b) => Box::new(BulkSender::new(b, FctKind::Background)),
+            None => Box::new(BulkSender::unlimited()),
+        };
+        self.add_flow(client, server, Some(app), None, start, ConnTaps::default())
+    }
+
+    /// A bulk transfer whose *guest stack* overrides the scheme default —
+    /// the mixed-stack experiments (Figures 1, 15, 17; Table 1 runs each
+    /// host stack under AC/DC). `ecn` selects end-to-end ECN negotiation
+    /// for this connection.
+    pub fn add_bulk_with_cc(
+        &mut self,
+        client: usize,
+        server: usize,
+        cc: CcKind,
+        ecn: bool,
+        bytes: Option<u64>,
+        start: Nanos,
+        taps: ConnTaps,
+    ) -> FlowHandle {
+        self.add_bulk_with_cc_clamped(client, server, cc, ecn, bytes, start, taps, None)
+    }
+
+    /// [`Testbed::add_bulk_with_cc`] plus a guest `snd_cwnd_clamp`
+    /// (Figure 6a's window cap).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_bulk_with_cc_clamped(
+        &mut self,
+        client: usize,
+        server: usize,
+        cc: CcKind,
+        ecn: bool,
+        bytes: Option<u64>,
+        start: Nanos,
+        taps: ConnTaps,
+        cwnd_clamp: Option<u64>,
+    ) -> FlowHandle {
+        let (cport, iss_c, iss_s) = self.next_flow_params(client);
+        let sport = 5_001;
+        let cip = self.host_ips[client];
+        let sip = self.host_ips[server];
+        let mut ccfg = self
+            .scheme
+            .tcp_config(cip, cport, sip, sport, self.mtu, iss_c);
+        ccfg.cc = cc;
+        ccfg.ecn = ecn;
+        ccfg.cwnd_clamp = cwnd_clamp;
+        let mut scfg = self
+            .scheme
+            .tcp_config(sip, sport, cip, cport, self.mtu, iss_s);
+        scfg.cc = cc;
+        scfg.ecn = ecn;
+        let key = FlowKey {
+            src_ip: cip,
+            dst_ip: sip,
+            src_port: cport,
+            dst_port: sport,
+        };
+        let app: Box<dyn App> = match bytes {
+            Some(b) => Box::new(BulkSender::new(b, FctKind::Background)),
+            None => Box::new(BulkSender::unlimited()),
+        };
+        self.host_mut(client)
+            .add_connection(ccfg, true, Some(start), Some(app), taps);
+        self.host_mut(server)
+            .add_connection(scfg, false, None, None, ConnTaps::default());
+        let client_id = self.hosts[client];
+        self.net.schedule_timer_at(client_id, start, 0);
+        FlowHandle {
+            client_host: client,
+            server_host: server,
+            key,
+        }
+    }
+
+    /// A bulk transfer with measurement taps.
+    pub fn add_bulk_tapped(
+        &mut self,
+        client: usize,
+        server: usize,
+        bytes: Option<u64>,
+        start: Nanos,
+        taps: ConnTaps,
+    ) -> FlowHandle {
+        let app: Box<dyn App> = match bytes {
+            Some(b) => Box::new(BulkSender::new(b, FctKind::Background)),
+            None => Box::new(BulkSender::unlimited()),
+        };
+        self.add_flow(client, server, Some(app), None, start, taps)
+    }
+
+    /// A ping-pong RTT probe whose guest stack overrides the scheme
+    /// default (Figure 16 probes with a non-ECN CUBIC connection).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_pingpong_with_cc(
+        &mut self,
+        client: usize,
+        server: usize,
+        cc: CcKind,
+        ecn: bool,
+        msg: u64,
+        interval: Nanos,
+        start: Nanos,
+    ) -> FlowHandle {
+        let (cport, iss_c, iss_s) = self.next_flow_params(client);
+        let sport = 5_001;
+        let cip = self.host_ips[client];
+        let sip = self.host_ips[server];
+        let mut ccfg = self
+            .scheme
+            .tcp_config(cip, cport, sip, sport, self.mtu, iss_c);
+        ccfg.cc = cc;
+        ccfg.ecn = ecn;
+        let mut scfg = self
+            .scheme
+            .tcp_config(sip, sport, cip, cport, self.mtu, iss_s);
+        scfg.cc = cc;
+        scfg.ecn = ecn;
+        let key = FlowKey {
+            src_ip: cip,
+            dst_ip: sip,
+            src_port: cport,
+            dst_port: sport,
+        };
+        self.host_mut(client).add_connection(
+            ccfg,
+            true,
+            Some(start),
+            Some(Box::new(PingPong::new(msg, interval))),
+            ConnTaps::default(),
+        );
+        self.host_mut(server).add_connection(
+            scfg,
+            false,
+            None,
+            Some(Box::new(EchoServer::new())),
+            ConnTaps::default(),
+        );
+        let client_id = self.hosts[client];
+        self.net.schedule_timer_at(client_id, start, 0);
+        FlowHandle {
+            client_host: client,
+            server_host: server,
+            key,
+        }
+    }
+
+    /// A sockperf-style RTT probe (ping-pong of `msg` bytes every
+    /// `interval`), with an echo server on the far side.
+    pub fn add_pingpong(
+        &mut self,
+        client: usize,
+        server: usize,
+        msg: u64,
+        interval: Nanos,
+        start: Nanos,
+    ) -> FlowHandle {
+        self.add_flow(
+            client,
+            server,
+            Some(Box::new(PingPong::new(msg, interval))),
+            Some(Box::new(EchoServer::new())),
+            start,
+            ConnTaps::default(),
+        )
+    }
+
+    /// A periodic fixed-size message flow (the 16 KB mice generator).
+    pub fn add_messages(
+        &mut self,
+        client: usize,
+        server: usize,
+        msg: u64,
+        period: Nanos,
+        limit: Option<u64>,
+        start: Nanos,
+    ) -> FlowHandle {
+        self.add_flow(
+            client,
+            server,
+            Some(Box::new(MessageSender::new(msg, period, limit, FctKind::Mice))),
+            None,
+            start,
+            ConnTaps::default(),
+        )
+    }
+
+    /// Sequential transfers on one connection (shuffle elements).
+    pub fn add_sequential(
+        &mut self,
+        client: usize,
+        server: usize,
+        sizes: Vec<u64>,
+        start: Nanos,
+    ) -> FlowHandle {
+        self.add_flow(
+            client,
+            server,
+            Some(Box::new(SequentialSender::new(sizes, FctKind::Background))),
+            None,
+            start,
+            ConnTaps::default(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Running & measuring
+    // ------------------------------------------------------------------
+
+    /// Run the simulation until virtual time `t`.
+    pub fn run_until(&mut self, t: Nanos) {
+        self.net.run_until(t);
+    }
+
+    fn conn_index(&mut self, h: FlowHandle) -> usize {
+        // Connections are added in order; find by key on the client host.
+        let host = self.host_mut(h.client_host);
+        for i in 0..host.conn_count() {
+            let ep = host.endpoint(i);
+            // Match on local port (unique per host).
+            if ep_local_key(ep) == h.key {
+                return i;
+            }
+        }
+        panic!("flow not found on host {}", h.client_host);
+    }
+
+    /// Schedule the end of a long-lived flow (Figure 14's convergence
+    /// test removes flows on a timetable).
+    pub fn set_flow_stop(&mut self, h: FlowHandle, at: Nanos) {
+        let idx = self.conn_index(h);
+        self.host_mut(h.client_host).set_stop_at(idx, at);
+        // Make sure the host wakes up to apply it.
+        let id = self.hosts[h.client_host];
+        self.net.schedule_timer_at(id, at, 0);
+    }
+
+    /// Index of the client-side connection on its host.
+    pub fn client_conn_index(&mut self, h: FlowHandle) -> usize {
+        self.conn_index(h)
+    }
+
+    /// The client endpoint of a flow.
+    pub fn client_endpoint(&mut self, h: FlowHandle) -> &Endpoint {
+        let idx = self.conn_index(h);
+        self.host_mut(h.client_host).endpoint(idx)
+    }
+
+    /// Bytes acknowledged end-to-end on a flow.
+    pub fn acked_bytes(&mut self, h: FlowHandle) -> u64 {
+        self.client_endpoint(h).acked_bytes()
+    }
+
+    /// Goodput in Gbps over `[start, end]`.
+    pub fn flow_gbps(&mut self, h: FlowHandle, start: Nanos, end: Nanos) -> f64 {
+        let bytes = self.acked_bytes(h);
+        if end <= start {
+            return 0.0;
+        }
+        bytes as f64 * 8.0 / (end - start) as f64
+    }
+
+    /// RTT samples (ms) recorded by a ping-pong client app.
+    pub fn rtt_samples_ms(&mut self, h: FlowHandle) -> Vec<f64> {
+        let idx = self.conn_index(h);
+        self.host_mut(h.client_host)
+            .app(idx)
+            .and_then(|a| a.rtt_samples_ms())
+            .map(|s| s.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// FCT records from the client app of a flow.
+    pub fn fct_of(&mut self, h: FlowHandle) -> FctRecorder {
+        let idx = self.conn_index(h);
+        self.host_mut(h.client_host)
+            .app(idx)
+            .and_then(|a| a.fct())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Per-flow throughputs (Gbps, measured by acked bytes over the given
+    /// interval) for a set of flows — the input to Jain's index.
+    pub fn throughputs_gbps(
+        &mut self,
+        flows: &[FlowHandle],
+        start: Nanos,
+        end: Nanos,
+    ) -> Vec<f64> {
+        flows.iter().map(|&h| self.flow_gbps(h, start, end)).collect()
+    }
+}
+
+/// Build the client-side flow key of an endpoint (helper).
+fn ep_local_key(ep: &Endpoint) -> FlowKey {
+    let cfg = ep.config();
+    FlowKey {
+        src_ip: cfg.local_ip,
+        dst_ip: cfg.remote_ip,
+        src_port: cfg.local_port,
+        dst_port: cfg.remote_port,
+    }
+}
+
+/// Convenience: which CC kinds Figure 1 / Table 1 sweep.
+pub fn table1_host_stacks() -> Vec<CcKind> {
+    vec![
+        CcKind::Cubic,
+        CcKind::Reno,
+        CcKind::Dctcp,
+        CcKind::Illinois,
+        CcKind::HighSpeed,
+        CcKind::Vegas,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_stats::time::{MILLISECOND, SECOND};
+
+    #[test]
+    fn dumbbell_bulk_flow_saturates_the_trunk() {
+        let mut tb = Testbed::dumbbell(1, Scheme::Cubic, 9000);
+        let h = tb.add_bulk(0, 1, None, 0);
+        tb.run_until(100 * MILLISECOND);
+        let gbps = tb.flow_gbps(h, 0, 100 * MILLISECOND);
+        assert!(gbps > 8.0, "one flow should near line rate, got {gbps:.2}");
+        assert!(gbps <= 10.0);
+    }
+
+    #[test]
+    fn five_flows_share_the_bottleneck() {
+        let mut tb = Testbed::dumbbell(5, Scheme::Dctcp, 9000);
+        let flows: Vec<_> = (0..5).map(|i| tb.add_bulk(i, 5 + i, None, 0)).collect();
+        tb.run_until(200 * MILLISECOND);
+        let tputs = tb.throughputs_gbps(&flows, 0, 200 * MILLISECOND);
+        let total: f64 = tputs.iter().sum();
+        assert!(total > 8.0 && total <= 10.0, "total {total:.2}");
+        let jain = acdc_stats::jain_index(&tputs).unwrap();
+        assert!(jain > 0.9, "DCTCP flows should share fairly: {jain:.3}");
+    }
+
+    #[test]
+    fn acdc_scheme_creates_datapath_flows() {
+        let mut tb = Testbed::dumbbell(1, Scheme::acdc(), 1500);
+        let _h = tb.add_bulk(0, 1, Some(1_000_000), 0);
+        tb.run_until(50 * MILLISECOND);
+        let flows = tb.host_mut(0).datapath().flows();
+        assert!(flows >= 2, "AC/DC tracks both directions, got {flows}");
+        let rewrites = tb
+            .host_mut(0)
+            .datapath()
+            .counters()
+            .rwnd_rewrites
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(rewrites > 0, "enforcement must have engaged");
+    }
+
+    #[test]
+    fn bounded_transfer_completes_and_records_fct() {
+        let mut tb = Testbed::dumbbell(1, Scheme::Dctcp, 1500);
+        let h = tb.add_bulk(0, 1, Some(5_000_000), 0);
+        tb.run_until(SECOND);
+        assert_eq!(tb.acked_bytes(h), 5_000_000);
+        let fct = tb.fct_of(h);
+        assert_eq!(fct.len(), 1);
+        assert!(fct.samples()[0].fct() > 0);
+    }
+
+    #[test]
+    fn pingpong_measures_rtts() {
+        let mut tb = Testbed::dumbbell(2, Scheme::Dctcp, 1500);
+        let p = tb.add_pingpong(0, 2, 64, MILLISECOND, 0);
+        tb.run_until(100 * MILLISECOND);
+        let rtts = tb.rtt_samples_ms(p);
+        assert!(rtts.len() > 50, "expected ~100 pings, got {}", rtts.len());
+        // Idle network: RTT ≈ a couple of hops, well under a millisecond.
+        let median = {
+            let mut d = acdc_stats::Distribution::new();
+            d.extend(rtts.iter().copied());
+            d.median().unwrap()
+        };
+        assert!(median < 0.5, "idle RTT should be tiny, got {median}ms");
+    }
+
+    #[test]
+    fn parking_lot_routes_all_senders_to_receiver() {
+        let mut tb = Testbed::parking_lot(3, Scheme::Dctcp, 9000);
+        let rx = 3; // receiver index
+        let flows: Vec<_> = (0..3).map(|s| tb.add_bulk(s, rx, Some(2_000_000), 0)).collect();
+        tb.run_until(SECOND);
+        for f in flows {
+            assert_eq!(tb.acked_bytes(f), 2_000_000, "sender {f:?}");
+        }
+    }
+
+    #[test]
+    fn rate_limiter_caps_throughput() {
+        let mut tb = Testbed::dumbbell(1, Scheme::Cubic, 9000);
+        tb.host_mut(0).set_rate_limit(2_000_000_000, 2 * 9000);
+        let h = tb.add_bulk(0, 1, None, 0);
+        tb.run_until(100 * MILLISECOND);
+        let gbps = tb.flow_gbps(h, 0, 100 * MILLISECOND);
+        assert!(gbps < 2.2, "rate limit must bind: {gbps:.2}");
+        assert!(gbps > 1.5, "but throughput should approach it: {gbps:.2}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run() -> (u64, u64) {
+            let mut tb = Testbed::dumbbell(2, Scheme::acdc(), 1500);
+            let a = tb.add_bulk(0, 2, None, 0);
+            let b = tb.add_bulk(1, 3, None, 0);
+            tb.run_until(50 * MILLISECOND);
+            (tb.acked_bytes(a), tb.acked_bytes(b))
+        }
+        assert_eq!(run(), run());
+    }
+}

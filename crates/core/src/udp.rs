@@ -1,0 +1,206 @@
+//! Unmanaged UDP traffic sources and sinks.
+//!
+//! The paper's prototype enforces congestion control for TCP only and
+//! leaves DCTCP-friendly UDP tunnels as future work (§3.3). These nodes
+//! let experiments ask what happens *today* when constant-bit-rate UDP —
+//! which AC/DC forwards untouched — shares a fabric with enforced TCP:
+//! non-ECT UDP meets the WRED drop ramp on a marking fabric, while on the
+//! no-marking baseline it simply bloats the shared buffer.
+
+use std::any::Any;
+
+use acdc_netsim::{Ctx, Node, PortId};
+use acdc_packet::{Ecn, Ipv4Repr, Segment, UdpRepr, PROTO_UDP};
+use acdc_stats::time::{Nanos, SECOND};
+
+/// A constant-bit-rate UDP source.
+pub struct UdpSourceNode {
+    nic: PortId,
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    dst_port: u16,
+    /// Offered rate in bits/s.
+    rate_bps: u64,
+    /// Datagram payload bytes.
+    payload: usize,
+    /// ECN codepoint to stamp (NotEct models today's UDP apps; Ect0 models
+    /// a DCTCP-friendly tunnel endpoint).
+    ecn: Ecn,
+    started: bool,
+    sent_pkts: u64,
+}
+
+impl UdpSourceNode {
+    /// Create a CBR source; the harness starts it with a timer at t=0.
+    pub fn new(
+        nic: PortId,
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        rate_bps: u64,
+        payload: usize,
+        ecn: Ecn,
+    ) -> UdpSourceNode {
+        assert!(rate_bps > 0 && payload > 0);
+        UdpSourceNode {
+            nic,
+            src_ip,
+            dst_ip,
+            dst_port: 9_999,
+            rate_bps,
+            payload,
+            ecn,
+            started: false,
+            sent_pkts: 0,
+        }
+    }
+
+    /// Packets emitted so far.
+    pub fn sent_pkts(&self) -> u64 {
+        self.sent_pkts
+    }
+
+    fn interval(&self) -> Nanos {
+        let wire = (self.payload + 28) as u64 * 8; // IP + UDP headers
+        (wire * SECOND) / self.rate_bps
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>) {
+        let seg = Segment::new_udp(
+            Ipv4Repr {
+                src_addr: self.src_ip,
+                dst_addr: self.dst_ip,
+                protocol: PROTO_UDP,
+                ecn: self.ecn,
+                payload_len: 0,
+                ttl: 64,
+            },
+            UdpRepr {
+                src_port: 10_000,
+                dst_port: self.dst_port,
+                payload_len: 0,
+            },
+            self.payload,
+        );
+        ctx.enqueue(self.nic, seg);
+        self.sent_pkts += 1;
+    }
+}
+
+impl Node for UdpSourceNode {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _seg: Segment) {
+        // CBR sources ignore anything addressed to them.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.started = true;
+        self.emit(ctx);
+        let dt = self.interval();
+        ctx.set_timer(dt, 0);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A UDP sink: counts delivered datagrams and bytes.
+#[derive(Default)]
+pub struct UdpSinkNode {
+    /// Datagrams received.
+    pub rx_pkts: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+    /// Time of the last arrival.
+    pub last_arrival: Nanos,
+}
+
+impl UdpSinkNode {
+    /// New sink.
+    pub fn new() -> UdpSinkNode {
+        UdpSinkNode::default()
+    }
+
+    /// Average received rate in bits/s over `[0, until]`.
+    pub fn rate_bps(&self, until: Nanos) -> f64 {
+        if until == 0 {
+            return 0.0;
+        }
+        self.rx_bytes as f64 * 8.0 * SECOND as f64 / until as f64
+    }
+}
+
+impl Node for UdpSinkNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, seg: Segment) {
+        self.rx_pkts += 1;
+        self.rx_bytes += seg.payload_len() as u64;
+        self.last_arrival = ctx.now();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_netsim::{LinkSpec, Network};
+    use acdc_stats::time::MILLISECOND;
+
+    #[test]
+    fn cbr_source_hits_its_rate() {
+        let mut net = Network::new();
+        let src = net.reserve_node();
+        let sink = net.add_node(Box::new(UdpSinkNode::new()));
+        let (sp, _) = net.connect(src, sink, LinkSpec::ten_gbe(1_000));
+        net.install(
+            src,
+            Box::new(UdpSourceNode::new(
+                sp,
+                [10, 0, 0, 1],
+                [10, 0, 0, 2],
+                1_000_000_000, // 1 Gbps
+                1_000,
+                Ecn::NotEct,
+            )),
+        );
+        net.schedule_timer_at(src, 0, 0);
+        net.run_until(100 * MILLISECOND);
+        let s = net.node_mut::<UdpSinkNode>(sink).unwrap();
+        let rate = s.rate_bps(100 * MILLISECOND);
+        // Payload rate ≈ offered × payload/wire fraction.
+        let expect = 1e9 * 1000.0 / 1028.0;
+        assert!(
+            (rate - expect).abs() / expect < 0.02,
+            "rate {rate:.0} want ≈{expect:.0}"
+        );
+    }
+
+    #[test]
+    fn sink_counts_exactly() {
+        let mut net = Network::new();
+        let src = net.reserve_node();
+        let sink = net.add_node(Box::new(UdpSinkNode::new()));
+        let (sp, _) = net.connect(src, sink, LinkSpec::ten_gbe(0));
+        net.install(
+            src,
+            Box::new(UdpSourceNode::new(
+                sp,
+                [1, 1, 1, 1],
+                [2, 2, 2, 2],
+                8_000_000, // 1 pkt/ms at 1000B payload
+                1_000,
+                Ecn::Ect0,
+            )),
+        );
+        net.schedule_timer_at(src, 0, 0);
+        net.run_until(10 * MILLISECOND + 1);
+        let sent = {
+            let s = net.node_mut::<UdpSourceNode>(src).unwrap();
+            s.sent_pkts()
+        };
+        let sink = net.node_mut::<UdpSinkNode>(sink).unwrap();
+        assert_eq!(sink.rx_pkts, sent);
+        assert_eq!(sink.rx_bytes, sent * 1_000);
+    }
+}

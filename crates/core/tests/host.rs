@@ -1,0 +1,126 @@
+//! Direct tests of the host node: TSQ gating, rate limiting, timer
+//! plumbing — via a minimal two-host network.
+
+use acdc_core::{ConnTaps, Scheme, Testbed};
+use acdc_stats::time::{MILLISECOND, SECOND};
+use acdc_workloads::apps::{BulkSender, MessageSender};
+use acdc_workloads::FctKind;
+
+/// A bulk flow and a mice flow sharing one host NIC: per-connection TSQ
+/// must keep the mice from queueing behind the bulk flow's window.
+#[test]
+fn tsq_isolates_mice_from_bulk_on_the_same_nic() {
+    let mut tb = Testbed::star(3, Scheme::Cubic, 9000);
+    // Bulk host 0 → host 1; mice host 0 → host 2 (different receiver, so
+    // only the *sender-side* NIC is shared).
+    let _bulk = tb.add_flow(
+        0,
+        1,
+        Some(Box::new(BulkSender::unlimited())),
+        None,
+        0,
+        ConnTaps::default(),
+    );
+    let mice = tb.add_flow(
+        0,
+        2,
+        Some(Box::new(MessageSender::new(
+            16_384,
+            5 * MILLISECOND,
+            None,
+            FctKind::Mice,
+        ))),
+        None,
+        0,
+        ConnTaps::default(),
+    );
+    tb.run_until(SECOND);
+    let fct = tb.fct_of(mice);
+    let mut d = fct.distribution_ms(FctKind::Mice);
+    assert!(d.len() > 150, "mice kept flowing: {}", d.len());
+    let p99 = d.percentile(99.0).unwrap();
+    // Without TSQ the bulk flow would park its whole window (up to the
+    // 4 MB receive buffer ≈ 3.3 ms of NIC time) ahead of every mouse.
+    assert!(
+        p99 < 1.0,
+        "mice p99 {p99:.3} ms must stay well under bulk-window bufferbloat"
+    );
+}
+
+/// The host egress token bucket caps the sum of all its flows.
+#[test]
+fn rate_limit_applies_to_the_whole_host() {
+    let mut tb = Testbed::dumbbell(2, Scheme::Cubic, 9000);
+    tb.host_mut(0).set_rate_limit(1_000_000_000, 32_000); // 1 Gbps
+    let f1 = tb.add_bulk(0, 2, None, 0);
+    let f2 = tb.add_bulk(0, 3, None, 0); // second flow, same host
+    let unlimited = tb.add_bulk(1, 3, None, 0); // different host, no limit
+    tb.run_until(200 * MILLISECOND);
+    let g1 = tb.flow_gbps(f1, 0, 200 * MILLISECOND);
+    let g2 = tb.flow_gbps(f2, 0, 200 * MILLISECOND);
+    let gu = tb.flow_gbps(unlimited, 0, 200 * MILLISECOND);
+    assert!(
+        g1 + g2 < 1.1,
+        "host limit must bound the sum: {g1:.2} + {g2:.2}"
+    );
+    assert!(gu > 5.0, "other hosts unaffected: {gu:.2}");
+}
+
+/// Flows scheduled to start later actually wait, and `set_flow_stop`
+/// freezes a flow's progress at the requested time.
+#[test]
+fn start_and_stop_schedules_are_honoured() {
+    let mut tb = Testbed::dumbbell(2, Scheme::Dctcp, 9000);
+    let early = tb.add_bulk(0, 2, None, 0);
+    let late = tb.add_bulk(1, 3, None, 100 * MILLISECOND);
+    tb.set_flow_stop(early, 50 * MILLISECOND);
+    tb.run_until(60 * MILLISECOND);
+    let early_at_60 = tb.acked_bytes(early);
+    assert!(early_at_60 > 0);
+    assert_eq!(tb.acked_bytes(late), 0, "late flow not started yet");
+    tb.run_until(200 * MILLISECOND);
+    let early_final = tb.acked_bytes(early);
+    assert!(
+        early_final - early_at_60 < 2_000_000,
+        "stopped flow only drained in-flight data ({} more bytes)",
+        early_final - early_at_60
+    );
+    assert!(tb.acked_bytes(late) > 10_000_000, "late flow ran");
+}
+
+/// Datapath counters accumulate across all of a host's flows.
+#[test]
+fn per_host_datapath_counters_aggregate_flows() {
+    let mut tb = Testbed::star(3, Scheme::acdc(), 1500);
+    let _a = tb.add_bulk(0, 2, Some(2_000_000), 0);
+    let _b = tb.add_bulk(0, 2, Some(2_000_000), 0);
+    let _c = tb.add_bulk(1, 2, Some(2_000_000), 0);
+    tb.run_until(SECOND);
+    // Host 0 tracked 2 connections (4 directions), host 1 one (2).
+    assert_eq!(tb.host_mut(0).datapath().flows(), 4);
+    assert_eq!(tb.host_mut(1).datapath().flows(), 2);
+    // The receiver host saw PACK-worthy traffic from both senders.
+    let packs = tb
+        .host_mut(2)
+        .datapath()
+        .counters()
+        .packs_sent
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(packs > 0, "receiver-side module attached feedback");
+}
+
+/// Hosts keep distinct per-connection ephemeral ports.
+#[test]
+fn flow_keys_are_unique_per_host() {
+    let mut tb = Testbed::star(3, Scheme::Dctcp, 1500);
+    let h1 = tb.add_bulk(0, 2, Some(1_000), 0);
+    let h2 = tb.add_bulk(0, 2, Some(1_000), 0);
+    let h3 = tb.add_bulk(1, 2, Some(1_000), 0);
+    assert_ne!(h1.key, h2.key);
+    assert_ne!(h1.key.src_port, h2.key.src_port);
+    assert_ne!(h1.key, h3.key);
+    tb.run_until(100 * MILLISECOND);
+    assert_eq!(tb.acked_bytes(h1), 1_000);
+    assert_eq!(tb.acked_bytes(h2), 1_000);
+    assert_eq!(tb.acked_bytes(h3), 1_000);
+}

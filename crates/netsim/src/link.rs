@@ -1,0 +1,58 @@
+//! Link parameters: rate and propagation delay.
+
+use acdc_stats::time::Nanos;
+
+/// Static description of one link (both directions are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Nanos,
+}
+
+impl LinkSpec {
+    /// A 10 GbE datacenter link with the given propagation delay.
+    pub fn ten_gbe(propagation: Nanos) -> LinkSpec {
+        LinkSpec {
+            rate_bps: 10_000_000_000,
+            propagation,
+        }
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialization_delay(&self, bytes: usize) -> Nanos {
+        // ceil(bits * 1e9 / rate) without overflow for realistic sizes.
+        let bits = bytes as u128 * 8;
+        ((bits * 1_000_000_000 + self.rate_bps as u128 - 1) / self.rate_bps as u128) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gbe_serialization() {
+        let l = LinkSpec::ten_gbe(1_000);
+        // 1250 bytes = 10_000 bits = 1 µs at 10 Gbps.
+        assert_eq!(l.serialization_delay(1250), 1_000);
+        // 9 KB jumbo ≈ 7.2 µs.
+        assert_eq!(l.serialization_delay(9000), 7_200);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let l = LinkSpec {
+            rate_bps: 3,
+            propagation: 0,
+        };
+        // 1 byte = 8 bits at 3 bps = 2.67 s → rounds to ceil.
+        assert_eq!(l.serialization_delay(1), 2_666_666_667);
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_time() {
+        assert_eq!(LinkSpec::ten_gbe(0).serialization_delay(0), 0);
+    }
+}

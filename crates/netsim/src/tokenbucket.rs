@@ -1,0 +1,134 @@
+//! A token-bucket rate limiter.
+//!
+//! Used for the motivation experiment of Figure 2: even with every flow
+//! rate-limited to a "perfect" 2 Gbps share, CUBIC still fills the switch
+//! buffer — bandwidth allocation alone cannot bound latency. Hosts insert
+//! this limiter on their egress path; it answers either "send now" or "not
+//! before T", which the host turns into a timer.
+
+use acdc_stats::time::{Nanos, SECOND};
+
+/// A classic token bucket: `rate_bps` sustained, `burst_bytes` depth.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    /// Token level in *bits*, to avoid rounding loss at high rates.
+    tokens_bits: u64,
+    last_refill: Nanos,
+}
+
+impl TokenBucket {
+    /// Create a bucket, full, observed first at time `now`.
+    pub fn new(rate_bps: u64, burst_bytes: u64, now: Nanos) -> TokenBucket {
+        assert!(rate_bps > 0, "rate must be positive");
+        assert!(burst_bytes > 0, "burst must be positive");
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens_bits: burst_bytes * 8,
+            last_refill: now,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        if now <= self.last_refill {
+            return;
+        }
+        let dt = now - self.last_refill;
+        let add = (u128::from(dt) * u128::from(self.rate_bps) / u128::from(SECOND)) as u64;
+        self.tokens_bits = (self.tokens_bits + add).min(self.burst_bytes * 8);
+        self.last_refill = now;
+    }
+
+    /// Try to send `bytes` at `now`. On success the tokens are consumed;
+    /// on failure, returns the earliest time at which the bucket will hold
+    /// enough tokens.
+    pub fn try_consume(&mut self, bytes: usize, now: Nanos) -> Result<(), Nanos> {
+        self.refill(now);
+        let need = bytes as u64 * 8;
+        if self.tokens_bits >= need {
+            self.tokens_bits -= need;
+            Ok(())
+        } else {
+            let deficit = need - self.tokens_bits;
+            let wait = (u128::from(deficit) * u128::from(SECOND))
+                .div_ceil(u128::from(self.rate_bps)) as Nanos;
+            Err(now + wait)
+        }
+    }
+
+    /// Current token level in bytes (after refilling to `now`).
+    pub fn tokens_bytes(&mut self, now: Nanos) -> u64 {
+        self.refill(now);
+        self.tokens_bits / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_stats::time::MILLISECOND;
+
+    #[test]
+    fn full_bucket_allows_burst() {
+        let mut tb = TokenBucket::new(1_000_000_000, 10_000, 0);
+        for _ in 0..10 {
+            assert!(tb.try_consume(1_000, 0).is_ok());
+        }
+        assert!(tb.try_consume(1, 0).is_err());
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        // 8 Mbps = 1 byte/µs.
+        let mut tb = TokenBucket::new(8_000_000, 1_000, 0);
+        assert!(tb.try_consume(1_000, 0).is_ok());
+        // After 500 µs, 500 bytes available.
+        assert_eq!(tb.tokens_bytes(500_000), 500);
+        assert!(tb.try_consume(500, 500_000).is_ok());
+        assert!(tb.try_consume(1, 500_000).is_err());
+    }
+
+    #[test]
+    fn wait_hint_is_exact() {
+        let mut tb = TokenBucket::new(8_000_000, 1_000, 0);
+        tb.try_consume(1_000, 0).unwrap();
+        let at = tb.try_consume(100, 0).unwrap_err();
+        // 100 bytes at 1 byte/µs → 100 µs.
+        assert_eq!(at, 100_000);
+        assert!(tb.try_consume(100, at).is_ok());
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut tb = TokenBucket::new(10_000_000_000, 5_000, 0);
+        assert_eq!(tb.tokens_bytes(10 * MILLISECOND), 5_000);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        // Send as fast as allowed for 10 ms at 2 Gbps; total should be
+        // ~2.5 MB + burst.
+        let rate = 2_000_000_000u64;
+        let mut tb = TokenBucket::new(rate, 9_000, 0);
+        let mut now = 0;
+        let mut sent = 0u64;
+        while now < 10 * MILLISECOND {
+            match tb.try_consume(1_500, now) {
+                Ok(()) => sent += 1_500,
+                Err(at) => now = at,
+            }
+        }
+        let expected = rate / 8 / 100; // bytes in 10 ms
+        assert!(
+            sent >= expected && sent <= expected + 20_000,
+            "sent={sent} expected≈{expected}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Explicit Congestion Notification codepoints (RFC 3168).
+//!
+//! The two low-order bits of the IPv4 TOS byte carry the ECN field. DCTCP —
+//! and therefore the AC/DC datapath — cares about three things: whether a
+//! packet is ECN-capable (`Ect0`/`Ect1`), whether a switch marked it
+//! (`Ce`), and stripping/restoring these bits so the guest stack never sees
+//! signals it should not react to.
+
+/// The four ECN codepoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ecn {
+    /// Not ECN-Capable Transport (00).
+    #[default]
+    NotEct,
+    /// ECN-Capable Transport, ECT(1) (01).
+    Ect1,
+    /// ECN-Capable Transport, ECT(0) (10). This is what Linux sets.
+    Ect0,
+    /// Congestion Experienced (11): set by a marking switch.
+    Ce,
+}
+
+impl Ecn {
+    /// Decode from the two low bits of the TOS/DSCP byte.
+    pub fn from_bits(bits: u8) -> Ecn {
+        match bits & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// Encode to the two low bits of the TOS/DSCP byte.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Ect1 => 0b01,
+            Ecn::Ect0 => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+
+    /// Is this packet ECN-capable (ECT(0), ECT(1), or already CE-marked)?
+    ///
+    /// A WRED/ECN switch *marks* such packets instead of dropping them.
+    pub fn is_ect(self) -> bool {
+        self != Ecn::NotEct
+    }
+
+    /// Has a switch signalled congestion on this packet?
+    pub fn is_ce(self) -> bool {
+        self == Ecn::Ce
+    }
+
+    /// The codepoint after a switch marks this packet.
+    ///
+    /// Marking a non-ECT packet is a misconfiguration; we saturate to `Ce`
+    /// anyway, matching hardware that sets both bits unconditionally.
+    pub fn marked(self) -> Ecn {
+        Ecn::Ce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_codepoints() {
+        for cp in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(cp.to_bits()), cp);
+        }
+    }
+
+    #[test]
+    fn from_bits_ignores_upper_bits() {
+        assert_eq!(Ecn::from_bits(0b1111_1110), Ecn::Ect0);
+        assert_eq!(Ecn::from_bits(0b0000_0111), Ecn::Ce);
+    }
+
+    #[test]
+    fn ect_classification() {
+        assert!(!Ecn::NotEct.is_ect());
+        assert!(Ecn::Ect0.is_ect());
+        assert!(Ecn::Ect1.is_ect());
+        assert!(Ecn::Ce.is_ect());
+        assert!(Ecn::Ce.is_ce());
+        assert!(!Ecn::Ect0.is_ce());
+    }
+}

@@ -1,0 +1,141 @@
+//! The AC/DC **PACK** (Piggy-backed ACK) TCP option.
+//!
+//! DCTCP needs the *fraction of bytes that experienced congestion* reported
+//! back to the sender. The guest stack may not speak ECN, so the
+//! receiver-side AC/DC module counts total and CE-marked bytes itself and
+//! ships the counts to the sender-side module inside ACKs (§3.2 of the
+//! paper). When appending the option would overflow the MTU, the counts
+//! travel in a dedicated *fake ACK* (FACK) instead — same option, different
+//! carrier.
+//!
+//! Wire format (RFC 6994 shared experimental TCP option):
+//!
+//! ```text
+//! +------+------+-------------+----------------------+----------------------+
+//! | 253  | 12   | ExID=0xACDC | total_bytes (u32 BE) | marked_bytes (u32 BE)|
+//! +------+------+-------------+----------------------+----------------------+
+//!   kind   len      2 bytes          4 bytes                 4 bytes
+//! ```
+//!
+//! The paper describes an "additional 8 bytes"; that is the feedback payload
+//! (two u32 counters). Kind, length and the experiment identifier add 4
+//! bytes of framing in this faithful on-wire encoding.
+//!
+//! The counters are *deltas since the last feedback that was emitted*, which
+//! keeps them comfortably inside u32 even for very long flows; the
+//! sender-side module accumulates them into 64-bit totals.
+
+use crate::tcp::option_kind;
+use crate::{Error, Result};
+
+/// Experiment identifier distinguishing PACK from other kind-253 users.
+pub const PACK_EXID: u16 = 0xACDC;
+
+/// Parsed PACK option payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackOption {
+    /// Bytes received for this flow since the previous feedback.
+    pub total_bytes: u32,
+    /// Of those, bytes that arrived with the CE codepoint set.
+    pub marked_bytes: u32,
+}
+
+impl PackOption {
+    /// Encoded size on the wire.
+    pub const WIRE_LEN: usize = 12;
+    /// Same, as the u8 stored in the option length field.
+    pub const WIRE_LEN_U8: usize = 12;
+
+    /// Quick test: does this option body carry our experiment ID?
+    /// `body` must start at the option kind byte.
+    pub fn matches(body: &[u8]) -> bool {
+        body.len() >= 4
+            && body[0] == option_kind::EXPERIMENT
+            && body[1] as usize == Self::WIRE_LEN
+            && u16::from_be_bytes([body[2], body[3]]) == PACK_EXID
+    }
+
+    /// Parse from an option body (starting at the kind byte).
+    pub fn parse(body: &[u8]) -> Result<PackOption> {
+        if body.len() < Self::WIRE_LEN {
+            return Err(Error::Truncated);
+        }
+        if !Self::matches(body) {
+            return Err(Error::Malformed);
+        }
+        Ok(PackOption {
+            total_bytes: u32::from_be_bytes(body[4..8].try_into().unwrap()),
+            marked_bytes: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+        })
+    }
+
+    /// Emit into a buffer of exactly `WIRE_LEN` bytes.
+    pub fn emit(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), Self::WIRE_LEN);
+        buf[0] = option_kind::EXPERIMENT;
+        buf[1] = Self::WIRE_LEN as u8;
+        buf[2..4].copy_from_slice(&PACK_EXID.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.total_bytes.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.marked_bytes.to_be_bytes());
+    }
+
+    /// The congestion fraction this feedback reports, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            f64::from(self.marked_bytes) / f64::from(self.total_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = PackOption {
+            total_bytes: 123_456,
+            marked_bytes: 7_890,
+        };
+        let mut buf = [0u8; PackOption::WIRE_LEN];
+        p.emit(&mut buf);
+        assert!(PackOption::matches(&buf));
+        assert_eq!(PackOption::parse(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn rejects_wrong_exid() {
+        let p = PackOption::default();
+        let mut buf = [0u8; PackOption::WIRE_LEN];
+        p.emit(&mut buf);
+        buf[2] = 0x00;
+        buf[3] = 0x01;
+        assert!(!PackOption::matches(&buf));
+        assert_eq!(PackOption::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let p = PackOption::default();
+        let mut buf = [0u8; PackOption::WIRE_LEN];
+        p.emit(&mut buf);
+        assert_eq!(PackOption::parse(&buf[..8]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn fraction_bounds() {
+        assert_eq!(PackOption::default().fraction(), 0.0);
+        let p = PackOption {
+            total_bytes: 100,
+            marked_bytes: 100,
+        };
+        assert_eq!(p.fraction(), 1.0);
+        let p = PackOption {
+            total_bytes: 200,
+            marked_bytes: 50,
+        };
+        assert_eq!(p.fraction(), 0.25);
+    }
+}

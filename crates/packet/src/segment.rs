@@ -1,0 +1,401 @@
+//! [`Segment`]: the unit of traffic carried by the simulator.
+//!
+//! A `Segment` owns the *real, serialized* IPv4 + L4 header bytes plus a
+//! *virtual* payload length. Header-mangling code (the entire AC/DC
+//! datapath) operates on genuine wire bytes — parse, rewrite, incremental
+//! checksum — while the simulator avoids allocating and copying bulk
+//! payloads. Checksums treat the payload as zeros, so they stay end-to-end
+//! verifiable (see crate docs).
+
+use bytes::{Bytes, BytesMut};
+
+use crate::{
+    Ecn, Error, Ipv4Packet, Ipv4Repr, Result, TcpFlags, TcpPacket, TcpRepr, UdpPacket, UdpRepr,
+    PROTO_TCP, PROTO_UDP,
+};
+
+/// A 5-tuple-minus-protocol flow key (the simulator is IPv4/TCP only; the
+/// paper hashes on addresses, ports and VLAN — we have no VLANs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Destination TCP port.
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// The key of the reverse direction (ACKs of this flow).
+    pub fn reverse(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+impl core::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{}",
+            self.src_ip[0],
+            self.src_ip[1],
+            self.src_ip[2],
+            self.src_ip[3],
+            self.src_port,
+            self.dst_ip[0],
+            self.dst_ip[1],
+            self.dst_ip[2],
+            self.dst_ip[3],
+            self.dst_port
+        )
+    }
+}
+
+/// A simulated packet: serialized headers + virtual payload length.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    buf: BytesMut,
+    payload_len: usize,
+}
+
+impl Segment {
+    /// Build a TCP segment. `ip.payload_len` is overwritten from the TCP
+    /// header length plus `payload_len`; checksums are filled.
+    pub fn new_tcp(ip: Ipv4Repr, tcp: TcpRepr, payload_len: usize) -> Segment {
+        let tcp_hdr_len = tcp.header_len();
+        let ip_repr = Ipv4Repr {
+            protocol: PROTO_TCP,
+            payload_len: tcp_hdr_len + payload_len,
+            ..ip
+        };
+        let total_hdr = ip_repr.header_len() + tcp_hdr_len;
+        let mut buf = BytesMut::zeroed(total_hdr);
+        {
+            let mut ipp = Ipv4Packet::new_unchecked(&mut buf[..]);
+            ip_repr.emit(&mut ipp);
+        }
+        {
+            let mut tcpp = TcpPacket::new_unchecked(&mut buf[ip_repr.header_len()..]);
+            tcp.emit(&mut tcpp);
+            tcpp.fill_checksum(ip_repr.src_addr, ip_repr.dst_addr, payload_len);
+        }
+        Segment { buf, payload_len }
+    }
+
+    /// Build a UDP datagram (the vSwitch forwards these untouched; the
+    /// paper leaves UDP congestion enforcement as future work).
+    pub fn new_udp(ip: Ipv4Repr, udp: UdpRepr, payload_len: usize) -> Segment {
+        let ip_repr = Ipv4Repr {
+            protocol: PROTO_UDP,
+            payload_len: udp.header_len() + payload_len,
+            ..ip
+        };
+        let total_hdr = ip_repr.header_len() + udp.header_len();
+        let mut buf = BytesMut::zeroed(total_hdr);
+        {
+            let mut ipp = Ipv4Packet::new_unchecked(&mut buf[..]);
+            ip_repr.emit(&mut ipp);
+        }
+        {
+            let udp_repr = UdpRepr {
+                payload_len,
+                ..udp
+            };
+            let mut udpp = UdpPacket::new_unchecked(&mut buf[ip_repr.header_len()..]);
+            udp_repr.emit(&mut udpp);
+            udpp.fill_checksum(ip_repr.src_addr, ip_repr.dst_addr, payload_len);
+        }
+        Segment { buf, payload_len }
+    }
+
+    /// Is this a TCP segment (as opposed to UDP)?
+    pub fn is_tcp(&self) -> bool {
+        self.ip().protocol() == PROTO_TCP
+    }
+
+    /// Reconstruct a segment from raw header bytes (e.g. after a datapath
+    /// emitted a fresh packet) plus a virtual payload length.
+    pub fn from_header_bytes(buf: BytesMut, payload_len: usize) -> Result<Segment> {
+        let ipp = Ipv4Packet::new_checked(&buf[..])?;
+        let ihl = ipp.header_len();
+        match ipp.protocol() {
+            PROTO_TCP => {
+                TcpPacket::new_checked(&buf[ihl..])?;
+            }
+            PROTO_UDP => {
+                UdpPacket::new_checked(&buf[ihl..])?;
+            }
+            _ => return Err(Error::Unsupported),
+        }
+        Ok(Segment { buf, payload_len })
+    }
+
+    /// The serialized header bytes (IP + TCP, no payload).
+    pub fn header_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Freeze and return a copy of the header bytes.
+    pub fn header_bytes_cloned(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Virtual payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Total length on the wire: headers + payload.
+    pub fn wire_len(&self) -> usize {
+        self.buf.len() + self.payload_len
+    }
+
+    /// Immutable IP header view.
+    pub fn ip(&self) -> Ipv4Packet<&[u8]> {
+        Ipv4Packet::new_unchecked(&self.buf[..])
+    }
+
+    /// Mutable IP header view.
+    pub fn ip_mut(&mut self) -> Ipv4Packet<&mut [u8]> {
+        Ipv4Packet::new_unchecked(&mut self.buf[..])
+    }
+
+    /// Immutable TCP header view (panics when called on a UDP segment —
+    /// check [`Segment::is_tcp`] first on mixed paths).
+    pub fn tcp(&self) -> TcpPacket<&[u8]> {
+        debug_assert!(self.is_tcp(), "tcp() on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&self.buf[ihl..])
+    }
+
+    /// Immutable UDP header view (panics when called on a TCP segment).
+    pub fn udp(&self) -> UdpPacket<&[u8]> {
+        debug_assert!(!self.is_tcp(), "udp() on a TCP segment");
+        let ihl = self.ip().header_len();
+        UdpPacket::new_unchecked(&self.buf[ihl..])
+    }
+
+    /// Mutable TCP header view.
+    pub fn tcp_mut(&mut self) -> TcpPacket<&mut [u8]> {
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..])
+    }
+
+    /// The flow key of this segment's direction (TCP or UDP ports).
+    pub fn flow_key(&self) -> FlowKey {
+        let ip = self.ip();
+        let (src_port, dst_port) = if self.is_tcp() {
+            let t = self.tcp();
+            (t.src_port(), t.dst_port())
+        } else {
+            let u = self.udp();
+            (u.src_port(), u.dst_port())
+        };
+        FlowKey {
+            src_ip: ip.src_addr(),
+            dst_ip: ip.dst_addr(),
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// ECN codepoint from the IP header.
+    pub fn ecn(&self) -> Ecn {
+        self.ip().ecn()
+    }
+
+    /// Mark this segment CE (what a WRED/ECN switch does), keeping the IP
+    /// checksum valid.
+    pub fn mark_ce(&mut self) {
+        self.ip_mut().set_ecn_update_checksum(Ecn::Ce);
+    }
+
+    /// TCP flags.
+    pub fn tcp_flags(&self) -> TcpFlags {
+        self.tcp().flags()
+    }
+
+    /// Does this segment carry payload, SYN, or FIN (i.e. occupy sequence
+    /// space and need acknowledgement)?
+    pub fn occupies_seq_space(&self) -> bool {
+        self.payload_len > 0 || self.tcp_flags().intersects(TcpFlags::SYN | TcpFlags::FIN)
+    }
+
+    /// Is this a "pure ACK": no payload, no SYN/FIN/RST?
+    pub fn is_pure_ack(&self) -> bool {
+        self.payload_len == 0
+            && self.tcp_flags().contains(TcpFlags::ACK)
+            && !self
+                .tcp_flags()
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+
+    /// Parse the TCP header into a full `TcpRepr`.
+    pub fn tcp_repr(&self) -> Result<TcpRepr> {
+        TcpRepr::parse(&self.tcp())
+    }
+
+    /// Verify both checksums (IP header and L4 with virtual payload).
+    pub fn verify_checksums(&self) -> bool {
+        let ip = self.ip();
+        if !ip.verify_checksum() {
+            return false;
+        }
+        if self.is_tcp() {
+            self.tcp()
+                .verify_checksum(ip.src_addr(), ip.dst_addr(), self.payload_len)
+        } else {
+            self.udp()
+                .verify_checksum(ip.src_addr(), ip.dst_addr(), self.payload_len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqNumber;
+
+    fn ip_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src_addr: [10, 0, 0, 1],
+            dst_addr: [10, 0, 0, 9],
+            protocol: PROTO_TCP,
+            ecn: Ecn::Ect0,
+            payload_len: 0, // overwritten by Segment::new_tcp
+            ttl: 64,
+        }
+    }
+
+    fn tcp_repr() -> TcpRepr {
+        let mut r = TcpRepr::new(40000, 5001);
+        r.seq = SeqNumber(1000);
+        r.ack = SeqNumber(2000);
+        r.flags = TcpFlags::ACK;
+        r.window = 1234;
+        r
+    }
+
+    #[test]
+    fn construction_produces_consistent_lengths_and_checksums() {
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 1448);
+        assert_eq!(seg.payload_len(), 1448);
+        assert_eq!(seg.wire_len(), 20 + 20 + 1448);
+        assert_eq!(seg.ip().total_len() as usize, seg.wire_len());
+        assert!(seg.verify_checksums());
+    }
+
+    #[test]
+    fn flow_key_and_reverse() {
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        let k = seg.flow_key();
+        assert_eq!(k.src_port, 40000);
+        assert_eq!(k.dst_port, 5001);
+        let r = k.reverse();
+        assert_eq!(r.src_ip, [10, 0, 0, 9]);
+        assert_eq!(r.reverse(), k);
+    }
+
+    #[test]
+    fn ce_marking_keeps_ip_checksum_valid() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 100);
+        assert_eq!(seg.ecn(), Ecn::Ect0);
+        seg.mark_ce();
+        assert_eq!(seg.ecn(), Ecn::Ce);
+        assert!(seg.ip().verify_checksum());
+    }
+
+    #[test]
+    fn pure_ack_classification() {
+        let ack = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        assert!(ack.is_pure_ack());
+        assert!(!ack.occupies_seq_space());
+
+        let data = Segment::new_tcp(ip_repr(), tcp_repr(), 10);
+        assert!(!data.is_pure_ack());
+        assert!(data.occupies_seq_space());
+
+        let mut syn = tcp_repr();
+        syn.flags = TcpFlags::SYN;
+        let syn = Segment::new_tcp(ip_repr(), syn, 0);
+        assert!(!syn.is_pure_ack());
+        assert!(syn.occupies_seq_space());
+    }
+
+    #[test]
+    fn window_rewrite_through_segment_views() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        seg.tcp_mut().set_window_update_checksum(99);
+        assert_eq!(seg.tcp().window(), 99);
+        assert!(seg.verify_checksums());
+    }
+
+    #[test]
+    fn from_header_bytes_round_trip() {
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 777);
+        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        let seg2 = Segment::from_header_bytes(buf, 777).unwrap();
+        assert_eq!(seg2.wire_len(), seg.wire_len());
+        assert_eq!(seg2.flow_key(), seg.flow_key());
+        assert!(seg2.verify_checksums());
+    }
+
+    #[test]
+    fn from_header_bytes_rejects_unknown_protocol() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        seg.ip_mut().set_protocol(47); // GRE: not ours
+        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        assert_eq!(
+            Segment::from_header_bytes(buf, 0).unwrap_err(),
+            Error::Unsupported
+        );
+    }
+
+    #[test]
+    fn udp_segment_round_trip() {
+        let udp = UdpRepr {
+            src_port: 6000,
+            dst_port: 7000,
+            payload_len: 0, // overwritten by new_udp
+        };
+        let seg = Segment::new_udp(ip_repr(), udp, 512);
+        assert!(!seg.is_tcp());
+        assert_eq!(seg.wire_len(), 20 + 8 + 512);
+        assert!(seg.verify_checksums());
+        let k = seg.flow_key();
+        assert_eq!(k.src_port, 6000);
+        assert_eq!(k.dst_port, 7000);
+        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        let seg2 = Segment::from_header_bytes(buf, 512).unwrap();
+        assert_eq!(seg2.flow_key(), k);
+        assert!(seg2.verify_checksums());
+    }
+
+    #[test]
+    fn udp_segment_ce_marking_keeps_ip_checksum() {
+        let udp = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let mut seg = Segment::new_udp(
+            Ipv4Repr {
+                ecn: Ecn::Ect0,
+                ..ip_repr()
+            },
+            udp,
+            100,
+        );
+        seg.mark_ce();
+        assert_eq!(seg.ecn(), Ecn::Ce);
+        assert!(seg.verify_checksums());
+    }
+}

@@ -1,0 +1,109 @@
+//! Exponentially weighted moving average.
+//!
+//! DCTCP's `alpha` (the fraction-of-marked-bytes estimate) is an EWMA with
+//! gain `g = 1/16`; RTT estimators use gains of 1/8 and 1/4 (RFC 6298).
+
+/// An EWMA over `f64` values: `v ← (1 − g)·v + g·sample`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    gain: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Create with gain `g ∈ (0, 1]` and an explicit initial estimate
+    /// (DCTCP seeds `alpha = 1`). The first sample is averaged in normally.
+    pub fn new(gain: f64, initial: f64) -> Ewma {
+        assert!(gain > 0.0 && gain <= 1.0, "EWMA gain must be in (0,1]");
+        Ewma {
+            gain,
+            value: initial,
+            initialized: true,
+        }
+    }
+
+    /// Create with gain `g`; the first sample *becomes* the estimate
+    /// (how RFC 6298 seeds SRTT).
+    pub fn new_seeded_by_first(gain: f64) -> Ewma {
+        assert!(gain > 0.0 && gain <= 1.0, "EWMA gain must be in (0,1]");
+        Ewma {
+            gain,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Feed one sample.
+    pub fn update(&mut self, sample: f64) {
+        if self.initialized {
+            self.value = (1.0 - self.gain) * self.value + self.gain * sample;
+        } else {
+            self.value = sample;
+            self.initialized = true;
+        }
+    }
+
+    /// Current estimate.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Overwrite the estimate (used when an algorithm saturates it, e.g.
+    /// DCTCP setting `alpha = max` on loss).
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+        self.initialized = true;
+    }
+
+    /// Has at least one sample been folded in?
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(1.0 / 16.0, 1.0);
+        for _ in 0..600 {
+            e.update(0.25);
+        }
+        assert!((e.get() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gain_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0, 0.0);
+        e.update(5.0);
+        assert_eq!(e.get(), 5.0);
+        e.update(7.0);
+        assert_eq!(e.get(), 7.0);
+    }
+
+    #[test]
+    fn seeded_by_first_sample() {
+        let mut e = Ewma::new_seeded_by_first(0.125);
+        e.update(100.0);
+        assert_eq!(e.get(), 100.0);
+        e.update(200.0);
+        assert!((e.get() - 112.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dctcp_style_initial_one() {
+        // alpha starts at 1, halves toward the observed fraction.
+        let mut e = Ewma::new(1.0 / 16.0, 1.0);
+        e.update(0.0);
+        assert!(e.get() < 1.0 && e.get() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA gain")]
+    fn rejects_zero_gain() {
+        let _ = Ewma::new(0.0, 0.0);
+    }
+}

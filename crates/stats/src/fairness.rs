@@ -1,0 +1,52 @@
+//! Jain's fairness index (Jain, Chiu & Hawe 1984), the fairness metric the
+//! paper reports in Table 1 and Figures 17–18.
+
+/// Jain's fairness index of an allocation vector:
+/// `J = (Σx)² / (n · Σx²)`, in `(0, 1]`; 1 means perfectly fair.
+///
+/// Returns `None` for an empty vector or an all-zero allocation.
+pub fn jain_index(allocations: &[f64]) -> Option<f64> {
+    if allocations.is_empty() {
+        return None;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (allocations.len() as f64 * sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert!((jain_index(&[2.0, 2.0, 2.0, 2.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_flow_is_fair() {
+        assert_eq!(jain_index(&[10.0]), Some(1.0));
+    }
+
+    #[test]
+    fn starved_flows_reduce_the_index() {
+        // One flow hogging everything among n flows gives J = 1/n.
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mild_skew_gives_intermediate_value() {
+        let j = jain_index(&[3.0, 2.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(j > 0.9 && j < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), None);
+    }
+}

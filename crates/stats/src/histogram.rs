@@ -1,0 +1,140 @@
+//! A log-scaled latency histogram, for cheap high-volume collection when
+//! keeping every sample (as [`crate::Distribution`] does) is wasteful.
+//!
+//! Buckets grow geometrically from `min` by `growth` per step, so a
+//! 1 µs – 100 s latency range fits in a few dozen buckets with bounded
+//! relative quantile error.
+
+use serde::Serialize;
+
+/// A geometric-bucket histogram over `f64` values.
+#[derive(Debug, Clone, Serialize)]
+pub struct LogHistogram {
+    min: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Buckets: `[min·g^i, min·g^(i+1))` for `i in 0..buckets`; values
+    /// below `min` land in an underflow bucket, values beyond the last in
+    /// the last.
+    pub fn new(min: f64, growth: f64, buckets: usize) -> LogHistogram {
+        assert!(min > 0.0 && growth > 1.0 && buckets > 0);
+        LogHistogram {
+            min,
+            growth,
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A latency histogram: 1 µs to ~100 s at 10% resolution (values in
+    /// milliseconds).
+    pub fn latency_ms() -> LogHistogram {
+        LogHistogram::new(0.001, 1.1, 200)
+    }
+
+    /// Record one value.
+    pub fn add(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v / self.min).ln() / self.growth.ln()) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Approximate `p`-th percentile (upper bucket bound).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0).clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= rank {
+            return Some(self.min);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.min * self.growth.powi(i as i32 + 1));
+            }
+        }
+        Some(self.min * self.growth.powi(self.counts.len() as i32))
+    }
+
+    /// Merge another histogram with identical parameters.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min, other.min);
+        assert_eq!(self.growth, other.growth);
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_within_bucket_error() {
+        let mut h = LogHistogram::new(1.0, 1.1, 400);
+        for i in 1..=10_000 {
+            h.add(f64::from(i));
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        // Bucketed value within one growth factor of the true median.
+        assert!((4500.0..=5600.0).contains(&p50), "p50={p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!((9000.0..=11_100.0).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // buckets to 16
+        h.add(0.5); // underflow
+        h.add(1_000_000.0); // clamps to last bucket
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.percentile(25.0), Some(1.0));
+        assert!(h.percentile(100.0).unwrap() >= 16.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::latency_ms();
+        let mut b = LogHistogram::latency_ms();
+        for _ in 0..10 {
+            a.add(1.0);
+            b.add(100.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 20);
+        assert!(a.percentile(25.0).unwrap() < 2.0);
+        assert!(a.percentile(90.0).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(LogHistogram::latency_ms().percentile(50.0), None);
+    }
+}

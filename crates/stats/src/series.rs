@@ -1,0 +1,144 @@
+//! Timestamped series, used for window traces (Figures 9/10) and the
+//! per-second throughput curves of the convergence test (Figure 14).
+
+use crate::time::Nanos;
+use serde::Serialize;
+
+/// One sample of a time series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Sample {
+    /// Virtual timestamp.
+    pub at: Nanos,
+    /// Value at that instant.
+    pub value: f64,
+}
+
+/// An append-only `(time, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Append a sample; timestamps should be nondecreasing.
+    pub fn push(&mut self, at: Nanos, value: f64) {
+        debug_assert!(
+            self.samples.last().map_or(true, |s| s.at <= at),
+            "time series must be appended in time order"
+        );
+        self.samples.push(Sample { at, value });
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples within `[from, to)`.
+    pub fn window(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &Sample> {
+        self.samples
+            .iter()
+            .skip_while(move |s| s.at < from)
+            .take_while(move |s| s.at < to)
+    }
+
+    /// Centered moving average over a time window: for each sample, the mean
+    /// of all samples within ± `half_window`. Used for Figure 9b's
+    /// "100 ms moving average" of window sizes.
+    pub fn moving_average(&self, half_window: Nanos) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        let n = self.samples.len();
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for i in 0..n {
+            let center = self.samples[i].at;
+            let from = center.saturating_sub(half_window);
+            let to = center.saturating_add(half_window);
+            while lo < n && self.samples[lo].at < from {
+                lo += 1;
+            }
+            if hi < lo {
+                hi = lo;
+            }
+            while hi < n && self.samples[hi].at <= to {
+                hi += 1;
+            }
+            let slice = &self.samples[lo..hi];
+            let mean = slice.iter().map(|s| s.value).sum::<f64>() / slice.len() as f64;
+            out.push(center, mean);
+        }
+        out
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_window() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10u64 {
+            ts.push(i * 100, i as f64);
+        }
+        let w: Vec<_> = ts.window(200, 500).map(|s| s.value).collect();
+        assert_eq!(w, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut ts = TimeSeries::new();
+        // Alternating 0/10: a wide moving average should sit near 5.
+        for i in 0..100u64 {
+            ts.push(i * 10, if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let ma = ts.moving_average(100);
+        let mid = &ma.samples()[50];
+        assert!((mid.value - 5.0).abs() < 1.0);
+        assert_eq!(ma.len(), ts.len());
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let mut ts = TimeSeries::new();
+        for i in 0..20u64 {
+            ts.push(i, 7.0);
+        }
+        for s in ts.moving_average(5).samples() {
+            assert_eq!(s.value, 7.0);
+        }
+    }
+
+    #[test]
+    fn mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, 1.0);
+        ts.push(1, 3.0);
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(TimeSeries::new().mean(), None);
+    }
+}

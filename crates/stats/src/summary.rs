@@ -1,0 +1,87 @@
+//! One-line numeric summaries for report tables.
+
+use crate::Distribution;
+use serde::Serialize;
+
+/// A compact summary of a sample distribution, printable as a table row.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a distribution; returns `None` when empty.
+    pub fn of(d: &mut Distribution) -> Option<Summary> {
+        if d.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: d.len(),
+            mean: d.mean()?,
+            min: d.min()?,
+            p50: d.percentile(50.0)?,
+            p95: d.percentile(95.0)?,
+            p99: d.percentile(99.0)?,
+            p999: d.percentile(99.9)?,
+            max: d.max()?,
+        })
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} p99.9={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.p999, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_range() {
+        let mut d = Distribution::new();
+        d.extend((0..1000).map(f64::from));
+        let s = Summary::of(&mut d).unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 999.0);
+        assert!((s.p50 - 499.5).abs() < 1.0);
+        assert!(s.p999 > 997.0);
+        assert!(s.p95 < s.p99 && s.p99 < s.p999);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(Summary::of(&mut Distribution::new()).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut d = Distribution::new();
+        d.add(1.0);
+        let s = Summary::of(&mut d).unwrap();
+        let line = format!("{s}");
+        assert!(line.contains("n=1"));
+        assert!(line.contains("p99.9=1.000"));
+    }
+}

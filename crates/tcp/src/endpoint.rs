@@ -1,0 +1,1495 @@
+//! The TCP endpoint state machine.
+//!
+//! One [`Endpoint`] is one side of one connection, pre-bound to a 4-tuple
+//! (the simulation knows its flows up front, so there is no listener
+//! socket; a passive endpoint simply starts in [`TcpState::Listen`]).
+//!
+//! Internally all stream positions are **64-bit offsets** (0 = first
+//! payload byte); they are converted to and from 32-bit wire sequence
+//! numbers at the packet boundary, so arithmetic never worries about
+//! wraparound while the wire format stays faithful.
+
+use acdc_cc::{AckEvent, CcConfig, CongestionControl};
+use acdc_packet::{Ecn, Ipv4Repr, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP};
+use acdc_stats::time::Nanos;
+
+use crate::TcpConfig;
+
+/// Connection states (RFC 793 subset; no simultaneous open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Passive endpoint waiting for a SYN.
+    Listen,
+    /// Active endpoint that has sent its SYN.
+    SynSent,
+    /// Passive endpoint that has answered with SYN-ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN is acknowledged; waiting for the peer's.
+    FinWait2,
+    /// Both sides closed simultaneously: peer's FIN consumed while ours
+    /// is still unacknowledged.
+    Closing,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// We answered the peer's FIN with our own.
+    LastAck,
+    /// Both FINs exchanged; draining the network.
+    TimeWait,
+    /// Fully closed.
+    Closed,
+}
+
+/// A sent-segment probe for RTT sampling (Karn's algorithm: one sample at
+/// a time, never from retransmitted data).
+#[derive(Debug, Clone, Copy)]
+struct RttProbe {
+    end_off: u64,
+    sent_at: Nanos,
+}
+
+/// One side of a TCP connection.
+pub struct Endpoint {
+    cfg: TcpConfig,
+    cc: Box<dyn CongestionControl>,
+    state: TcpState,
+
+    // ---- send side ----
+    iss: SeqNumber,
+    /// Stream bytes accepted from the application.
+    stream_len: u64,
+    /// First unacknowledged stream offset.
+    snd_una: u64,
+    /// Next stream offset to send.
+    snd_nxt: u64,
+    /// Highest stream offset ever sent (high-water mark; differs from
+    /// `snd_nxt` after a timeout rewinds the send pointer).
+    snd_max: u64,
+    /// Application requested close.
+    fin_queued: bool,
+    /// FIN is currently counted as in flight (cleared by a timeout rewind).
+    fin_sent: bool,
+    /// FIN has been transmitted at least once (ACK validation window).
+    fin_sent_ever: bool,
+    /// FIN acknowledged.
+    fin_acked: bool,
+    /// Peer receive window in bytes (already scaled), relative to `snd_una`.
+    peer_rwnd: u64,
+    /// Raw window field of the last ACK (for duplicate-ACK detection).
+    last_raw_wnd: u16,
+    peer_wscale: u8,
+    /// Effective MSS after negotiation.
+    mss: u32,
+    dupacks: u32,
+    /// NewReno recovery point (stream offset) while in fast recovery.
+    recover: Option<u64>,
+    /// Pending head retransmission (fast retransmit or partial ACK).
+    rtx_head_pending: bool,
+    rtt_probe: Option<RttProbe>,
+    srtt: Option<Nanos>,
+    rttvar: Nanos,
+    rto: Nanos,
+    rto_deadline: Option<Nanos>,
+    backoff: u32,
+    /// Zero-window probe (persist) timer: armed when the peer closes its
+    /// window while we still have data to send.
+    persist_deadline: Option<Nanos>,
+    persist_backoff: u32,
+    /// A 1-byte window probe is due on the next poll.
+    window_probe_pending: bool,
+    /// Classic-ECN: a cut is pending CWR signalling on the next data.
+    cwr_pending: bool,
+    last_ecn_cut: Option<Nanos>,
+
+    // ---- receive side ----
+    irs: SeqNumber,
+    /// Next expected in-order stream offset.
+    rcv_nxt: u64,
+    /// Out-of-order received ranges `(start, end)`, sorted, disjoint.
+    ooo: Vec<(u64, u64)>,
+    /// Peer FIN offset, once seen.
+    fin_rcvd: Option<u64>,
+    /// ECN negotiated on this connection.
+    ecn_ok: bool,
+    /// DCTCP-style accurate echo state.
+    ce_state: bool,
+    /// Classic ECE latch.
+    ece_latch: bool,
+    /// Segments received since the last ACK we sent.
+    unacked_segs: u32,
+    delack_deadline: Option<Nanos>,
+    ack_now: bool,
+    timewait_deadline: Option<Nanos>,
+
+    // ---- handshake bookkeeping ----
+    syn_sent_at: Option<Nanos>,
+    need_syn: bool,
+    need_synack: bool,
+
+    // ---- stats ----
+    retransmitted_segments: u64,
+    timeouts: u64,
+}
+
+impl core::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("state", &self.state)
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("rcv_nxt", &self.rcv_nxt)
+            .field("cwnd", &self.cc.cwnd())
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Create an active (connecting) endpoint. Call
+    /// [`Endpoint::open`] to emit the SYN.
+    pub fn new_active(cfg: TcpConfig) -> Endpoint {
+        Endpoint::new(cfg, false)
+    }
+
+    /// Create a passive endpoint waiting for a SYN.
+    pub fn new_passive(cfg: TcpConfig) -> Endpoint {
+        Endpoint::new(cfg, true)
+    }
+
+    fn new(cfg: TcpConfig, passive: bool) -> Endpoint {
+        let cc_cfg = CcConfig::host(cfg.mss);
+        let cc = cfg.cc.build(cc_cfg);
+        let cc: Box<dyn CongestionControl> = match cfg.cwnd_clamp {
+            Some(clamp) => Box::new(acdc_cc::Clamped::new(cc, clamp)),
+            None => cc,
+        };
+        Endpoint {
+            iss: SeqNumber(cfg.iss),
+            state: if passive {
+                TcpState::Listen
+            } else {
+                TcpState::Closed
+            },
+            cc,
+            stream_len: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_max: 0,
+            fin_queued: false,
+            fin_sent: false,
+            fin_sent_ever: false,
+            fin_acked: false,
+            peer_rwnd: u64::from(u16::MAX),
+            last_raw_wnd: 0,
+            peer_wscale: 0,
+            mss: cfg.mss,
+            dupacks: 0,
+            recover: None,
+            rtx_head_pending: false,
+            rtt_probe: None,
+            srtt: None,
+            rttvar: 0,
+            rto: cfg.rto_min.max(acdc_stats::time::MILLISECOND),
+            rto_deadline: None,
+            backoff: 0,
+            persist_deadline: None,
+            persist_backoff: 0,
+            window_probe_pending: false,
+            cwr_pending: false,
+            last_ecn_cut: None,
+            irs: SeqNumber(0),
+            rcv_nxt: 0,
+            ooo: Vec::new(),
+            fin_rcvd: None,
+            ecn_ok: false,
+            ce_state: false,
+            ece_latch: false,
+            unacked_segs: 0,
+            delack_deadline: None,
+            ack_now: false,
+            timewait_deadline: None,
+            syn_sent_at: None,
+            need_syn: false,
+            need_synack: false,
+            retransmitted_segments: 0,
+            timeouts: 0,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface
+    // ------------------------------------------------------------------
+
+    /// Begin the active open (emit a SYN on the next poll).
+    pub fn open(&mut self, now: Nanos) {
+        assert_eq!(self.state, TcpState::Closed, "open() on used endpoint");
+        self.state = TcpState::SynSent;
+        self.need_syn = true;
+        self.syn_sent_at = Some(now);
+        self.arm_rto(now);
+    }
+
+    /// Enqueue `bytes` of application data for transmission.
+    pub fn send(&mut self, bytes: u64) {
+        assert!(!self.fin_queued, "send() after close()");
+        self.stream_len += bytes;
+    }
+
+    /// Close the sending direction once all queued data is delivered.
+    pub fn close(&mut self) {
+        self.fin_queued = true;
+    }
+
+    /// Stop offering new data: the stream is truncated at the highest
+    /// offset already sent (in-flight data still completes). Used by the
+    /// harness to end long-lived flows at a scheduled time (Figure 14's
+    /// convergence test adds and removes flows every 30 s).
+    pub fn stop_sending(&mut self) {
+        if !self.fin_queued {
+            self.stream_len = self.stream_len.min(self.snd_max.max(self.snd_nxt));
+        }
+    }
+
+    /// Total stream bytes acknowledged by the peer.
+    pub fn acked_bytes(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Total stream bytes the application asked to send.
+    pub fn queued_bytes(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Total in-order stream bytes received (delivered to the app).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The endpoint's configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Is the connection established (data can flow)?
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2
+        )
+    }
+
+    /// Has the connection fully closed (both FINs exchanged + acked)?
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, TcpState::Closed | TcpState::TimeWait)
+    }
+
+    /// Current congestion window, bytes (for window tracing, Figure 9/10).
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// The congestion-control algorithm (for inspection).
+    pub fn cc(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// Smoothed RTT estimate, if sampled yet.
+    pub fn srtt(&self) -> Option<Nanos> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Nanos {
+        self.rto
+    }
+
+    /// Segments retransmitted (fast or timeout-driven).
+    pub fn retransmitted_segments(&self) -> u64 {
+        self.retransmitted_segments
+    }
+
+    /// Retransmission-timeout count.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// The peer's advertised receive window in bytes, as last seen
+    /// (after AC/DC rewriting, this *is* the enforced window).
+    pub fn peer_rwnd(&self) -> u64 {
+        self.peer_rwnd
+    }
+
+    /// Bytes in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    // ------------------------------------------------------------------
+    // Wire sequence mapping
+    // ------------------------------------------------------------------
+
+    /// Wire sequence number for a send-stream offset.
+    fn wire_seq(&self, off: u64) -> SeqNumber {
+        self.iss + 1u32 + (off as u32)
+    }
+
+    /// Wire ACK number for the receive side.
+    fn wire_ack(&self) -> SeqNumber {
+        let fin_extra = match self.fin_rcvd {
+            Some(f) if self.rcv_nxt >= f => 1u32,
+            _ => 0,
+        };
+        self.irs + 1u32 + (self.rcv_nxt as u32) + fin_extra
+    }
+
+    /// Unwrap an incoming wire ACK into a send-stream offset (may exceed
+    /// `stream_len` by one when it covers our FIN).
+    fn unwrap_ack(&self, ack: SeqNumber) -> Option<u64> {
+        let base = self.wire_seq(self.snd_una);
+        let d = ack - base; // signed distance
+        let candidate = self.snd_una as i64 + i64::from(d);
+        let max_valid = self.snd_max + if self.fin_sent_ever { 1 } else { 0 };
+        if candidate < 0 || candidate as u64 > max_valid {
+            None
+        } else {
+            Some(candidate as u64)
+        }
+    }
+
+    /// Unwrap an incoming wire data sequence into a receive-stream offset.
+    fn unwrap_seq(&self, seq: SeqNumber) -> i64 {
+        let base = self.irs + 1u32 + (self.rcv_nxt as u32);
+        let d = seq - base;
+        self.rcv_nxt as i64 + i64::from(d)
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest pending timer deadline, if any. The host arms one timer
+    /// and calls [`Endpoint::on_timer`] when it fires.
+    pub fn next_timer(&self) -> Option<Nanos> {
+        [
+            self.rto_deadline,
+            self.delack_deadline,
+            self.timewait_deadline,
+            self.persist_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn arm_rto(&mut self, now: Nanos) {
+        let rto = self.rto << self.backoff.min(10);
+        self.rto_deadline = Some(now + rto.min(self.cfg.rto_max));
+    }
+
+    fn maybe_disarm_rto(&mut self) {
+        let outstanding =
+            self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked) || self.need_syn
+                || self.need_synack;
+        if !outstanding {
+            self.rto_deadline = None;
+            self.backoff = 0;
+        }
+    }
+
+    /// Handle timer expiry; the host calls this when `next_timer()` fires.
+    pub fn on_timer(&mut self, now: Nanos) {
+        if let Some(t) = self.timewait_deadline {
+            if now >= t {
+                self.timewait_deadline = None;
+                self.state = TcpState::Closed;
+            }
+        }
+        if let Some(t) = self.delack_deadline {
+            if now >= t {
+                self.delack_deadline = None;
+                if self.unacked_segs > 0 {
+                    self.ack_now = true;
+                }
+            }
+        }
+        if let Some(t) = self.rto_deadline {
+            if now >= t {
+                self.rto_deadline = None;
+                self.handle_rto(now);
+            }
+        }
+        if let Some(t) = self.persist_deadline {
+            if now >= t {
+                let probing_makes_sense = matches!(
+                    self.state,
+                    TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
+                ) && self.snd_una < self.stream_len;
+                if probing_makes_sense {
+                    // Send a 1-byte window probe beyond the advertised
+                    // window and re-arm with exponential backoff. The probe
+                    // carries real stream data; a reopened window acks it.
+                    self.window_probe_pending = true;
+                    self.persist_backoff = (self.persist_backoff + 1).min(10);
+                    let delay = (self.rto << self.persist_backoff).min(self.cfg.rto_max);
+                    self.persist_deadline = Some(now + delay);
+                } else {
+                    // Connection finished or torn down: stop probing.
+                    self.persist_deadline = None;
+                    self.persist_backoff = 0;
+                }
+            }
+        }
+    }
+
+    fn handle_rto(&mut self, now: Nanos) {
+        match self.state {
+            TcpState::SynSent => {
+                self.need_syn = true;
+                self.backoff += 1;
+                self.arm_rto(now);
+            }
+            TcpState::SynRcvd => {
+                self.need_synack = true;
+                self.backoff += 1;
+                self.arm_rto(now);
+            }
+            TcpState::Closed | TcpState::Listen | TcpState::TimeWait => {}
+            _ => {
+                let outstanding =
+                    self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked);
+                if !outstanding {
+                    return;
+                }
+                self.timeouts += 1;
+                self.cc.on_retransmit_timeout(now);
+                // Go-back-N: rewind the send pointer; everything from
+                // snd_una is resent as the window reopens.
+                self.snd_nxt = self.snd_una;
+                self.fin_sent = false;
+                self.dupacks = 0;
+                self.recover = None;
+                self.rtx_head_pending = false;
+                self.rtt_probe = None; // Karn
+                self.retransmitted_segments += 1;
+                self.backoff += 1;
+                self.arm_rto(now);
+            }
+        }
+    }
+
+    fn take_rtt_sample(&mut self, now: Nanos, sample: Nanos) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = srtt.abs_diff(sample);
+                self.rttvar = (3 * self.rttvar + diff) / 4;
+                self.srtt = Some((7 * srtt + sample) / 8);
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        self.rto = (srtt + (4 * self.rttvar).max(acdc_stats::time::MILLISECOND / 1000))
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max);
+        let _ = now;
+    }
+
+    // ------------------------------------------------------------------
+    // Segment input
+    // ------------------------------------------------------------------
+
+    /// Feed an arriving segment (addressed to this endpoint).
+    pub fn on_segment(&mut self, now: Nanos, seg: &Segment) {
+        let tcp = seg.tcp();
+        let flags = tcp.flags();
+
+        if flags.contains(TcpFlags::RST) {
+            self.state = TcpState::Closed;
+            return;
+        }
+
+        match self.state {
+            TcpState::Listen => {
+                if flags.contains(TcpFlags::SYN) {
+                    self.irs = tcp.seq_number();
+                    self.parse_syn_options(seg);
+                    // ECN negotiation: SYN carries ECE|CWR.
+                    self.ecn_ok = self.cfg.ecn
+                        && flags.contains(TcpFlags::ECE)
+                        && flags.contains(TcpFlags::CWR);
+                    self.state = TcpState::SynRcvd;
+                    self.need_synack = true;
+                    self.arm_rto(now);
+                }
+            }
+            TcpState::SynSent => {
+                if flags.contains(TcpFlags::SYN) && flags.contains(TcpFlags::ACK) {
+                    if self.unwrap_ack(tcp.ack_number()) != Some(0) {
+                        return; // not acking our SYN
+                    }
+                    self.irs = tcp.seq_number();
+                    self.parse_syn_options(seg);
+                    self.ecn_ok = self.cfg.ecn && flags.contains(TcpFlags::ECE);
+                    self.update_peer_window(&tcp, true);
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                    self.backoff = 0;
+                    if let Some(t0) = self.syn_sent_at {
+                        self.take_rtt_sample(now, now - t0);
+                    }
+                    self.ack_now = true;
+                }
+            }
+            _ => {
+                self.on_segment_established(now, seg);
+            }
+        }
+    }
+
+    fn parse_syn_options(&mut self, seg: &Segment) {
+        for opt in seg.tcp().options_iter() {
+            match opt {
+                TcpOption::MaxSegmentSize(mss) => {
+                    self.mss = self.mss.min(u32::from(mss));
+                }
+                TcpOption::WindowScale(ws) => {
+                    self.peer_wscale = ws.min(14);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn update_peer_window(&mut self, tcp: &acdc_packet::TcpPacket<&[u8]>, syn: bool) {
+        let raw = tcp.window();
+        self.last_raw_wnd = raw;
+        self.peer_rwnd = if syn {
+            u64::from(raw)
+        } else {
+            u64::from(raw) << self.peer_wscale
+        };
+    }
+
+    fn on_segment_established(&mut self, now: Nanos, seg: &Segment) {
+        let tcp = seg.tcp();
+        let flags = tcp.flags();
+
+        // A retransmitted SYN-ACK while we are established: just re-ack.
+        if flags.contains(TcpFlags::SYN) {
+            if self.state == TcpState::SynRcvd && flags.contains(TcpFlags::ACK) {
+                return;
+            }
+            self.ack_now = true;
+            return;
+        }
+
+        // SYN-RCVD completes on the first valid ACK.
+        if self.state == TcpState::SynRcvd && flags.contains(TcpFlags::ACK) {
+            if self.unwrap_ack(tcp.ack_number()) == Some(0) {
+                self.state = TcpState::Established;
+                self.rto_deadline = None;
+                self.backoff = 0;
+                self.need_synack = false;
+            }
+        }
+
+        if flags.contains(TcpFlags::ACK) {
+            self.process_ack(now, seg);
+        }
+        if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
+            self.process_data(now, seg);
+        }
+    }
+
+    fn process_ack(&mut self, now: Nanos, seg: &Segment) {
+        let tcp = seg.tcp();
+        let Some(ack_off) = self.unwrap_ack(tcp.ack_number()) else {
+            return; // out-of-window ACK
+        };
+        let prev_raw_wnd = self.last_raw_wnd;
+        self.update_peer_window(&tcp, false);
+        let ece = tcp.flags().contains(TcpFlags::ECE);
+
+        // Persist (zero-window probe) management, RFC 793/1122: arm when
+        // the peer window closes while data is pending; cancel on reopen.
+        if self.peer_rwnd == 0 {
+            if self.snd_nxt < self.stream_len && self.persist_deadline.is_none() {
+                self.persist_backoff = 0;
+                self.persist_deadline = Some(now + self.rto);
+            }
+        } else {
+            self.persist_deadline = None;
+            self.persist_backoff = 0;
+            // If a probe byte is still outstanding when the window
+            // reopens, hand it back to the normal retransmission machinery.
+            if self.snd_nxt > self.snd_una && self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+        }
+
+        let fin_ack = self.fin_sent_ever && ack_off == self.stream_len + 1;
+        let newly_acked = ack_off.min(self.snd_max).saturating_sub(self.snd_una);
+
+        if newly_acked == 0 && !fin_ack {
+            // Duplicate ACK? Only if it carries no data, no window change,
+            // and there is outstanding data (RFC 5681).
+            if seg.payload_len() == 0
+                && ack_off == self.snd_una
+                && tcp.window() == prev_raw_wnd
+                && self.snd_nxt > self.snd_una
+            {
+                self.dupacks += 1;
+                if self.dupacks == 3 && self.recover.is_none() {
+                    // Fast retransmit.
+                    self.cc.on_fast_retransmit(now);
+                    self.recover = Some(self.snd_nxt);
+                    self.rtx_head_pending = true;
+                    self.rtt_probe = None; // Karn
+                }
+            }
+            // ECN processing still applies to duplicate ACKs for DCTCP.
+            self.feed_cc_ack(now, 0, ece);
+            return;
+        }
+
+        // New data acknowledged. The ACK may cover data sent before a
+        // timeout rewound `snd_nxt`; pull the send pointer forward so we
+        // do not retransmit bytes the receiver already has.
+        self.snd_una = ack_off.min(self.snd_max);
+        self.snd_nxt = self.snd_nxt.max(self.snd_una);
+        if fin_ack {
+            self.fin_acked = true;
+            self.fin_sent = true;
+        }
+        self.dupacks = 0;
+        self.backoff = 0;
+
+        // RTT sample (Karn: probe cleared on retransmission).
+        if let Some(p) = self.rtt_probe {
+            if self.snd_una >= p.end_off {
+                let sample = now - p.sent_at;
+                self.take_rtt_sample(now, sample);
+                self.rtt_probe = None;
+            }
+        }
+
+        // NewReno recovery bookkeeping.
+        if let Some(recover) = self.recover {
+            if self.snd_una >= recover {
+                self.recover = None;
+            } else {
+                // Partial ACK: retransmit the next hole immediately.
+                self.rtx_head_pending = true;
+                self.retransmitted_segments += 1;
+            }
+        }
+
+        self.feed_cc_ack(now, newly_acked, ece);
+
+        // Restart or stop the retransmission timer.
+        if self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked) {
+            self.arm_rto(now);
+        } else {
+            self.maybe_disarm_rto();
+        }
+
+        // Teardown transitions driven by our-FIN acknowledgement.
+        if self.fin_acked {
+            match self.state {
+                TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                TcpState::Closing => {
+                    self.state = TcpState::TimeWait;
+                    self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
+                    self.rto_deadline = None;
+                }
+                TcpState::LastAck => {
+                    self.state = TcpState::Closed;
+                    self.rto_deadline = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn feed_cc_ack(&mut self, now: Nanos, newly_acked: u64, ece: bool) {
+        let dctcp = self.cc.wants_ecn();
+        let marked = if dctcp && ece { newly_acked } else { 0 };
+        // Linux only grows the window when the flow is actually
+        // *cwnd-limited* (tcp_is_cwnd_limited): an application- or
+        // NIC-limited flow must not inflate cwnd it never uses (that is
+        // how senders avoid unbounded qdisc bufferbloat).
+        let in_flight_before = self.in_flight() + newly_acked;
+        let cwnd = self.cc.cwnd();
+        let cwnd_limited = if self.cc.in_slow_start() {
+            cwnd < 2 * in_flight_before
+        } else {
+            in_flight_before + 2 * u64::from(self.mss) >= cwnd
+        };
+        let rtt = if newly_acked > 0 {
+            // The sample fed here is the probe-based one; expose the
+            // latest srtt to algorithms that want per-ack RTTs.
+            self.srtt
+        } else {
+            None
+        };
+        // Classic ECN: react to ECE like loss, at most once per RTT,
+        // and schedule CWR signalling.
+        if !dctcp && self.ecn_ok && ece {
+            let can_cut = match self.last_ecn_cut {
+                None => true,
+                Some(t) => now.saturating_sub(t) >= self.srtt.unwrap_or(self.cfg.rto_min),
+            };
+            if can_cut {
+                self.cc.on_fast_retransmit(now);
+                self.last_ecn_cut = Some(now);
+                self.cwr_pending = true;
+            }
+        }
+        let congestion_signal = marked > 0 || (dctcp && ece);
+        if (newly_acked > 0 && cwnd_limited) || congestion_signal {
+            self.cc.on_ack(&AckEvent {
+                now,
+                newly_acked,
+                marked,
+                rtt,
+                in_flight: self.in_flight(),
+                ece,
+            });
+        }
+    }
+
+    fn process_data(&mut self, now: Nanos, seg: &Segment) {
+        let tcp = seg.tcp();
+        let start = self.unwrap_seq(tcp.seq_number());
+        let len = seg.payload_len() as u64;
+        let has_fin = tcp.flags().contains(TcpFlags::FIN);
+
+        if has_fin {
+            let fin_off = (start + len as i64) as u64;
+            if self.fin_rcvd.is_none() {
+                self.fin_rcvd = Some(fin_off);
+            }
+        }
+
+        // ECN feedback bookkeeping (on data packets only).
+        if self.ecn_ok {
+            let ce = seg.ecn().is_ce();
+            if self.cfg_is_dctcp() {
+                if ce != self.ce_state {
+                    // DCTCP receiver: state change forces an immediate ACK
+                    // so the echo stream stays byte-accurate.
+                    self.ack_now = true;
+                    self.ce_state = ce;
+                }
+            } else if ce {
+                self.ece_latch = true;
+            }
+            if tcp.flags().contains(TcpFlags::CWR) {
+                self.ece_latch = false;
+            }
+        }
+
+        if len > 0 {
+            let end = start + len as i64;
+            if end <= self.rcv_nxt as i64 {
+                // Entirely duplicate data → ACK right away (dupack fuel).
+                self.ack_now = true;
+            } else {
+                let s = start.max(self.rcv_nxt as i64) as u64;
+                let e = end as u64;
+                if start as u64 <= self.rcv_nxt && e > self.rcv_nxt {
+                    // In-order (possibly overlapping) data.
+                    self.rcv_nxt = e;
+                    self.drain_ooo();
+                    self.unacked_segs += 1;
+                    if self.unacked_segs >= self.cfg.delack_segs {
+                        self.ack_now = true;
+                    } else if self.delack_deadline.is_none() {
+                        self.delack_deadline = Some(now + self.cfg.delack_timeout);
+                    }
+                } else {
+                    // Out of order: buffer the range, ACK immediately.
+                    self.insert_ooo(s, e);
+                    self.ack_now = true;
+                }
+            }
+        }
+
+        // Consume the FIN when it is in order.
+        if let Some(f) = self.fin_rcvd {
+            if self.rcv_nxt >= f {
+                self.ack_now = true;
+                match self.state {
+                    TcpState::Established => self.state = TcpState::CloseWait,
+                    TcpState::FinWait2 => {
+                        self.state = TcpState::TimeWait;
+                        self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
+                        self.rto_deadline = None;
+                    }
+                    TcpState::FinWait1 => {
+                        if self.fin_acked {
+                            self.state = TcpState::TimeWait;
+                            self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
+                            self.rto_deadline = None;
+                        } else {
+                            // Simultaneous close: our FIN (and possibly
+                            // data) still needs acknowledgement — keep the
+                            // retransmission machinery alive.
+                            self.state = TcpState::Closing;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn cfg_is_dctcp(&self) -> bool {
+        self.cc.wants_ecn()
+    }
+
+    fn insert_ooo(&mut self, s: u64, e: u64) {
+        if s >= e {
+            return;
+        }
+        self.ooo.push((s, e));
+        self.ooo.sort_unstable();
+        // Merge overlapping/adjacent ranges.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ooo.len());
+        for &(s, e) in &self.ooo {
+            if let Some(last) = merged.last_mut() {
+                if s <= last.1 {
+                    last.1 = last.1.max(e);
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        self.ooo = merged;
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some(&(s, e)) = self.ooo.first() {
+            if s <= self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.max(e);
+                self.ooo.remove(0);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Segment output
+    // ------------------------------------------------------------------
+
+    /// Advertised receive window in bytes. The simulated application
+    /// drains in-order data instantly, so the window is the full buffer;
+    /// out-of-order data sits *inside* the advertised span and does not
+    /// shrink the right edge (shrinking it would also defeat RFC 5681
+    /// duplicate-ACK detection, which requires an unchanged window).
+    fn adv_window_bytes(&self) -> u64 {
+        self.cfg.rcv_buf
+    }
+
+    fn adv_window_raw(&self) -> u16 {
+        (self.adv_window_bytes() >> self.cfg.wscale).min(u64::from(u16::MAX)) as u16
+    }
+
+    /// Build the next outgoing segment, if anything needs sending.
+    /// Hosts call this in a loop after every event until it yields `None`.
+    pub fn poll_transmit(&mut self, now: Nanos) -> Option<Segment> {
+        // 1. Handshake packets.
+        if self.need_syn {
+            self.need_syn = false;
+            return Some(self.make_syn(false));
+        }
+        if self.need_synack {
+            self.need_synack = false;
+            return Some(self.make_syn(true));
+        }
+        // In TIME-WAIT / CLOSED we still answer retransmitted FINs with a
+        // pure ACK (RFC 793) — otherwise the peer wedges in LAST-ACK.
+        if matches!(self.state, TcpState::TimeWait | TcpState::Closed) {
+            if self.ack_now && self.fin_rcvd.is_some() {
+                self.clear_ack_state();
+                return Some(self.make_ack());
+            }
+            return None;
+        }
+        if !self.is_established()
+            && !matches!(self.state, TcpState::LastAck | TcpState::Closing)
+        {
+            return None;
+        }
+
+        // 2. Head retransmission (fast retransmit / partial-ACK hole fill).
+        if self.rtx_head_pending && self.snd_nxt > self.snd_una {
+            self.rtx_head_pending = false;
+            self.retransmitted_segments += 1;
+            let len = (self.snd_nxt - self.snd_una).min(u64::from(self.mss));
+            self.arm_rto(now);
+            return Some(self.make_data(self.snd_una, len as usize, false));
+        }
+        self.rtx_head_pending = false;
+
+        // 2b. Zero-window probe: one byte of real data past the window.
+        // Probe retransmission is owned by the *persist* timer (not the
+        // RTO, which would needlessly collapse cwnd while the peer is
+        // simply full), so no retransmission timer is armed here.
+        if self.window_probe_pending {
+            self.window_probe_pending = false;
+            let state_ok = matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
+            );
+            if state_ok && self.peer_rwnd == 0 && self.snd_una < self.stream_len {
+                let off = self.snd_una;
+                if self.snd_nxt == self.snd_una {
+                    self.snd_nxt += 1;
+                    self.snd_max = self.snd_max.max(self.snd_nxt);
+                }
+                let _ = now;
+                self.clear_ack_state();
+                return Some(self.make_data(off, 1, false));
+            }
+        }
+
+        // 3. New data within the windows.
+        if self.can_send_data() {
+            let usable = self.usable_window();
+            let remaining = self.stream_len - self.snd_nxt;
+            let len = remaining.min(u64::from(self.mss)).min(usable);
+            if len > 0 {
+                let off = self.snd_nxt;
+                self.snd_nxt += len;
+                self.snd_max = self.snd_max.max(self.snd_nxt);
+                // FIN may ride the last data segment.
+                let fin = self.fin_ready();
+                if fin {
+                    self.fin_sent = true;
+                    self.fin_sent_ever = true;
+                    self.after_fin_sent();
+                }
+                if self.rtt_probe.is_none() {
+                    self.rtt_probe = Some(RttProbe {
+                        end_off: off + len,
+                        sent_at: now,
+                    });
+                }
+                if self.rto_deadline.is_none() {
+                    self.arm_rto(now);
+                }
+                self.clear_ack_state();
+                return Some(self.make_data(off, len as usize, fin));
+            }
+        }
+
+        // 4. A bare FIN once all data is out and acknowledged as sendable.
+        if self.fin_ready() && !self.fin_sent {
+            self.fin_sent = true;
+            self.fin_sent_ever = true;
+            self.after_fin_sent();
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+            self.clear_ack_state();
+            return Some(self.make_data(self.snd_nxt, 0, true));
+        }
+
+        // 5. A pure ACK if one is due.
+        if self.ack_now {
+            self.clear_ack_state();
+            return Some(self.make_ack());
+        }
+
+        None
+    }
+
+    fn after_fin_sent(&mut self) {
+        match self.state {
+            TcpState::Established => self.state = TcpState::FinWait1,
+            TcpState::CloseWait => self.state = TcpState::LastAck,
+            _ => {}
+        }
+    }
+
+    fn fin_ready(&self) -> bool {
+        self.fin_queued && !self.fin_sent && self.snd_nxt == self.stream_len
+    }
+
+    fn can_send_data(&self) -> bool {
+        // LAST-ACK is included: a timeout rewinds `snd_nxt`, and the data
+        // ahead of our FIN must still be retransmittable from that state.
+        matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::LastAck
+                | TcpState::Closing
+        ) && self.snd_nxt < self.stream_len
+    }
+
+    fn usable_window(&self) -> u64 {
+        let cwnd = self.cc.cwnd();
+        let flow = if self.cfg.ignore_peer_rwnd {
+            u64::MAX
+        } else {
+            // Peer window is relative to snd_una.
+            (self.snd_una + self.peer_rwnd).saturating_sub(self.snd_nxt)
+        };
+        let cong = cwnd.saturating_sub(self.in_flight());
+        cong.min(flow)
+    }
+
+    fn clear_ack_state(&mut self) {
+        self.ack_now = false;
+        self.unacked_segs = 0;
+        self.delack_deadline = None;
+    }
+
+    fn ip_repr(&self, ecn: Ecn) -> Ipv4Repr {
+        Ipv4Repr {
+            src_addr: self.cfg.local_ip,
+            dst_addr: self.cfg.remote_ip,
+            protocol: PROTO_TCP,
+            ecn,
+            payload_len: 0,
+            ttl: Ipv4Repr::DEFAULT_TTL,
+        }
+    }
+
+    fn base_tcp(&self) -> TcpRepr {
+        let mut t = TcpRepr::new(self.cfg.local_port, self.cfg.remote_port);
+        t.window = self.adv_window_raw();
+        t
+    }
+
+    fn make_syn(&mut self, is_synack: bool) -> Segment {
+        let mut t = self.base_tcp();
+        t.seq = self.iss;
+        t.flags = TcpFlags::SYN;
+        if is_synack {
+            t.flags |= TcpFlags::ACK;
+            t.ack = self.irs + 1u32;
+            if self.ecn_ok {
+                t.flags |= TcpFlags::ECE;
+            }
+        } else if self.cfg.ecn {
+            t.flags |= TcpFlags::ECE | TcpFlags::CWR;
+        }
+        // SYN windows are never scaled.
+        t.window = self.adv_window_bytes().min(u64::from(u16::MAX)) as u16;
+        t.options = vec![
+            TcpOption::MaxSegmentSize(self.cfg.mss as u16),
+            TcpOption::WindowScale(self.cfg.wscale),
+            TcpOption::NoOperation,
+        ];
+        Segment::new_tcp(self.ip_repr(Ecn::NotEct), t, 0)
+    }
+
+    fn make_data(&mut self, off: u64, len: usize, fin: bool) -> Segment {
+        let mut t = self.base_tcp();
+        t.seq = self.wire_seq(off);
+        t.ack = self.wire_ack();
+        t.flags = TcpFlags::ACK;
+        if fin {
+            t.flags |= TcpFlags::FIN;
+        }
+        if len > 0 && self.cwr_pending {
+            t.flags |= TcpFlags::CWR;
+            self.cwr_pending = false;
+        }
+        if self.echo_ece() {
+            t.flags |= TcpFlags::ECE;
+        }
+        // DCTCP sets ECT on every packet (Linux marks the whole socket);
+        // classic ECN only on data segments (RFC 3168 forbids ECT on pure
+        // ACKs).
+        let ecn = if self.ecn_ok && (len > 0 || self.cfg_is_dctcp()) {
+            Ecn::Ect0
+        } else {
+            Ecn::NotEct
+        };
+        Segment::new_tcp(self.ip_repr(ecn), t, len)
+    }
+
+    fn make_ack(&mut self) -> Segment {
+        let mut t = self.base_tcp();
+        t.seq = self.wire_seq(self.snd_nxt);
+        t.ack = self.wire_ack();
+        t.flags = TcpFlags::ACK;
+        if self.echo_ece() {
+            t.flags |= TcpFlags::ECE;
+        }
+        let ecn = if self.ecn_ok && self.cfg_is_dctcp() {
+            Ecn::Ect0
+        } else {
+            Ecn::NotEct
+        };
+        Segment::new_tcp(self.ip_repr(ecn), t, 0)
+    }
+
+    fn echo_ece(&self) -> bool {
+        if !self.ecn_ok {
+            return false;
+        }
+        if self.cfg_is_dctcp() {
+            self.ce_state
+        } else {
+            self.ece_latch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_cc::CcKind;
+    use acdc_stats::time::{MICROSECOND, MILLISECOND};
+
+    const A_IP: [u8; 4] = [10, 0, 0, 1];
+    const B_IP: [u8; 4] = [10, 0, 0, 2];
+
+    fn pair(cc: CcKind, mss: u32) -> (Endpoint, Endpoint) {
+        let mut ca = TcpConfig::new(A_IP, 40000, B_IP, 5001, mss, cc);
+        ca.iss = 1_000;
+        let mut cb = TcpConfig::new(B_IP, 5001, A_IP, 40000, mss, cc);
+        cb.iss = 9_000_000;
+        (Endpoint::new_active(ca), Endpoint::new_passive(cb))
+    }
+
+    /// A two-endpoint harness with a fixed one-way delay and optional
+    /// fault injection on a→b data packets.
+    struct Pipe {
+        a: Endpoint,
+        b: Endpoint,
+        delay: Nanos,
+        /// In flight: (deliver_at, to_b?, segment)
+        wire: Vec<(Nanos, bool, Segment)>,
+        now: Nanos,
+        /// Drop the n-th a→b data packet (1-based counters).
+        drop_nth_data: Vec<u64>,
+        data_count: u64,
+        /// CE-mark every a→b data packet whose index is in this list.
+        mark_nth_data: Vec<u64>,
+        /// Mark all data packets a→b.
+        mark_all: bool,
+        delivered_to_b: u64,
+    }
+
+    impl Pipe {
+        fn new(a: Endpoint, b: Endpoint, delay: Nanos) -> Pipe {
+            Pipe {
+                a,
+                b,
+                delay,
+                wire: Vec::new(),
+                now: 0,
+                drop_nth_data: Vec::new(),
+                data_count: 0,
+                mark_nth_data: Vec::new(),
+                mark_all: false,
+                delivered_to_b: 0,
+            }
+        }
+
+        fn pump_out(&mut self) {
+            loop {
+                let mut emitted = false;
+                while let Some(seg) = self.a.poll_transmit(self.now) {
+                    let mut seg = seg;
+                    if seg.payload_len() > 0 {
+                        self.data_count += 1;
+                        if self.drop_nth_data.contains(&self.data_count) {
+                            emitted = true;
+                            continue; // drop
+                        }
+                        if self.mark_all || self.mark_nth_data.contains(&self.data_count) {
+                            if seg.ecn().is_ect() {
+                                seg.mark_ce();
+                            }
+                        }
+                    }
+                    self.wire.push((self.now + self.delay, true, seg));
+                    emitted = true;
+                }
+                while let Some(seg) = self.b.poll_transmit(self.now) {
+                    self.wire.push((self.now + self.delay, false, seg));
+                    emitted = true;
+                }
+                if !emitted {
+                    break;
+                }
+            }
+        }
+
+        /// Run the exchange until `deadline` or quiescence.
+        fn run(&mut self, deadline: Nanos) {
+            self.pump_out();
+            loop {
+                // Next event: earliest wire delivery or endpoint timer.
+                let wire_t = self.wire.iter().map(|w| w.0).min();
+                let timer_t = [self.a.next_timer(), self.b.next_timer()]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                let next = match (wire_t, timer_t) {
+                    (Some(w), Some(t)) => w.min(t),
+                    (Some(w), None) => w,
+                    (None, Some(t)) => t,
+                    (None, None) => break,
+                };
+                if next > deadline {
+                    break;
+                }
+                self.now = next;
+                // Deliver due packets (stable order).
+                let mut due: Vec<(Nanos, bool, Segment)> = Vec::new();
+                let mut rest = Vec::new();
+                for item in self.wire.drain(..) {
+                    if item.0 <= self.now {
+                        due.push(item);
+                    } else {
+                        rest.push(item);
+                    }
+                }
+                self.wire = rest;
+                for (_, to_b, seg) in due {
+                    if to_b {
+                        self.delivered_to_b += seg.payload_len() as u64;
+                        self.b.on_segment(self.now, &seg);
+                    } else {
+                        self.a.on_segment(self.now, &seg);
+                    }
+                    // Hosts drain the endpoint after every packet; do the
+                    // same so e.g. each out-of-order arrival produces its
+                    // own duplicate ACK.
+                    self.pump_out();
+                }
+                // Fire timers.
+                if self.a.next_timer().is_some_and(|t| t <= self.now) {
+                    self.a.on_timer(self.now);
+                }
+                if self.b.next_timer().is_some_and(|t| t <= self.now) {
+                    self.b.on_timer(self.now);
+                }
+                self.pump_out();
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(10 * MILLISECOND);
+        assert!(p.a.is_established());
+        assert!(p.b.is_established());
+        assert_eq!(p.a.state(), TcpState::Established);
+        assert_eq!(p.b.state(), TcpState::Established);
+        // SYN RTT sampled.
+        assert!(p.a.srtt().unwrap() >= 100 * MICROSECOND);
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_everything() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(1_000_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(2_000 * MILLISECOND);
+        assert_eq!(p.b.delivered_bytes(), 1_000_000);
+        assert_eq!(p.a.acked_bytes(), 1_000_000);
+        assert_eq!(p.a.retransmitted_segments(), 0);
+    }
+
+    #[test]
+    fn mss_negotiation_uses_min() {
+        let mut ca = TcpConfig::new(A_IP, 1, B_IP, 2, 8948, CcKind::Cubic);
+        ca.iss = 5;
+        let cb = TcpConfig::new(B_IP, 2, A_IP, 1, 1448, CcKind::Cubic);
+        let mut a = Endpoint::new_active(ca);
+        a.open(0);
+        a.send(100_000);
+        let b = Endpoint::new_passive(cb);
+        let mut p = Pipe::new(a, b, 10 * MICROSECOND);
+        p.run(MILLISECOND * 500);
+        assert_eq!(p.a.mss, 1448);
+        assert_eq!(p.b.delivered_bytes(), 100_000);
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_from_single_loss() {
+        let (mut a, b) = pair(CcKind::Reno, 1448);
+        a.open(0);
+        a.send(500_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.drop_nth_data = vec![30];
+        p.run(2_000 * MILLISECOND);
+        assert_eq!(p.b.delivered_bytes(), 500_000);
+        assert!(p.a.retransmitted_segments() >= 1);
+        assert_eq!(p.a.timeouts(), 0, "loss should be repaired without RTO");
+    }
+
+    #[test]
+    fn rto_recovers_from_tail_loss() {
+        let (mut a, b) = pair(CcKind::Reno, 1448);
+        a.open(0);
+        a.send(10 * 1448);
+        // Drop the last segment: no dupacks possible → RTO required.
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.drop_nth_data = vec![10];
+        p.run(2_000 * MILLISECOND);
+        assert_eq!(p.b.delivered_bytes(), 10 * 1448);
+        assert!(p.a.timeouts() >= 1);
+    }
+
+    #[test]
+    fn multiple_losses_eventually_deliver() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(300_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.drop_nth_data = vec![5, 6, 7, 40, 80, 81, 120];
+        p.run(5_000 * MILLISECOND);
+        assert_eq!(p.b.delivered_bytes(), 300_000);
+        assert_eq!(p.a.acked_bytes(), 300_000);
+    }
+
+    #[test]
+    fn graceful_close_reaches_closed_states() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(10_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(100 * MILLISECOND);
+        p.a.close();
+        p.b.close();
+        p.run(1_000 * MILLISECOND);
+        assert!(p.a.is_closed(), "a state {:?}", p.a.state());
+        assert!(p.b.is_closed(), "b state {:?}", p.b.state());
+    }
+
+    #[test]
+    fn flow_control_respects_peer_window() {
+        let (mut a, mut b) = pair(CcKind::Cubic, 1000);
+        b.cfg.rcv_buf = 4_000; // tiny receive buffer
+        a.open(0);
+        a.send(1_000_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        // Run briefly: sender must never have more than ~4 KB in flight.
+        p.run(MILLISECOND);
+        assert!(
+            p.a.in_flight() <= 4_000,
+            "in flight {} exceeds peer window",
+            p.a.in_flight()
+        );
+    }
+
+    #[test]
+    fn ignore_peer_rwnd_oversends() {
+        let (mut a0, mut b) = pair(CcKind::Cubic, 1000);
+        let mut cfg = a0.cfg.clone();
+        cfg.ignore_peer_rwnd = true;
+        let mut a = Endpoint::new_active(cfg);
+        b.cfg.rcv_buf = 4_000;
+        a.open(0);
+        a.send(100_000_000); // enough that the transfer is still running
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        // Stop mid-slow-start so in-flight reflects the congestion window.
+        p.run(600 * MICROSECOND);
+        assert!(
+            p.a.in_flight() > 4_000,
+            "non-conforming stack should ignore the window (in flight {})",
+            p.a.in_flight()
+        );
+        let _ = &mut a0;
+    }
+
+    #[test]
+    fn dctcp_echo_reduces_window_on_marks() {
+        let (mut a, b) = pair(CcKind::Dctcp, 1448);
+        a.open(0);
+        a.send(2_000_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.mark_all = true;
+        p.run(200 * MILLISECOND);
+        // Persistent marking must hold the window near the floor.
+        assert!(
+            p.a.cwnd() < 30_000,
+            "cwnd {} should be suppressed by marks",
+            p.a.cwnd()
+        );
+        assert!(p.b.delivered_bytes() > 0);
+    }
+
+    #[test]
+    fn ecn_negotiation_requires_both_sides() {
+        // DCTCP client against a non-ECN server: ecn_ok must be false.
+        let mut ca = TcpConfig::new(A_IP, 1, B_IP, 2, 1448, CcKind::Dctcp);
+        ca.iss = 7;
+        let cb = TcpConfig::new(B_IP, 2, A_IP, 1, 1448, CcKind::Cubic);
+        let mut a = Endpoint::new_active(ca);
+        a.open(0);
+        a.send(10_000);
+        let b = Endpoint::new_passive(cb);
+        let mut p = Pipe::new(a, b, 10 * MICROSECOND);
+        p.run(100 * MILLISECOND);
+        assert!(!p.a.ecn_ok);
+        assert!(!p.b.ecn_ok);
+        assert_eq!(p.b.delivered_bytes(), 10_000);
+    }
+
+    #[test]
+    fn wire_sequence_wraparound_mid_transfer() {
+        // Put iss near the top of the sequence space so the transfer wraps.
+        let mut ca = TcpConfig::new(A_IP, 1, B_IP, 2, 1448, CcKind::Cubic);
+        ca.iss = u32::MAX - 20_000;
+        let mut cb = TcpConfig::new(B_IP, 2, A_IP, 1, 1448, CcKind::Cubic);
+        cb.iss = u32::MAX - 5;
+        let mut a = Endpoint::new_active(ca);
+        a.open(0);
+        a.send(500_000);
+        let b = Endpoint::new_passive(cb);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(2_000 * MILLISECOND);
+        assert_eq!(p.b.delivered_bytes(), 500_000);
+        assert_eq!(p.a.acked_bytes(), 500_000);
+    }
+
+    #[test]
+    fn delayed_ack_coalesces() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(100 * 1448);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(500 * MILLISECOND);
+        // With delack=2 the receiver sends roughly one ACK per two
+        // segments; the sender's stream is fully acked regardless.
+        assert_eq!(p.a.acked_bytes(), 100 * 1448);
+    }
+
+    #[test]
+    fn window_trace_is_observable() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(10_000_000);
+        let start_cwnd = a.cwnd();
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(20 * MILLISECOND);
+        assert!(p.a.cwnd() > start_cwnd, "cwnd should grow during transfer");
+    }
+}

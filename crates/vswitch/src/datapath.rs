@@ -1,0 +1,780 @@
+//! The AC/DC datapath: per-packet processing at the vSwitch.
+//!
+//! The host wires it between the guest stack and the NIC:
+//!
+//! ```text
+//!   VM egress  ──►  AcdcDatapath::egress   ──►  NIC / network
+//!   VM ingress ◄──  AcdcDatapath::ingress  ◄──  NIC / network
+//! ```
+//!
+//! Both directions of every connection pass through, so the same object
+//! plays the paper's *sender module* (for flows this host originates) and
+//! *receiver module* (for flows it terminates).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use acdc_cc::{AckEvent, CcConfig};
+use acdc_packet::{
+    Ecn, Ipv4Repr, PackOption, Segment, TcpFlags, TcpOption, TcpRepr,
+};
+use acdc_stats::time::{Nanos, MILLISECOND};
+
+use crate::entry::FlowEntry;
+use crate::policy::CcPolicy;
+use crate::table::FlowTable;
+
+/// Datapath configuration.
+#[derive(Debug, Clone)]
+pub struct AcdcConfig {
+    /// Master switch: `false` makes both directions pass packets through
+    /// untouched (the plain-OVS baseline).
+    pub enabled: bool,
+    /// MTU in bytes: a PACK that would push a packet past this travels in
+    /// a dedicated FACK instead (§3.2).
+    pub mtu: usize,
+    /// Segment size used to size congestion windows.
+    pub mss: u32,
+    /// Per-flow congestion-control assignment.
+    pub policy: CcPolicy,
+    /// Policing (§3.3): drop egress data beyond
+    /// `snd_una + cwnd + slack` when set. `None` disables the policer.
+    pub police_slack_bytes: Option<u64>,
+    /// Floor for the inactivity (inferred-timeout) threshold; the paper's
+    /// system settings use RTOmin = 10 ms.
+    pub inactivity_floor: Nanos,
+    /// Compute windows but do not rewrite them (Figure 9's measurement
+    /// mode: RWND is logged and compared against the guest's CWND).
+    pub log_only: bool,
+    /// Record a `(time, window)` trace in each flow entry.
+    pub trace_windows: bool,
+    /// Administrative upper bound on the enforced window in bytes — the
+    /// §3.4 per-flow bandwidth cap ("bounding RWND", Figure 6b).
+    pub max_rwnd_bytes: Option<u64>,
+    /// Override the floor of the enforced window (bytes). Default is the
+    /// byte-granular sub-segment floor that gives AC/DC its incast edge
+    /// over DCTCP's 2-packet minimum (Figure 19); the ablation harness
+    /// sets `2 × MSS` here to quantify that choice.
+    pub min_window_bytes: Option<u64>,
+    /// Ablation: never emit dedicated FACK packets — feedback that cannot
+    /// piggyback is dropped. Quantifies what the FACK mechanism buys on
+    /// bidirectional traffic (§3.2).
+    pub disable_fack: bool,
+}
+
+impl AcdcConfig {
+    /// The paper's deployment defaults: AC/DC on, DCTCP in the vSwitch.
+    pub fn dctcp(mtu: usize) -> AcdcConfig {
+        AcdcConfig {
+            enabled: true,
+            mtu,
+            mss: (mtu - 40) as u32,
+            policy: CcPolicy::dctcp(),
+            police_slack_bytes: None,
+            inactivity_floor: 10 * MILLISECOND,
+            log_only: false,
+            trace_windows: false,
+            max_rwnd_bytes: None,
+            min_window_bytes: None,
+            disable_fack: false,
+        }
+    }
+
+    /// Baseline: plain OVS (datapath disabled).
+    pub fn disabled(mtu: usize) -> AcdcConfig {
+        AcdcConfig {
+            enabled: false,
+            ..AcdcConfig::dctcp(mtu)
+        }
+    }
+}
+
+/// Datapath decision for one packet.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Forward the (possibly rewritten) packet.
+    Forward(Segment),
+    /// Forward the packet and also emit a generated FACK.
+    ForwardWithExtra(Segment, Segment),
+    /// Consume the packet.
+    Drop(DropReason),
+}
+
+impl Verdict {
+    /// The forwarded packet, if any (test helper).
+    pub fn forwarded(self) -> Option<Segment> {
+        match self {
+            Verdict::Forward(s) | Verdict::ForwardWithExtra(s, _) => Some(s),
+            Verdict::Drop(_) => None,
+        }
+    }
+}
+
+/// Why a packet was consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The policer caught a flow exceeding its enforced window (§3.3).
+    Policed,
+    /// A FACK reached the sender module and was absorbed after its
+    /// feedback was logged (§3.2).
+    FackConsumed,
+}
+
+/// Datapath event counters (atomic: the table is shared across threads in
+/// the CPU benchmarks).
+#[derive(Debug, Default)]
+pub struct AcdcCounters {
+    /// PACK options piggy-backed onto ACKs.
+    pub packs_sent: AtomicU64,
+    /// Dedicated FACK packets generated.
+    pub facks_sent: AtomicU64,
+    /// PACK options consumed and stripped at the sender module.
+    pub packs_received: AtomicU64,
+    /// Receive windows rewritten on ACKs.
+    pub rwnd_rewrites: AtomicU64,
+    /// Packets dropped by the policer.
+    pub policed_drops: AtomicU64,
+    /// Timeouts inferred from inactivity.
+    pub inferred_timeouts: AtomicU64,
+    /// Fast retransmits inferred from duplicate ACKs.
+    pub inferred_fast_rtx: AtomicU64,
+    /// Feedback lost because FACKs were disabled (ablation only).
+    pub feedback_dropped: AtomicU64,
+    /// Non-TCP (UDP) packets forwarded untouched.
+    pub non_tcp_passthrough: AtomicU64,
+}
+
+impl AcdcCounters {
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Load all counters (relaxed).
+    pub fn snapshot(&self) -> [(&'static str, u64); 9] {
+        [
+            ("packs_sent", self.packs_sent.load(Ordering::Relaxed)),
+            ("facks_sent", self.facks_sent.load(Ordering::Relaxed)),
+            ("packs_received", self.packs_received.load(Ordering::Relaxed)),
+            ("rwnd_rewrites", self.rwnd_rewrites.load(Ordering::Relaxed)),
+            ("policed_drops", self.policed_drops.load(Ordering::Relaxed)),
+            (
+                "inferred_timeouts",
+                self.inferred_timeouts.load(Ordering::Relaxed),
+            ),
+            (
+                "inferred_fast_rtx",
+                self.inferred_fast_rtx.load(Ordering::Relaxed),
+            ),
+            (
+                "feedback_dropped",
+                self.feedback_dropped.load(Ordering::Relaxed),
+            ),
+            (
+                "non_tcp_passthrough",
+                self.non_tcp_passthrough.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// A per-flow statistics snapshot (see [`AcdcDatapath::flow_stats`]).
+#[derive(Debug, Clone)]
+pub struct FlowStat {
+    /// The flow's 5-tuple key (data direction).
+    pub key: acdc_packet::FlowKey,
+    /// Enforced algorithm name.
+    pub cc_name: &'static str,
+    /// Current enforced window, bytes.
+    pub cwnd: u64,
+    /// Bytes tracked as in flight.
+    pub in_flight: u64,
+    /// Smoothed RTT estimate, if sampled.
+    pub srtt: Option<Nanos>,
+    /// Lifetime bytes received for this flow at this host.
+    pub rx_total: u64,
+    /// Lifetime CE-marked bytes received.
+    pub rx_marked: u64,
+    /// Packets policed away.
+    pub policed: u64,
+    /// Awaiting garbage collection.
+    pub closing: bool,
+}
+
+/// The AC/DC datapath instance of one host's vSwitch.
+pub struct AcdcDatapath {
+    cfg: AcdcConfig,
+    table: FlowTable,
+    counters: AcdcCounters,
+}
+
+impl AcdcDatapath {
+    /// Create a datapath with the given configuration.
+    pub fn new(cfg: AcdcConfig) -> AcdcDatapath {
+        AcdcDatapath {
+            cfg,
+            table: FlowTable::new(),
+            counters: AcdcCounters::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcdcConfig {
+        &self.cfg
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &AcdcCounters {
+        &self.counters
+    }
+
+    /// The flow table (inspection; used by experiment probes).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Number of tracked flows.
+    pub fn flows(&self) -> usize {
+        self.table.len()
+    }
+
+    fn cc_config(&self) -> CcConfig {
+        let mut cfg = CcConfig::vswitch(self.cfg.mss);
+        if let Some(floor) = self.cfg.min_window_bytes {
+            cfg.min_window_bytes = floor;
+        }
+        cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Egress: VM → network
+    // ------------------------------------------------------------------
+
+    /// Process a packet leaving the guest toward the network.
+    pub fn egress(&self, now: Nanos, mut seg: Segment) -> Verdict {
+        // The prototype only enforces TCP (the paper leaves UDP tunnels as
+        // future work); other protocols pass through untouched (counted
+        // even with AC/DC disabled — it is a visibility counter).
+        if !seg.is_tcp() {
+            AcdcCounters::bump(&self.counters.non_tcp_passthrough);
+            return Verdict::Forward(seg);
+        }
+        if !self.cfg.enabled {
+            return Verdict::Forward(seg);
+        }
+        let key = seg.flow_key();
+        let flags = seg.tcp_flags();
+
+        if flags.contains(TcpFlags::RST) {
+            self.mark_closing(&key);
+            return Verdict::Forward(seg);
+        }
+
+        // --- Handshake monitoring (§3.1, §3.3) ---
+        if flags.contains(TcpFlags::SYN) {
+            self.on_handshake_packet(now, &seg, /*egress=*/ true);
+            return Verdict::Forward(seg); // SYNs are never mangled
+        }
+
+        // --- Sender module: data packets ---
+        if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
+            let entry = self
+                .table
+                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            let mut e = entry.lock();
+            e.last_activity = now;
+            let tcp = seg.tcp();
+            let seq = tcp.seq_number();
+            let seq_end = seq + (seg.payload_len() as u32)
+                + if flags.contains(TcpFlags::FIN) { 1u32 } else { 0u32 };
+            if !e.seq_valid {
+                e.snd_una = seq;
+                e.snd_nxt = seq_end;
+                e.seq_valid = true;
+            }
+
+            // Policing: a conforming stack never sends beyond the window
+            // we enforced; drop the excess of one that does (§3.3).
+            if let Some(slack) = self.cfg.police_slack_bytes {
+                if !self.cfg.log_only && seg.payload_len() > 0 {
+                    let allowed_end = e.snd_una + (e.cc.cwnd() + slack) as usize;
+                    if seq_end > allowed_end {
+                        e.policed += 1;
+                        AcdcCounters::bump(&self.counters.policed_drops);
+                        return Verdict::Drop(DropReason::Policed);
+                    }
+                }
+            }
+
+            if seq_end > e.snd_nxt {
+                e.snd_nxt = seq_end;
+                if e.rtt_probe.is_none() {
+                    e.rtt_probe = Some((seq_end, now));
+                }
+            } else if seq < e.snd_nxt {
+                // Retransmission: invalidate the RTT probe (Karn).
+                if let Some((p, _)) = e.rtt_probe {
+                    if seq < p {
+                        e.rtt_probe = None;
+                    }
+                }
+            }
+
+            let vm_ecn = e.vm_ecn;
+            drop(e);
+
+            if flags.contains(TcpFlags::FIN) {
+                if let Some(en) = self.table.get(&key) {
+                    en.lock().closing = true;
+                }
+            }
+
+            // Force ECT on egress data so switches mark instead of drop
+            // (§3.2), and stamp the guest's original ECN capability into
+            // the reserved bit for the peer module. Log-only mode
+            // (Figure 9's measurement methodology) must not perturb the
+            // guest's ECN loop, so it skips all packet rewriting.
+            if seg.payload_len() > 0 && !self.cfg.log_only {
+                if !seg.ecn().is_ect() {
+                    seg.ip_mut().set_ecn_update_checksum(Ecn::Ect0);
+                }
+                seg.tcp_mut().set_reserved_update_checksum(vm_ecn, false);
+            }
+        }
+
+        // "All egress packets are marked to be ECN-capable on the sender
+        // module" (§3.2) — including pure ACKs, so they survive WRED on
+        // congested reverse paths.
+        if !self.cfg.log_only && !seg.ecn().is_ect() {
+            seg.ip_mut().set_ecn_update_checksum(Ecn::Ect0);
+        }
+
+        // --- Receiver module: attach feedback to ACKs (§3.2) ---
+        if flags.contains(TcpFlags::ACK) {
+            if let Some(rentry) = self.table.get(&key.reverse()) {
+                let mut re = rentry.lock();
+                re.last_activity = now;
+                if re.rx_total > 0 {
+                    let (total, marked) = re.take_feedback();
+                    drop(re);
+                    let pack = PackOption {
+                        total_bytes: total,
+                        marked_bytes: marked,
+                    };
+                    if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu
+                        && can_fit_option(&seg)
+                    {
+                        seg = append_pack(&seg, pack);
+                        AcdcCounters::bump(&self.counters.packs_sent);
+                    } else if self.cfg.disable_fack {
+                        // Ablation: the feedback is simply lost.
+                        AcdcCounters::bump(&self.counters.feedback_dropped);
+                    } else {
+                        let fack = make_fack(&seg, pack);
+                        AcdcCounters::bump(&self.counters.facks_sent);
+                        return Verdict::ForwardWithExtra(seg, fack);
+                    }
+                }
+            }
+        }
+
+        Verdict::Forward(seg)
+    }
+
+    // ------------------------------------------------------------------
+    // Ingress: network → VM
+    // ------------------------------------------------------------------
+
+    /// Process a packet arriving from the network toward the guest.
+    pub fn ingress(&self, now: Nanos, mut seg: Segment) -> Verdict {
+        if !seg.is_tcp() {
+            AcdcCounters::bump(&self.counters.non_tcp_passthrough);
+            return Verdict::Forward(seg);
+        }
+        if !self.cfg.enabled {
+            return Verdict::Forward(seg);
+        }
+        let key = seg.flow_key();
+        let flags = seg.tcp_flags();
+
+        if flags.contains(TcpFlags::RST) {
+            self.mark_closing(&key);
+            return Verdict::Forward(seg);
+        }
+        if flags.contains(TcpFlags::SYN) {
+            self.on_handshake_packet(now, &seg, /*egress=*/ false);
+            return Verdict::Forward(seg);
+        }
+
+        // --- Sender module: FACKs are logged and absorbed (§3.2) ---
+        if seg.tcp().is_fack() {
+            if let Some(pack) = seg.tcp().pack_option() {
+                self.absorb_feedback(&key, pack);
+            }
+            // The FACK still carries an ACK; process congestion control on
+            // it so feedback takes effect immediately, then drop it.
+            self.sender_ack_processing(now, &mut seg, false);
+            return Verdict::Drop(DropReason::FackConsumed);
+        }
+
+        // --- Receiver module: account + launder ECN on data (§3.2) ---
+        if seg.payload_len() > 0 {
+            let entry = self
+                .table
+                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            {
+                let mut e = entry.lock();
+                e.last_activity = now;
+                e.rx_total += seg.payload_len() as u64;
+                e.rx_total_lifetime += seg.payload_len() as u64;
+                if seg.ecn().is_ce() {
+                    e.rx_marked += seg.payload_len() as u64;
+                    e.rx_marked_lifetime += seg.payload_len() as u64;
+                }
+            }
+            // Restore what the sender VM originally put on the wire: ECT
+            // if its stack spoke ECN (hiding the CE mark from it is the
+            // point — DCTCP in the vSwitch reacts instead), nothing
+            // otherwise. Log-only mode leaves packets untouched so the
+            // guest's own congestion loop stays intact.
+            if !self.cfg.log_only {
+                let vm_was_ecn = seg.tcp().vm_ece();
+                let target = if vm_was_ecn { Ecn::Ect0 } else { Ecn::NotEct };
+                if seg.ecn() != target {
+                    seg.ip_mut().set_ecn_update_checksum(target);
+                }
+            }
+            if flags.contains(TcpFlags::FIN) {
+                entry.lock().closing = true;
+            }
+        }
+
+        // --- Sender module: ACK processing + enforcement (§3.1–3.3) ---
+        if flags.contains(TcpFlags::ACK) {
+            if let Some(pack) = seg.tcp().pack_option() {
+                self.absorb_feedback(&key, pack);
+                AcdcCounters::bump(&self.counters.packs_received);
+                seg = strip_pack(&seg);
+            }
+            self.sender_ack_processing(now, &mut seg, true);
+            // Hide ECN feedback from the guest so it does not also back
+            // off (§3.3): AC/DC is the one reacting. Applied to every
+            // non-SYN ACK — the vSwitch owns ECN on this fabric.
+            if !self.cfg.log_only && seg.tcp_flags().contains(TcpFlags::ECE) {
+                seg.tcp_mut().clear_flags_update_checksum(TcpFlags::ECE);
+            }
+        }
+
+        // Never leak AC/DC metadata into the guest.
+        let tcp = seg.tcp();
+        if tcp.vm_ece() || tcp.is_fack() {
+            seg.tcp_mut().clear_reserved_update_checksum();
+        }
+
+        Verdict::Forward(seg)
+    }
+
+    /// Fold a PACK's counters into the sender-role feedback accumulators
+    /// of the acked flow.
+    fn absorb_feedback(&self, ack_key: &acdc_packet::FlowKey, pack: PackOption) {
+        if let Some(entry) = self.table.get(&ack_key.reverse()) {
+            let mut e = entry.lock();
+            e.fb_total += u64::from(pack.total_bytes);
+            e.fb_marked += u64::from(pack.marked_bytes);
+        }
+    }
+
+    /// Connection-tracking + congestion control + RWND enforcement for an
+    /// arriving ACK. When `rewrite` is true, the enforcement write is
+    /// applied to the segment (it is the one delivered to the guest).
+    fn sender_ack_processing(&self, now: Nanos, seg: &mut Segment, rewrite: bool) {
+        let key = seg.flow_key();
+        let Some(entry) = self.table.get(&key.reverse()) else {
+            return;
+        };
+        let mut e = entry.lock();
+        e.last_activity = now;
+        let tcp = seg.tcp();
+        let ack = tcp.ack_number();
+        let mut newly_acked = 0u64;
+        let mut rtt_sample = None;
+
+        if e.seq_valid {
+            if ack > e.snd_una && ack <= e.snd_nxt {
+                newly_acked = (ack - e.snd_una) as u64;
+                e.snd_una = ack;
+                e.dupacks = 0;
+                e.last_ack_activity = now;
+                if let Some((probe_seq, sent_at)) = e.rtt_probe {
+                    if ack >= probe_seq {
+                        let s = now - sent_at;
+                        e.record_rtt(s);
+                        rtt_sample = Some(s);
+                        e.rtt_probe = None;
+                    }
+                }
+            } else if ack == e.snd_una && seg.is_pure_ack() && e.snd_nxt > e.snd_una {
+                e.dupacks += 1;
+                if e.dupacks == 3 {
+                    e.cc.on_fast_retransmit(now);
+                    AcdcCounters::bump(&self.counters.inferred_fast_rtx);
+                }
+            }
+
+            // Inactivity-inferred timeout (§3.1).
+            if e.snd_una < e.snd_nxt {
+                let thresh = e.inactivity_threshold(self.cfg.inactivity_floor);
+                if now.saturating_sub(e.last_ack_activity) > thresh {
+                    e.cc.on_retransmit_timeout(now);
+                    e.last_ack_activity = now;
+                    AcdcCounters::bump(&self.counters.inferred_timeouts);
+                }
+            }
+        }
+
+        // Consume accumulated feedback and run the algorithm (Figure 5).
+        let marked = e.fb_marked;
+        e.fb_total = 0;
+        e.fb_marked = 0;
+        let in_flight = e.in_flight();
+        let rtt = rtt_sample.or(e.srtt);
+        if newly_acked > 0 || marked > 0 {
+            e.cc.on_ack(&AckEvent {
+                now,
+                newly_acked,
+                marked,
+                rtt,
+                in_flight,
+                ece: marked > 0,
+            });
+        }
+
+        // Enforcement: overwrite RWND with the computed window, only when
+        // that is *smaller* than what the guest advertised (§3.3). An
+        // administrative cap (§3.4) bounds it further.
+        let cwnd = e
+            .cc
+            .cwnd()
+            .min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
+        e.computed_rwnd = cwnd;
+        if self.cfg.trace_windows {
+            e.window_trace.get_or_insert_with(Vec::new).push((now, cwnd));
+        }
+        let wscale = e.ack_wscale;
+        drop(e);
+
+        if rewrite {
+            if !self.cfg.log_only {
+                let raw_target = (cwnd >> wscale).max(1).min(u64::from(u16::MAX)) as u16;
+                let mut tcp = seg.tcp_mut();
+                if raw_target < tcp.window() {
+                    tcp.set_window_update_checksum(raw_target);
+                    AcdcCounters::bump(&self.counters.rwnd_rewrites);
+                }
+            }
+        }
+    }
+
+    /// Record handshake parameters from a SYN or SYN-ACK (§3.1).
+    fn on_handshake_packet(&self, now: Nanos, seg: &Segment, egress: bool) {
+        let key = seg.flow_key();
+        let tcp = seg.tcp();
+        let flags = tcp.flags();
+        let mut wscale = None;
+        for opt in tcp.options_iter() {
+            if let TcpOption::WindowScale(w) = opt {
+                wscale = Some(w.min(14));
+            }
+        }
+        // The sender of this SYN advertises the scale used to interpret
+        // windows in ACKs *it* will send — i.e. the ACKs of the reverse
+        // data direction.
+        let rev = key.reverse();
+        let rentry = self
+            .table
+            .get_or_create(rev, || FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now));
+        {
+            let mut re = rentry.lock();
+            re.last_activity = now;
+            if let Some(w) = wscale {
+                re.ack_wscale = w;
+            }
+        }
+
+        // The VM originating this SYN is the data sender of `key`; its ECN
+        // capability (SYN: ECE|CWR, SYN-ACK: ECE) matters at *its own*
+        // host's sender module when stamping the reserved bit.
+        if egress {
+            let vm_ecn = if flags.contains(TcpFlags::ACK) {
+                flags.contains(TcpFlags::ECE)
+            } else {
+                flags.contains(TcpFlags::ECE) && flags.contains(TcpFlags::CWR)
+            };
+            let entry = self
+                .table
+                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            let mut e = entry.lock();
+            e.last_activity = now;
+            e.vm_ecn = vm_ecn;
+            // Initialize sequence tracking from the SYN.
+            let seq = tcp.seq_number();
+            e.snd_una = seq + 1u32;
+            e.snd_nxt = seq + 1u32;
+            e.seq_valid = true;
+        }
+    }
+
+    fn mark_closing(&self, key: &acdc_packet::FlowKey) {
+        for k in [*key, key.reverse()] {
+            if let Some(e) = self.table.get(&k) {
+                e.lock().closing = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance & flexibility features (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Periodic tick: infer timeouts for flows whose ACK clock stopped
+    /// entirely (no ingress packet will trigger the check).
+    pub fn tick(&self, now: Nanos) {
+        let floor = self.cfg.inactivity_floor;
+        let mut timeouts = 0;
+        self.table.for_each(|_, e| {
+            if e.seq_valid && e.snd_una < e.snd_nxt {
+                let thresh = e.inactivity_threshold(floor);
+                if now.saturating_sub(e.last_ack_activity) > thresh {
+                    e.cc.on_retransmit_timeout(now);
+                    e.last_ack_activity = now;
+                    timeouts += 1;
+                }
+            }
+        });
+        for _ in 0..timeouts {
+            AcdcCounters::bump(&self.counters.inferred_timeouts);
+        }
+    }
+
+    /// Garbage-collect closed/idle entries (paired with FIN tracking).
+    pub fn gc(&self, now: Nanos, idle_timeout: Nanos) -> usize {
+        self.table.gc(now, idle_timeout)
+    }
+
+    /// Snapshot per-flow statistics for every tracked entry — the
+    /// operator-visibility view an administrator gets from the vSwitch
+    /// (which flows it is enforcing, at what windows, with how much
+    /// congestion feedback).
+    pub fn flow_stats(&self) -> Vec<FlowStat> {
+        let mut out = Vec::new();
+        self.table.for_each(|key, e| {
+            out.push(FlowStat {
+                key: *key,
+                cc_name: e.cc.name(),
+                cwnd: e.cc.cwnd(),
+                in_flight: e.in_flight(),
+                srtt: e.srtt,
+                rx_total: e.rx_total_lifetime,
+                rx_marked: e.rx_marked_lifetime,
+                policed: e.policed,
+                closing: e.closing,
+            });
+        });
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Generate a TCP Window Update for the data sender of `key` without
+    /// waiting for an ACK (§3.3 flexibility): a pure ACK, receiver→sender,
+    /// carrying the currently enforced window.
+    ///
+    /// This packet is meant to be *delivered to the local guest* (the data
+    /// sender behind this vSwitch).
+    pub fn make_window_update(&self, key: &acdc_packet::FlowKey) -> Option<Segment> {
+        let entry = self.table.get(key)?;
+        let e = entry.lock();
+        if !e.seq_valid {
+            return None;
+        }
+        let cwnd = e.cc.cwnd().max(1);
+        let raw = (cwnd >> e.ack_wscale).max(1).min(u64::from(u16::MAX)) as u16;
+        let mut t = TcpRepr::new(key.dst_port, key.src_port);
+        t.flags = TcpFlags::ACK;
+        t.ack = e.snd_una;
+        t.seq = acdc_packet::SeqNumber::ZERO; // unknown; guests ignore seq on pure window updates in-window
+        t.window = raw;
+        let ip = Ipv4Repr {
+            src_addr: key.dst_ip,
+            dst_addr: key.src_ip,
+            protocol: acdc_packet::PROTO_TCP,
+            ecn: Ecn::NotEct,
+            payload_len: 0,
+            ttl: Ipv4Repr::DEFAULT_TTL,
+        };
+        Some(Segment::new_tcp(ip, t, 0))
+    }
+
+    /// Generate `n` duplicate ACKs for the data sender of `key` to trigger
+    /// its fast retransmit earlier than its (possibly long) RTO (§3.3,
+    /// incast mitigation).
+    pub fn make_dup_acks(&self, key: &acdc_packet::FlowKey, n: usize) -> Vec<Segment> {
+        let Some(entry) = self.table.get(key) else {
+            return Vec::new();
+        };
+        let e = entry.lock();
+        if !e.seq_valid {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut t = TcpRepr::new(key.dst_port, key.src_port);
+            t.flags = TcpFlags::ACK;
+            t.ack = e.snd_una;
+            t.seq = acdc_packet::SeqNumber::ZERO;
+            t.window = (e.cc.cwnd() >> e.ack_wscale).max(1).min(u64::from(u16::MAX)) as u16;
+            let ip = Ipv4Repr {
+                src_addr: key.dst_ip,
+                dst_addr: key.src_ip,
+                protocol: acdc_packet::PROTO_TCP,
+                ecn: Ecn::NotEct,
+                payload_len: 0,
+                ttl: Ipv4Repr::DEFAULT_TTL,
+            };
+            out.push(Segment::new_tcp(ip, t, 0));
+        }
+        out
+    }
+}
+
+/// Can another 12-byte option fit in this packet's TCP header?
+fn can_fit_option(seg: &Segment) -> bool {
+    seg.tcp().header_len() + PackOption::WIRE_LEN <= acdc_packet::tcp::MAX_HEADER_LEN
+}
+
+/// Rebuild `seg` with a PACK option appended (the paper does this by
+/// shifting headers into the skb headroom; we re-emit the header).
+fn append_pack(seg: &Segment, pack: PackOption) -> Segment {
+    let ip = Ipv4Repr::parse(&seg.ip()).expect("valid ip");
+    let mut tcp = seg.tcp_repr().expect("valid tcp");
+    tcp.options.push(TcpOption::Pack(pack));
+    Segment::new_tcp(ip, tcp, seg.payload_len())
+}
+
+/// Rebuild `seg` with any PACK option removed (sender module strips the
+/// option before the guest sees it).
+fn strip_pack(seg: &Segment) -> Segment {
+    let ip = Ipv4Repr::parse(&seg.ip()).expect("valid ip");
+    let mut tcp = seg.tcp_repr().expect("valid tcp");
+    tcp.options.retain(|o| !matches!(o, TcpOption::Pack(_)));
+    Segment::new_tcp(ip, tcp, seg.payload_len())
+}
+
+/// Build a dedicated FACK: a payload-free copy of `ack` carrying the PACK
+/// option and the FACK reserved-bit marker.
+fn make_fack(ack: &Segment, pack: PackOption) -> Segment {
+    let ip = Ipv4Repr::parse(&ack.ip()).expect("valid ip");
+    let mut tcp = ack.tcp_repr().expect("valid tcp");
+    tcp.options.retain(|o| !matches!(o, TcpOption::Pack(_)));
+    tcp.options.push(TcpOption::Pack(pack));
+    tcp.fack = true;
+    tcp.flags = TcpFlags::ACK;
+    Segment::new_tcp(ip, tcp, 0)
+}

@@ -1,0 +1,223 @@
+//! Per-flow connection-tracking state (§3.1).
+//!
+//! One entry exists per *data direction* of a connection — the paper keeps
+//! "two flow entries for each connection" (§4). The same struct carries
+//! the sender-side role (congestion state, used at the host of the data
+//! sender) and the receiver-side role (ECN byte accounting, used at the
+//! host of the data receiver); each host only exercises its own half.
+
+use acdc_cc::{CcConfig, CcKind, Clamped, CongestionControl};
+use acdc_packet::SeqNumber;
+use acdc_stats::time::Nanos;
+
+/// Ceiling on the enforced window. The vSwitch CC cannot tell when a
+/// guest is application- or NIC-limited (it sees only ACK progress), so
+/// on an uncongested path its window would otherwise grow without bound
+/// — wasting no bandwidth, but eventually wrapping 32-bit sequence
+/// arithmetic in the policer. 32 MB is ≳ 25 ms of 10 GbE, far beyond any
+/// datacenter BDP.
+pub const MAX_ENFORCED_WINDOW: u64 = 32 << 20;
+
+/// Connection-tracking state for one flow direction.
+pub struct FlowEntry {
+    // ------------------------------------------------------------------
+    // Sender role (lives at the host of the data sender)
+    // ------------------------------------------------------------------
+    /// First unacknowledged wire sequence number.
+    pub snd_una: SeqNumber,
+    /// Highest wire sequence number sent (+1, i.e. "next expected send").
+    pub snd_nxt: SeqNumber,
+    /// Sequence state initialized (first SYN/data seen)?
+    pub seq_valid: bool,
+    /// Duplicate-ACK counter.
+    pub dupacks: u32,
+    /// The enforced congestion-control algorithm.
+    pub cc: Box<dyn CongestionControl>,
+    /// Window-scale shift used to interpret/rewrite RWND in the ACKs
+    /// arriving for this flow (advertised by the data *receiver* in its
+    /// SYN; captured by monitoring the handshake, §3.3).
+    pub ack_wscale: u8,
+    /// The guest's own stack negotiated ECN (from its SYN); drives the
+    /// per-packet reserved-bit marker of §3.2.
+    pub vm_ecn: bool,
+    /// RTT probe: (wire seq whose ACK completes the sample, send time).
+    pub rtt_probe: Option<(SeqNumber, Nanos)>,
+    /// Smoothed RTT estimate for the inactivity (timeout) heuristic.
+    pub srtt: Option<Nanos>,
+    /// Time of the last ACK-clock activity (for inferring timeouts).
+    pub last_ack_activity: Nanos,
+    /// Accumulated feedback not yet consumed: total/marked bytes reported
+    /// by PACK/FACK options (64-bit accumulators behind u32 wire deltas).
+    pub fb_total: u64,
+    /// Marked portion of `fb_total`.
+    pub fb_marked: u64,
+    /// Packets dropped from this flow by the policer.
+    pub policed: u64,
+    /// Most recently computed enforcement window, bytes (log-only mode
+    /// records it here without rewriting; Figure 9).
+    pub computed_rwnd: u64,
+    /// Optional `(time, computed window)` trace for Figures 9/10.
+    pub window_trace: Option<Vec<(Nanos, u64)>>,
+
+    // ------------------------------------------------------------------
+    // Receiver role (lives at the host of the data receiver)
+    // ------------------------------------------------------------------
+    /// Bytes received for this flow since the last feedback emitted.
+    pub rx_total: u64,
+    /// CE-marked bytes received since the last feedback emitted.
+    pub rx_marked: u64,
+    /// Lifetime bytes received (never reset; observability).
+    pub rx_total_lifetime: u64,
+    /// Lifetime CE-marked bytes received (never reset; observability).
+    pub rx_marked_lifetime: u64,
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+    /// Entry saw a FIN/RST and awaits garbage collection.
+    pub closing: bool,
+    /// Last time any packet touched this entry.
+    pub last_activity: Nanos,
+}
+
+impl FlowEntry {
+    /// Fresh entry for a flow assigned algorithm `kind`.
+    pub fn new(kind: CcKind, cc_cfg: CcConfig, now: Nanos) -> FlowEntry {
+        FlowEntry {
+            snd_una: SeqNumber::ZERO,
+            snd_nxt: SeqNumber::ZERO,
+            seq_valid: false,
+            dupacks: 0,
+            cc: Box::new(Clamped::new(kind.build(cc_cfg), MAX_ENFORCED_WINDOW)),
+            ack_wscale: 0,
+            vm_ecn: false,
+            rtt_probe: None,
+            srtt: None,
+            last_ack_activity: now,
+            fb_total: 0,
+            fb_marked: 0,
+            policed: 0,
+            computed_rwnd: 0,
+            window_trace: None,
+            rx_total: 0,
+            rx_marked: 0,
+            rx_total_lifetime: 0,
+            rx_marked_lifetime: 0,
+            closing: false,
+            last_activity: now,
+        }
+    }
+
+    /// Take the receiver-role feedback counters as u32 wire deltas,
+    /// resetting them (they are deltas "since the last feedback").
+    pub fn take_feedback(&mut self) -> (u32, u32) {
+        let total = self.rx_total.min(u64::from(u32::MAX)) as u32;
+        let marked = self.rx_marked.min(u64::from(total)) as u32;
+        self.rx_total = 0;
+        self.rx_marked = 0;
+        (total, marked)
+    }
+
+    /// Record an RTT sample into the entry's smoothed estimate.
+    pub fn record_rtt(&mut self, sample: Nanos) {
+        self.srtt = Some(match self.srtt {
+            None => sample,
+            Some(s) => (7 * s + sample) / 8,
+        });
+    }
+
+    /// The inactivity threshold standing in for the guest's RTO: the
+    /// vSwitch cannot see the guest timer, so it infers a timeout when
+    /// `snd_una < snd_nxt` and nothing has moved for a few RTTs (§3.1).
+    pub fn inactivity_threshold(&self, floor: Nanos) -> Nanos {
+        match self.srtt {
+            Some(s) => (4 * s).max(floor),
+            None => floor,
+        }
+    }
+
+    /// Bytes currently unacknowledged (in flight) per the tracked state.
+    pub fn in_flight(&self) -> u64 {
+        if !self.seq_valid {
+            return 0;
+        }
+        let d = self.snd_nxt - self.snd_una;
+        if d > 0 {
+            d as u64
+        } else {
+            0
+        }
+    }
+}
+
+impl core::fmt::Debug for FlowEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlowEntry")
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("cwnd", &self.cc.cwnd())
+            .field("cc", &self.cc.name())
+            .field("dupacks", &self.dupacks)
+            .field("rx_total", &self.rx_total)
+            .field("rx_marked", &self.rx_marked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> FlowEntry {
+        FlowEntry::new(CcKind::Dctcp, CcConfig::vswitch(1448), 0)
+    }
+
+    #[test]
+    fn feedback_counters_reset_on_take() {
+        let mut e = entry();
+        e.rx_total = 10_000;
+        e.rx_marked = 2_500;
+        assert_eq!(e.take_feedback(), (10_000, 2_500));
+        assert_eq!(e.take_feedback(), (0, 0));
+    }
+
+    #[test]
+    fn feedback_clamps_marked_to_total() {
+        let mut e = entry();
+        e.rx_total = 100;
+        e.rx_marked = 200; // cannot happen, but must not produce nonsense
+        let (t, m) = e.take_feedback();
+        assert!(m <= t);
+    }
+
+    #[test]
+    fn in_flight_tracks_seq_distance() {
+        let mut e = entry();
+        assert_eq!(e.in_flight(), 0);
+        e.seq_valid = true;
+        e.snd_una = SeqNumber(1000);
+        e.snd_nxt = SeqNumber(6000);
+        assert_eq!(e.in_flight(), 5000);
+        // Wraparound-safe.
+        e.snd_una = SeqNumber(u32::MAX - 100);
+        e.snd_nxt = SeqNumber(100);
+        assert_eq!(e.in_flight(), 201);
+    }
+
+    #[test]
+    fn srtt_smooths() {
+        let mut e = entry();
+        e.record_rtt(800);
+        assert_eq!(e.srtt, Some(800));
+        e.record_rtt(1600);
+        assert_eq!(e.srtt, Some(900));
+    }
+
+    #[test]
+    fn inactivity_threshold_uses_floor() {
+        let mut e = entry();
+        assert_eq!(e.inactivity_threshold(10_000_000), 10_000_000);
+        e.srtt = Some(5_000_000);
+        assert_eq!(e.inactivity_threshold(10_000_000), 20_000_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! # acdc-vswitch — AC/DC: congestion control enforced in the vSwitch
+//!
+//! The paper's contribution, implemented as an Open-vSwitch-style datapath
+//! module. Packets between a guest ("VM") TCP stack and the NIC pass
+//! through [`AcdcDatapath::egress`] / [`AcdcDatapath::ingress`], which:
+//!
+//! * reconstruct per-flow congestion-control state by watching sequence
+//!   numbers, ACKs and handshakes (§3.1) — stored in a sharded, per-entry
+//!   locked [`table::FlowTable`] mirroring the paper's RCU hash table with
+//!   per-entry spinlocks;
+//! * implement DCTCP (or any [`acdc_cc`] algorithm, selected per flow by a
+//!   [`CcPolicy`]) inside the vSwitch: forcing ECT on egress data, counting
+//!   CE-marked bytes at the receiver, and shipping the counts back in
+//!   **PACK** TCP options or dedicated **FACK** packets (§3.2);
+//! * enforce the computed window by rewriting the TCP receive window on
+//!   ACKs headed to the guest — a 2-byte write plus incremental checksum
+//!   patch — honouring window scaling, and **police** flows that ignore it
+//!   by dropping excess packets (§3.3);
+//! * support per-flow differentiation, including the priority-weighted
+//!   DCTCP of Equation 1 (§3.4).
+//!
+//! The datapath is simulator-agnostic and thread-safe: the Criterion CPU
+//! benches drive the very same code the simulation uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datapath;
+pub mod entry;
+pub mod policy;
+pub mod table;
+
+pub use datapath::{AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict};
+pub use entry::FlowEntry;
+pub use policy::CcPolicy;
+pub use table::FlowTable;

@@ -1,0 +1,206 @@
+//! The connection-tracking flow table.
+//!
+//! The paper adds a hash table to OVS keyed by the flow 5-tuple, using RCU
+//! for read-mostly lookups and an individual spinlock per flow entry so
+//! distinct flows update concurrently (§4). The Rust equivalent here is a
+//! *sharded* table — each shard a `parking_lot::RwLock<HashMap>` taken for
+//! read on lookup — holding `Arc<Mutex<FlowEntry>>` values, so the
+//! fast path is: shard read-lock → clone `Arc` → per-entry lock. Inserts
+//! and removals (SYN / FIN + garbage collection) take the shard writer
+//! lock, exactly the "many more lookups than insertions" profile the
+//! paper describes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use acdc_packet::FlowKey;
+use acdc_stats::time::Nanos;
+use parking_lot::{Mutex, RwLock};
+
+use crate::entry::FlowEntry;
+
+/// Number of shards (power of two).
+const SHARDS: usize = 64;
+
+/// A sharded flow table: `FlowKey → Arc<Mutex<FlowEntry>>`.
+pub struct FlowTable {
+    shards: Vec<RwLock<HashMap<FlowKey, Arc<Mutex<FlowEntry>>>>>,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable::new()
+    }
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &FlowKey) -> &RwLock<HashMap<FlowKey, Arc<Mutex<FlowEntry>>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up an entry (read path: shard read lock only).
+    pub fn get(&self, key: &FlowKey) -> Option<Arc<Mutex<FlowEntry>>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Look up or create an entry with `init`.
+    pub fn get_or_create(
+        &self,
+        key: FlowKey,
+        init: impl FnOnce() -> FlowEntry,
+    ) -> Arc<Mutex<FlowEntry>> {
+        if let Some(e) = self.get(&key) {
+            return e;
+        }
+        let mut shard = self.shard(&key).write();
+        shard
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(init())))
+            .clone()
+    }
+
+    /// Remove an entry (FIN teardown).
+    pub fn remove(&self, key: &FlowKey) -> bool {
+        self.shard(key).write().remove(key).is_some()
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coarse-grained garbage collection (paired with FIN handling in the
+    /// paper): drop entries idle for longer than `idle_timeout`, plus any
+    /// entry already marked closed. Returns the number collected.
+    pub fn gc(&self, now: Nanos, idle_timeout: Nanos) -> usize {
+        let mut collected = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|_, v| {
+                let e = v.lock();
+                let dead = e.closing || now.saturating_sub(e.last_activity) > idle_timeout;
+                if dead {
+                    collected += 1;
+                }
+                !dead
+            });
+        }
+        collected
+    }
+
+    /// Visit every entry (diagnostics, inactivity scans).
+    pub fn for_each(&self, mut f: impl FnMut(&FlowKey, &mut FlowEntry)) {
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (k, v) in shard.iter() {
+                f(k, &mut v.lock());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdc_cc::{CcConfig, CcKind};
+
+    fn key(p: u16) -> FlowKey {
+        FlowKey {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            src_port: p,
+            dst_port: 80,
+        }
+    }
+
+    fn entry(now: Nanos) -> FlowEntry {
+        FlowEntry::new(CcKind::Dctcp, CcConfig::vswitch(1448), now)
+    }
+
+    #[test]
+    fn create_lookup_remove() {
+        let t = FlowTable::new();
+        assert!(t.get(&key(1)).is_none());
+        let e = t.get_or_create(key(1), || entry(0));
+        e.lock().last_activity = 42;
+        let e2 = t.get(&key(1)).unwrap();
+        assert_eq!(e2.lock().last_activity, 42);
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(&key(1)));
+        assert!(t.is_empty());
+        assert!(!t.remove(&key(1)));
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let t = FlowTable::new();
+        let a = t.get_or_create(key(7), || entry(0));
+        let b = t.get_or_create(key(7), || entry(99));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_flows_distribute_across_shards() {
+        let t = FlowTable::new();
+        for p in 0..1000 {
+            t.get_or_create(key(p), || entry(0));
+        }
+        assert_eq!(t.len(), 1000);
+        let nonempty = t.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(nonempty > SHARDS / 2, "poor shard distribution: {nonempty}");
+    }
+
+    #[test]
+    fn gc_collects_idle_and_closed() {
+        let t = FlowTable::new();
+        t.get_or_create(key(1), || entry(0)); // idle since t=0
+        let fresh = t.get_or_create(key(2), || entry(0));
+        fresh.lock().last_activity = 1_000_000_000;
+        let closed = t.get_or_create(key(3), || entry(0));
+        closed.lock().last_activity = 1_000_000_000;
+        closed.lock().closing = true;
+        let n = t.gc(1_000_000_001, 500_000_000);
+        assert_eq!(n, 2);
+        assert!(t.get(&key(1)).is_none());
+        assert!(t.get(&key(2)).is_some());
+        assert!(t.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_from_threads() {
+        let t = Arc::new(FlowTable::new());
+        let mut handles = Vec::new();
+        for tid in 0..4u16 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u16 {
+                    let k = key(tid * 250 + i);
+                    let e = t.get_or_create(k, || entry(0));
+                    e.lock().last_activity = u64::from(i);
+                    assert!(t.get(&k).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+    }
+}

@@ -1,0 +1,586 @@
+//! End-to-end tests of the AC/DC datapath: two vSwitches (host A = data
+//! sender, host B = data receiver) processing hand-crafted packets, as in
+//! Figure 3 of the paper.
+
+use acdc_cc::CcKind;
+use acdc_packet::{
+    Ecn, FlowKey, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr,
+    PROTO_TCP,
+};
+use acdc_vswitch::{AcdcConfig, AcdcDatapath, CcPolicy, DropReason, Verdict};
+
+const A: [u8; 4] = [10, 0, 0, 1];
+const B: [u8; 4] = [10, 0, 0, 2];
+const AP: u16 = 40_000;
+const BP: u16 = 5_001;
+const MTU: usize = 1_500;
+const MSS: usize = 1_448;
+const ISS_A: u32 = 1_000;
+const ISS_B: u32 = 2_000_000;
+
+fn ip(src: [u8; 4], dst: [u8; 4], ecn: Ecn) -> Ipv4Repr {
+    Ipv4Repr {
+        src_addr: src,
+        dst_addr: dst,
+        protocol: PROTO_TCP,
+        ecn,
+        payload_len: 0,
+        ttl: 64,
+    }
+}
+
+fn syn(ecn_capable: bool, wscale: u8) -> Segment {
+    let mut t = TcpRepr::new(AP, BP);
+    t.seq = SeqNumber(ISS_A);
+    t.flags = TcpFlags::SYN;
+    if ecn_capable {
+        t.flags |= TcpFlags::ECE | TcpFlags::CWR;
+    }
+    t.window = 65_000;
+    t.options = vec![
+        TcpOption::MaxSegmentSize(MSS as u16),
+        TcpOption::WindowScale(wscale),
+    ];
+    Segment::new_tcp(ip(A, B, Ecn::NotEct), t, 0)
+}
+
+fn synack(ecn_capable: bool, wscale: u8) -> Segment {
+    let mut t = TcpRepr::new(BP, AP);
+    t.seq = SeqNumber(ISS_B);
+    t.ack = SeqNumber(ISS_A + 1);
+    t.flags = TcpFlags::SYN | TcpFlags::ACK;
+    if ecn_capable {
+        t.flags |= TcpFlags::ECE;
+    }
+    t.window = 65_000;
+    t.options = vec![
+        TcpOption::MaxSegmentSize(MSS as u16),
+        TcpOption::WindowScale(wscale),
+    ];
+    Segment::new_tcp(ip(B, A, Ecn::NotEct), t, 0)
+}
+
+/// Data from A's guest: `off` bytes into the stream, `len` payload.
+fn data(off: u32, len: usize, ecn: Ecn) -> Segment {
+    let mut t = TcpRepr::new(AP, BP);
+    t.seq = SeqNumber(ISS_A + 1 + off);
+    t.ack = SeqNumber(ISS_B + 1);
+    t.flags = TcpFlags::ACK;
+    t.window = 127; // raw, scaled by A's wscale
+    Segment::new_tcp(ip(A, B, ecn), t, len)
+}
+
+/// ACK from B's guest covering `off` stream bytes, advertising `raw_wnd`.
+fn ack(off: u32, raw_wnd: u16) -> Segment {
+    let mut t = TcpRepr::new(BP, AP);
+    t.seq = SeqNumber(ISS_B + 1);
+    t.ack = SeqNumber(ISS_A + 1 + off);
+    t.flags = TcpFlags::ACK;
+    t.window = raw_wnd;
+    Segment::new_tcp(ip(B, A, Ecn::NotEct), t, 0)
+}
+
+fn key_ab() -> FlowKey {
+    FlowKey {
+        src_ip: A,
+        dst_ip: B,
+        src_port: AP,
+        dst_port: BP,
+    }
+}
+
+/// Set up two datapaths and run the handshake through both.
+fn rig(guest_ecn: bool) -> (AcdcDatapath, AcdcDatapath) {
+    let dpa = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    let dpb = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    handshake(&dpa, &dpb, guest_ecn);
+    (dpa, dpb)
+}
+
+fn handshake(dpa: &AcdcDatapath, dpb: &AcdcDatapath, guest_ecn: bool) {
+    // A guest SYN → dpa egress → wire → dpb ingress → B guest.
+    let s = dpa.egress(0, syn(guest_ecn, 9)).forwarded().unwrap();
+    let s = dpb.ingress(1_000, s).forwarded().unwrap();
+    assert!(s.tcp_flags().contains(TcpFlags::SYN));
+    // B guest SYNACK back.
+    let sa = dpb.egress(2_000, synack(guest_ecn, 9)).forwarded().unwrap();
+    let sa = dpa.ingress(3_000, sa).forwarded().unwrap();
+    assert!(sa.tcp_flags().contains(TcpFlags::ACK));
+}
+
+#[test]
+fn handshake_creates_entries_and_records_wscale() {
+    let (dpa, dpb) = rig(false);
+    assert!(dpa.flows() >= 2, "two directions tracked");
+    assert!(dpb.flows() >= 2);
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let e = e.lock();
+    // ACKs for A→B data come from B, which advertised wscale 9.
+    assert_eq!(e.ack_wscale, 9);
+    assert!(e.seq_valid);
+    assert_eq!(e.snd_una, SeqNumber(ISS_A + 1));
+}
+
+#[test]
+fn egress_data_forced_ect_and_reserved_bit_reflects_guest() {
+    // Non-ECN guest: packets leave NotEct, must become ECT0 + bit clear.
+    let (dpa, _) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    assert_eq!(d.ecn(), Ecn::Ect0, "AC/DC forces ECT");
+    assert!(!d.tcp().vm_ece());
+    assert!(d.verify_checksums());
+
+    // ECN guest: bit set.
+    let (dpa, _) = rig(true);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    assert_eq!(d.ecn(), Ecn::Ect0);
+    assert!(d.tcp().vm_ece());
+    assert!(d.verify_checksums());
+}
+
+#[test]
+fn receiver_module_strips_ce_and_counts() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let mut d = d;
+    d.mark_ce(); // switch marks it
+    let delivered = dpb.ingress(20_000, d).forwarded().unwrap();
+    // Guest was not ECN-capable → delivered NotEct, reserved bits clear.
+    assert_eq!(delivered.ecn(), Ecn::NotEct);
+    assert!(!delivered.tcp().vm_ece());
+    assert!(delivered.verify_checksums());
+    let e = dpb.table().get(&key_ab()).unwrap();
+    let e = e.lock();
+    assert_eq!(e.rx_total, MSS as u64);
+    assert_eq!(e.rx_marked, MSS as u64);
+}
+
+#[test]
+fn ce_stripped_to_ect_for_ecn_guest() {
+    let (dpa, dpb) = rig(true);
+    let mut d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    d.mark_ce();
+    let delivered = dpb.ingress(20_000, d).forwarded().unwrap();
+    // Guest spoke ECN → restore ECT0 (hide only the CE mark).
+    assert_eq!(delivered.ecn(), Ecn::Ect0);
+    assert!(delivered.verify_checksums());
+}
+
+#[test]
+fn ack_carries_pack_and_sender_consumes_it() {
+    let (dpa, dpb) = rig(false);
+    // Data A→B, marked in the network.
+    let mut d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    d.mark_ce();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+
+    // B guest ACKs; dpb egress must attach a PACK with the counts.
+    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let pack = a.tcp().pack_option().expect("PACK attached");
+    assert_eq!(pack.total_bytes, MSS as u32);
+    assert_eq!(pack.marked_bytes, MSS as u32);
+    assert!(a.verify_checksums());
+
+    // dpa ingress: PACK stripped before the guest sees the ACK.
+    let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
+    assert!(delivered.tcp().pack_option().is_none());
+    assert!(delivered.verify_checksums());
+    assert_eq!(
+        dpa.counters().packs_received.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // Connection tracking advanced.
+    let e = dpa.table().get(&key_ab()).unwrap();
+    assert_eq!(e.lock().snd_una, SeqNumber(ISS_A + 1 + MSS as u32));
+}
+
+#[test]
+fn rwnd_rewritten_smaller_with_wscale() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
+
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let cwnd = e.lock().cc.cwnd();
+    let expect_raw = (cwnd >> 9).max(1) as u16;
+    assert_eq!(delivered.tcp().window(), expect_raw);
+    assert!(u64::from(delivered.tcp().window()) < 65_000);
+    assert!(delivered.verify_checksums());
+    assert!(
+        dpa.counters().rwnd_rewrites.load(std::sync::atomic::Ordering::Relaxed) >= 1
+    );
+}
+
+#[test]
+fn rwnd_not_rewritten_when_guest_window_already_smaller() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    // Guest advertises raw 2 (scaled: 1 KB) — far below cwnd.
+    let a = dpb.egress(21_000, ack(MSS as u32, 2)).forwarded().unwrap();
+    let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
+    assert_eq!(delivered.tcp().window(), 2, "original smaller window kept");
+}
+
+#[test]
+fn ece_feedback_hidden_from_guest() {
+    let (dpa, dpb) = rig(true);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    // ACK with ECE set (guest B echoing a mark).
+    let mut raw_ack = ack(MSS as u32, 65_000);
+    {
+        let mut t = raw_ack.tcp_repr().unwrap();
+        t.flags |= TcpFlags::ECE;
+        raw_ack = Segment::new_tcp(Ipv4Repr::parse(&raw_ack.ip()).unwrap(), t, 0);
+    }
+    let a = dpb.egress(21_000, raw_ack).forwarded().unwrap();
+    let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
+    assert!(
+        !delivered.tcp_flags().contains(TcpFlags::ECE),
+        "ECE must be stripped so the guest does not also back off"
+    );
+    assert!(delivered.verify_checksums());
+}
+
+#[test]
+fn pack_overflow_generates_fack() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+
+    // B sends a full-MTU data packet that also acks: no room for PACK.
+    let mut t = TcpRepr::new(BP, AP);
+    t.seq = SeqNumber(ISS_B + 1);
+    t.ack = SeqNumber(ISS_A + 1 + MSS as u32);
+    t.flags = TcpFlags::ACK;
+    t.window = 65_000;
+    // Full-MTU frame: 20 B IP + 20 B TCP + 1460 B payload.
+    let full = Segment::new_tcp(ip(B, A, Ecn::NotEct), t, MTU - 40);
+    assert_eq!(full.wire_len(), MTU);
+
+    match dpb.egress(21_000, full) {
+        Verdict::ForwardWithExtra(main, fack) => {
+            assert!(main.tcp().pack_option().is_none());
+            assert!(fack.tcp().is_fack());
+            assert_eq!(fack.payload_len(), 0);
+            let p = fack.tcp().pack_option().unwrap();
+            assert_eq!(p.total_bytes, MSS as u32);
+            assert!(p.marked_bytes <= p.total_bytes);
+            assert!(fack.verify_checksums());
+
+            // The FACK is absorbed at the sender side.
+            match dpa.ingress(22_000, fack) {
+                Verdict::Drop(DropReason::FackConsumed) => {}
+                v => panic!("expected FACK drop, got {v:?}"),
+            }
+        }
+        v => panic!("expected FACK generation, got {v:?}"),
+    }
+}
+
+#[test]
+fn policing_drops_nonconforming_flow() {
+    let mut cfg = AcdcConfig::dctcp(MTU);
+    cfg.police_slack_bytes = Some(3 * MSS as u64);
+    let dpa = AcdcDatapath::new(cfg);
+    let dpb = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    handshake(&dpa, &dpb, false);
+
+    // Initial vSwitch cwnd = 10 MSS; slack 3 MSS → anything past 13 MSS
+    // outstanding must be dropped.
+    let mut dropped = 0;
+    for i in 0..20u32 {
+        match dpa.egress(10_000 + u64::from(i), data(i * MSS as u32, MSS, Ecn::NotEct)) {
+            Verdict::Drop(DropReason::Policed) => dropped += 1,
+            Verdict::Forward(_) => {}
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+    assert_eq!(dropped, 7, "20 sent, 13 allowed");
+    let e = dpa.table().get(&key_ab()).unwrap();
+    assert_eq!(e.lock().policed, 7);
+}
+
+#[test]
+fn log_only_mode_computes_but_does_not_rewrite() {
+    let mut cfg = AcdcConfig::dctcp(MTU);
+    cfg.log_only = true;
+    cfg.trace_windows = true;
+    let dpa = AcdcDatapath::new(cfg);
+    let dpb = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    handshake(&dpa, &dpb, false);
+
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
+    assert_eq!(delivered.tcp().window(), 65_000, "log-only: untouched");
+
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let e = e.lock();
+    assert!(e.computed_rwnd > 0);
+    assert!(e.window_trace.as_ref().unwrap().len() == 1);
+}
+
+#[test]
+fn dupacks_trigger_inferred_fast_retransmit() {
+    let (dpa, dpb) = rig(false);
+    for i in 0..5u32 {
+        let d = dpa
+            .egress(10_000 + u64::from(i), data(i * MSS as u32, MSS, Ecn::NotEct))
+            .forwarded()
+            .unwrap();
+        dpb.ingress(11_000 + u64::from(i), d).forwarded().unwrap();
+    }
+    // First ACK advances; then three duplicates.
+    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    dpa.ingress(22_000, a).forwarded().unwrap();
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let cwnd_before = e.lock().cc.cwnd();
+    for i in 0..3 {
+        let a = dpb.egress(23_000 + i, ack(MSS as u32, 65_000)).forwarded().unwrap();
+        dpa.ingress(24_000 + i, a).forwarded().unwrap();
+    }
+    assert_eq!(
+        dpa.counters().inferred_fast_rtx.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    let e = dpa.table().get(&key_ab()).unwrap();
+    assert!(e.lock().cc.cwnd() < cwnd_before, "window cut on 3 dupacks");
+}
+
+#[test]
+fn disabled_datapath_is_passthrough() {
+    let dp = AcdcDatapath::new(AcdcConfig::disabled(MTU));
+    let before = data(0, MSS, Ecn::NotEct);
+    let bytes_before = before.header_bytes().to_vec();
+    let out = dp.egress(0, before).forwarded().unwrap();
+    assert_eq!(out.header_bytes(), &bytes_before[..]);
+    assert_eq!(dp.flows(), 0);
+    let out = dp.ingress(0, out).forwarded().unwrap();
+    assert_eq!(out.header_bytes(), &bytes_before[..]);
+}
+
+#[test]
+fn per_flow_policy_assigns_different_algorithms() {
+    let mut cfg = AcdcConfig::dctcp(MTU);
+    cfg.policy = CcPolicy::WanSplit {
+        dc_prefix: 10,
+        datacenter: CcKind::Dctcp,
+        wan: CcKind::Cubic,
+    };
+    let dp = AcdcDatapath::new(cfg);
+    // Intra-DC data flow.
+    dp.egress(0, data(0, MSS, Ecn::NotEct));
+    let e = dp.table().get(&key_ab()).unwrap();
+    assert_eq!(e.lock().cc.name(), "dctcp");
+
+    // WAN-bound flow.
+    let mut t = TcpRepr::new(AP, 443);
+    t.seq = SeqNumber(77);
+    t.flags = TcpFlags::ACK;
+    let wan = Segment::new_tcp(ip(A, [93, 184, 216, 34], Ecn::NotEct), t, MSS);
+    let wan_key = wan.flow_key();
+    dp.egress(0, wan);
+    let e = dp.table().get(&wan_key).unwrap();
+    assert_eq!(e.lock().cc.name(), "cubic");
+}
+
+#[test]
+fn fin_marks_closing_and_gc_collects() {
+    let (dpa, _dpb) = rig(false);
+    let flows_before = dpa.flows();
+    let mut t = TcpRepr::new(AP, BP);
+    t.seq = SeqNumber(ISS_A + 1);
+    t.ack = SeqNumber(ISS_B + 1);
+    t.flags = TcpFlags::ACK | TcpFlags::FIN;
+    let fin = Segment::new_tcp(ip(A, B, Ecn::NotEct), t, 0);
+    dpa.egress(50_000, fin);
+    let collected = dpa.gc(60_000, u64::MAX);
+    assert!(collected >= 1, "FIN-marked entry collected");
+    assert!(dpa.flows() < flows_before);
+}
+
+#[test]
+fn window_update_generation() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    let wu = dpa.make_window_update(&key_ab()).expect("window update");
+    assert!(wu.is_pure_ack());
+    assert_eq!(wu.flow_key(), key_ab().reverse());
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let raw = (e.lock().cc.cwnd() >> 9).max(1) as u16;
+    assert_eq!(wu.tcp().window(), raw);
+    assert!(wu.verify_checksums());
+}
+
+#[test]
+fn dup_ack_generation() {
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    let dups = dpa.make_dup_acks(&key_ab(), 3);
+    assert_eq!(dups.len(), 3);
+    for dup in &dups {
+        assert!(dup.is_pure_ack());
+        assert_eq!(dup.tcp().ack_number(), SeqNumber(ISS_A + 1));
+        assert!(dup.verify_checksums());
+    }
+}
+
+#[test]
+fn inactivity_tick_infers_timeout() {
+    let (dpa, dpb) = rig(false);
+    // Send data that never gets acked.
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(11_000, d).forwarded().unwrap();
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let cwnd_before = e.lock().cc.cwnd();
+    // 50 ms later (RTOmin floor is 10 ms) the tick must infer a timeout.
+    dpa.tick(50_000_000);
+    assert_eq!(
+        dpa.counters().inferred_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    let e = dpa.table().get(&key_ab()).unwrap();
+    assert!(e.lock().cc.cwnd() < cwnd_before);
+    // A second immediate tick must not double-fire.
+    dpa.tick(50_000_001);
+    assert_eq!(
+        dpa.counters().inferred_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+#[test]
+fn pack_feedback_drives_dctcp_cut() {
+    let (dpa, dpb) = rig(false);
+    // Establish some progress first so cwnd > floor.
+    let mut off = 0u32;
+    for i in 0..10 {
+        let d = dpa
+            .egress(10_000 + i, data(off, MSS, Ecn::NotEct))
+            .forwarded()
+            .unwrap();
+        dpb.ingress(11_000 + i, d).forwarded().unwrap();
+        off += MSS as u32;
+        let a = dpb.egress(12_000 + i, ack(off, 65_000)).forwarded().unwrap();
+        dpa.ingress(13_000 + i, a).forwarded().unwrap();
+    }
+    let e = dpa.table().get(&key_ab()).unwrap();
+    let before = e.lock().cc.cwnd();
+
+    // Now a marked round: data CE-marked → PACK reports it → cut.
+    let mut d = dpa.egress(50_000, data(off, MSS, Ecn::NotEct)).forwarded().unwrap();
+    d.mark_ce();
+    dpb.ingress(51_000, d).forwarded().unwrap();
+    off += MSS as u32;
+    let a = dpb.egress(52_000, ack(off, 65_000)).forwarded().unwrap();
+    assert!(a.tcp().pack_option().unwrap().marked_bytes > 0);
+    dpa.ingress(53_000, a).forwarded().unwrap();
+
+    let e = dpa.table().get(&key_ab()).unwrap();
+    assert!(
+        e.lock().cc.cwnd() < before,
+        "marked feedback must shrink the enforced window"
+    );
+}
+
+#[test]
+fn pack_option_survives_only_between_vswitches() {
+    // A PACK injected from outside (malformed/spoofed) still gets stripped
+    // before reaching the guest.
+    let (dpa, dpb) = rig(false);
+    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    dpb.ingress(20_000, d).forwarded().unwrap();
+    let mut t = TcpRepr::new(BP, AP);
+    t.seq = SeqNumber(ISS_B + 1);
+    t.ack = SeqNumber(ISS_A + 1 + MSS as u32);
+    t.flags = TcpFlags::ACK;
+    t.window = 65_000;
+    t.options = vec![TcpOption::Pack(PackOption {
+        total_bytes: 999,
+        marked_bytes: 0,
+    })];
+    let spoofed = Segment::new_tcp(ip(B, A, Ecn::NotEct), t, 0);
+    let delivered = dpa.ingress(30_000, spoofed).forwarded().unwrap();
+    assert!(delivered.tcp().pack_option().is_none());
+}
+
+#[test]
+fn udp_passes_through_untouched() {
+    let dp = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    let udp = acdc_packet::UdpRepr {
+        src_port: 5353,
+        dst_port: 53,
+        payload_len: 0,
+    };
+    let seg = acdc_packet::Segment::new_udp(
+        acdc_packet::Ipv4Repr {
+            src_addr: A,
+            dst_addr: B,
+            protocol: acdc_packet::PROTO_UDP,
+            ecn: Ecn::NotEct,
+            payload_len: 0,
+            ttl: 64,
+        },
+        udp,
+        256,
+    );
+    let bytes_before = seg.header_bytes().to_vec();
+    let out = dp.egress(0, seg).forwarded().unwrap();
+    assert_eq!(out.header_bytes(), &bytes_before[..], "no mangling");
+    assert_eq!(out.ecn(), Ecn::NotEct, "UDP is not forced ECT");
+    let out = dp.ingress(1, out).forwarded().unwrap();
+    assert_eq!(out.header_bytes(), &bytes_before[..]);
+    assert_eq!(dp.flows(), 0, "no connection tracking for UDP");
+    assert_eq!(
+        dp.counters()
+            .non_tcp_passthrough
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+}
+
+#[test]
+fn flow_stats_snapshot_reflects_activity() {
+    let (dpa, dpb) = rig(false);
+    let mut off = 0u32;
+    for i in 0..5 {
+        let mut d = dpa
+            .egress(10_000 + i, data(off, MSS, Ecn::NotEct))
+            .forwarded()
+            .unwrap();
+        if i % 2 == 0 {
+            d.mark_ce();
+        }
+        dpb.ingress(11_000 + i, d).forwarded().unwrap();
+        off += MSS as u32;
+        let a = dpb.egress(12_000 + i, ack(off, 65_000)).forwarded().unwrap();
+        dpa.ingress(13_000 + i, a).forwarded().unwrap();
+    }
+    // Sender-side view: the enforced flow with its window and RTT.
+    let stats = dpa.flow_stats();
+    let fwd = stats
+        .iter()
+        .find(|s| s.key == key_ab())
+        .expect("tracked flow");
+    assert_eq!(fwd.cc_name, "dctcp");
+    assert!(fwd.cwnd > 0);
+    assert!(fwd.srtt.is_some(), "RTT sampled from ack clock");
+    assert!(!fwd.closing);
+
+    // Receiver-side view: lifetime byte accounting survives feedback
+    // resets (the deltas are consumed by PACKs).
+    let stats = dpb.flow_stats();
+    let rx = stats
+        .iter()
+        .find(|s| s.key == key_ab())
+        .expect("tracked flow at receiver");
+    assert_eq!(rx.rx_total, 5 * MSS as u64);
+    assert_eq!(rx.rx_marked, 3 * MSS as u64);
+}

@@ -1,0 +1,183 @@
+//! Empirical flow-size distributions for the trace-driven workloads
+//! (Figure 23).
+//!
+//! The paper samples message sizes from a **web-search** trace (the DCTCP
+//! paper \[3\]) and a **data-mining** trace (VL2 \[25\]) "whose flow size
+//! distribution has a heavier tail". The production traces are not
+//! public; what *is* public — and what every simulator reproduction of
+//! these workloads uses — are the CDFs published in those papers. We
+//! encode those CDF points and sample by inverse transform with linear
+//! interpolation, which preserves exactly the property the experiment
+//! tests (mice-vs-elephant mix and tail weight).
+
+use rand::{Rng, RngExt};
+
+/// An empirical flow-size CDF: `(bytes, cumulative_probability)` points.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    name: &'static str,
+    /// Strictly increasing in both coordinates; first prob > 0, last = 1.
+    points: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// The web-search workload CDF (DCTCP paper, sizes in bytes).
+    pub fn web_search() -> FlowSizeDist {
+        const KB: f64 = 1_000.0;
+        FlowSizeDist {
+            name: "web-search",
+            points: vec![
+                (1.0 * KB, 0.0),
+                (6.0 * KB, 0.15),
+                (13.0 * KB, 0.30),
+                (19.0 * KB, 0.45),
+                (33.0 * KB, 0.60),
+                (53.0 * KB, 0.70),
+                (133.0 * KB, 0.80),
+                (667.0 * KB, 0.90),
+                (1_467.0 * KB, 0.95),
+                (3_333.0 * KB, 0.98),
+                (6_667.0 * KB, 0.99),
+                (20_000.0 * KB, 1.0),
+            ],
+        }
+    }
+
+    /// The data-mining workload CDF (VL2 paper; heavier tail).
+    pub fn data_mining() -> FlowSizeDist {
+        const KB: f64 = 1_000.0;
+        FlowSizeDist {
+            name: "data-mining",
+            points: vec![
+                (0.1 * KB, 0.0),
+                (1.0 * KB, 0.50),
+                (2.0 * KB, 0.60),
+                (3.0 * KB, 0.70),
+                (7.0 * KB, 0.80),
+                (267.0 * KB, 0.90),
+                (2_107.0 * KB, 0.95),
+                (66_667.0 * KB, 0.99),
+                (666_667.0 * KB, 1.0),
+            ],
+        }
+    }
+
+    /// Distribution name for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sample one flow size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u ∈ [0, 1]` (linear
+    /// interpolation between CDF points).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0 as u64;
+        }
+        for w in pts.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if u <= p1 {
+                let frac = if p1 > p0 { (u - p0) / (p1 - p0) } else { 1.0 };
+                return (x0 + frac * (x1 - x0)).max(1.0) as u64;
+            }
+        }
+        pts.last().unwrap().0 as u64
+    }
+
+    /// Mean flow size implied by the CDF (trapezoidal; used to pick
+    /// message counts for a target load).
+    pub fn mean(&self) -> f64 {
+        let mut mean = 0.0;
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            mean += (p1 - p0) * (x0 + x1) / 2.0;
+        }
+        mean + self.points[0].0 * self.points[0].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_match_cdf_points() {
+        let ws = FlowSizeDist::web_search();
+        assert_eq!(ws.quantile(0.15), 6_000);
+        assert_eq!(ws.quantile(0.90), 667_000);
+        assert_eq!(ws.quantile(1.0), 20_000_000);
+        let dm = FlowSizeDist::data_mining();
+        assert_eq!(dm.quantile(0.5), 1_000);
+        assert_eq!(dm.quantile(1.0), 666_667_000);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let ws = FlowSizeDist::web_search();
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = ws.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at {i}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn sampling_matches_quantiles_statistically() {
+        let ws = FlowSizeDist::web_search();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let small = (0..n)
+            .map(|_| ws.sample(&mut rng))
+            .filter(|&s| s <= 13_000)
+            .count();
+        // P(size ≤ 13KB) = 0.30.
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.30).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn data_mining_tail_is_heavier() {
+        // Compare tail mass: P(size > 1MB).
+        let ws = FlowSizeDist::web_search();
+        let dm = FlowSizeDist::data_mining();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 30_000;
+        let count_over = |d: &FlowSizeDist, rng: &mut StdRng| {
+            (0..n).filter(|_| d.sample(rng) > 10_000_000).count()
+        };
+        let ws_tail = count_over(&ws, &mut rng);
+        let dm_tail = count_over(&dm, &mut rng);
+        assert!(
+            dm_tail > ws_tail,
+            "data-mining tail ({dm_tail}) should exceed web-search ({ws_tail})"
+        );
+        // And the mining mean is dominated by the tail.
+        assert!(dm.mean() > ws.mean());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let ws = FlowSizeDist::web_search();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| ws.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| ws.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
