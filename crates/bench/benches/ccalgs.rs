@@ -28,7 +28,11 @@ fn ccalgs(c: &mut Criterion) {
                     cc.on_ack(&AckEvent {
                         now,
                         newly_acked: 1448,
-                        marked: if now % 10_000_000 == 0 { 1448 } else { 0 },
+                        marked: if now.is_multiple_of(10_000_000) {
+                            1448
+                        } else {
+                            0
+                        },
                         rtt: Some(100_000),
                         in_flight: 100_000,
                         ece: false,

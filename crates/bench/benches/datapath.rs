@@ -25,21 +25,17 @@ fn bench_side(c: &mut Criterion, egress: bool) {
             populate(&dp, flows);
             let mut i = 0usize;
             let mut now = 1_000u64;
-            group.bench_with_input(
-                BenchmarkId::new(label, flows),
-                &flows,
-                |b, &flows| {
-                    b.iter(|| {
-                        i = (i + 1) % flows;
-                        now += 1;
-                        if egress {
-                            std::hint::black_box(dp.egress(now, data_packet(i, 1_448)))
-                        } else {
-                            std::hint::black_box(dp.ingress(now, ack_packet(i, 1_448)))
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, &flows| {
+                b.iter(|| {
+                    i = (i + 1) % flows;
+                    now += 1;
+                    if egress {
+                        std::hint::black_box(dp.egress(now, data_packet(i, 1_448)))
+                    } else {
+                        std::hint::black_box(dp.ingress(now, ack_packet(i, 1_448)))
+                    }
+                })
+            });
         }
     }
     group.finish();

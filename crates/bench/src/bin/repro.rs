@@ -9,6 +9,8 @@
 //! With `--out DIR`, each report is additionally written to
 //! `DIR/<id>.txt` (the raw material for EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use acdc_bench::experiments::{self, Opts};
 
 fn main() {
@@ -48,15 +50,16 @@ fn main() {
         usage("no experiment given");
     }
     for id in &ids {
+        #[allow(clippy::disallowed_methods)] // wall-clock progress reporting
         let start = std::time::Instant::now();
         match experiments::run(id, &opts) {
             Some(report) => {
                 print!("{report}");
                 println!("[{} finished in {:.1?}]\n", id, start.elapsed());
                 if let Some(dir) = &out_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir)
-                        .and_then(|()| std::fs::write(dir.join(format!("{id}.txt")), format!("{report}")))
-                    {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                        std::fs::write(dir.join(format!("{id}.txt")), format!("{report}"))
+                    }) {
                         eprintln!("warning: could not write report for {id}: {e}");
                     }
                 }

@@ -22,7 +22,10 @@ use super::common::{pctl, Opts, Report};
 fn floor_ablation(rep: &mut Report, dur: u64) {
     rep.line("(1) enforced-window floor at 47-to-1 incast, 9 KB MTU:");
     rep.line("    floor            p50 RTT(ms)   p99.9 RTT(ms)   avg tput(Mbps)");
-    for (label, floor) in [("byte-granular", None), ("2 × MSS (DCTCP-like)", Some(2 * 8960u64))] {
+    for (label, floor) in [
+        ("byte-granular", None),
+        ("2 × MSS (DCTCP-like)", Some(2 * 8960u64)),
+    ] {
         let mut tb = Testbed::custom(Scheme::acdc(), 9000);
         if let Some(f) = floor {
             tb.set_acdc_tweak(move |cfg| cfg.min_window_bytes = Some(f));

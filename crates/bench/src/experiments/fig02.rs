@@ -34,7 +34,7 @@ pub fn run(opts: &Opts) -> Report {
             pctl(&mut out.rtt_ms, 99.0),
             out.rtt_ms.len(),
         ));
-        rep.line(format!("  RTT CDF (ms):"));
+        rep.line("  RTT CDF (ms):".to_string());
         for p in &cdf_points(&mut out.rtt_ms) {
             rep.line(format!("    {:>8.3} ms  {:>5.2}", p.0, p.1));
         }

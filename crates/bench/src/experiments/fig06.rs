@@ -27,7 +27,16 @@ fn tput_cwnd_clamp(mtu: usize, clamp_pkts: u64, dur: u64) -> f64 {
     let h = {
         // Custom plumbing: same as add_bulk but with cwnd_clamp set.
         let cc = acdc_cc::CcKind::Cubic;
-        tb.add_bulk_with_cc_clamped(0, 1, cc, false, None, 0, ConnTaps::default(), Some(clamp_pkts * mss))
+        tb.add_bulk_with_cc_clamped(
+            0,
+            1,
+            cc,
+            false,
+            None,
+            0,
+            ConnTaps::default(),
+            Some(clamp_pkts * mss),
+        )
     };
     tb.run_until(dur);
     tb.flow_gbps(h, 0, dur)
@@ -53,7 +62,9 @@ pub fn run(opts: &Opts) -> Report {
     );
     let dur = opts.dur(500 * MILLISECOND, 100 * MILLISECOND);
     for mtu in [1500usize, 9000] {
-        rep.line(format!("MTU {mtu}: window(pkts)  tput_cwnd(Gbps)  tput_rwnd(Gbps)"));
+        rep.line(format!(
+            "MTU {mtu}: window(pkts)  tput_cwnd(Gbps)  tput_rwnd(Gbps)"
+        ));
         for w in sweep(mtu) {
             let c = tput_cwnd_clamp(mtu, w, dur);
             let r = tput_rwnd_bound(mtu, w, dur);

@@ -98,6 +98,8 @@ pub fn run(opts: &Opts) -> Report {
             }
         }
     }
-    rep.line("paper shape: CUBIC's CWND grows far above AC/DC's RWND — the vSwitch is the enforcer");
+    rep.line(
+        "paper shape: CUBIC's CWND grows far above AC/DC's RWND — the vSwitch is the enforcer",
+    );
     rep
 }

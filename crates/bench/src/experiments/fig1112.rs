@@ -86,6 +86,7 @@ pub fn ack_packet(i: usize, off: u32) -> Segment {
     Segment::new_tcp(ip(b, a), t, 0)
 }
 
+#[allow(clippy::disallowed_methods)] // wall-clock is the measurement here
 fn measure(dp: &AcdcDatapath, n_flows: usize, iters: usize, egress: bool) -> f64 {
     // Round-robin over flows so the flow-table working set matches scale.
     let start = Instant::now();
@@ -108,9 +109,15 @@ fn measure(dp: &AcdcDatapath, n_flows: usize, iters: usize, egress: bool) -> f64
 
 fn run_side(opts: &Opts, egress: bool) -> Report {
     let (id, title): (&'static str, &'static str) = if egress {
-        ("fig11", "per-packet datapath cost, sender side (CPU-overhead proxy)")
+        (
+            "fig11",
+            "per-packet datapath cost, sender side (CPU-overhead proxy)",
+        )
     } else {
-        ("fig12", "per-packet datapath cost, receiver side (CPU-overhead proxy)")
+        (
+            "fig12",
+            "per-packet datapath cost, receiver side (CPU-overhead proxy)",
+        )
     };
     let mut rep = Report::new(id, title);
     let iters = if opts.full { 400_000 } else { 100_000 };

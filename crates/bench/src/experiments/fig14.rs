@@ -51,11 +51,13 @@ pub fn run(opts: &Opts) -> Report {
             let mut active = Vec::new();
             for (i, &h) in flows.iter().enumerate() {
                 let conn = tb.client_conn_index(h);
-                let bins = tb.host_mut(h.client_host).tput(conn).unwrap().bins().clone();
-                let vals: Vec<f64> = bins
-                    .window(lo + step / 8, hi)
-                    .map(|s| s.value)
-                    .collect();
+                let bins = tb
+                    .host_mut(h.client_host)
+                    .tput(conn)
+                    .unwrap()
+                    .bins()
+                    .clone();
+                let vals: Vec<f64> = bins.window(lo + step / 8, hi).map(|s| s.value).collect();
                 let mean = if vals.is_empty() {
                     0.0
                 } else {
@@ -86,6 +88,8 @@ pub fn run(opts: &Opts) -> Report {
             tb.drop_rate() * 100.0
         ));
     }
-    rep.line("paper shape: DCTCP and AC/DC re-converge to equal shares each step; CUBIC is erratic");
+    rep.line(
+        "paper shape: DCTCP and AC/DC re-converge to equal shares each step; CUBIC is erratic",
+    );
     rep
 }

@@ -42,7 +42,10 @@ pub fn run(opts: &Opts) -> Report {
         "(a) default (marking on, no AC/DC): CUBIC {c:.2} Gbps vs DCTCP {d:.2} Gbps  (drop rate {:.3}%)",
         drops * 100.0
     ));
-    rep.line(format!("    CUBIC's share of the pair: {:.1}%", 100.0 * c / (c + d)));
+    rep.line(format!(
+        "    CUBIC's share of the pair: {:.1}%",
+        100.0 * c / (c + d)
+    ));
 
     let (c2, d2, drops2) = run_case(true, dur);
     rep.line(format!(

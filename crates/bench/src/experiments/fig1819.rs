@@ -62,7 +62,10 @@ fn sweep(opts: &Opts) -> Vec<(String, usize, IncastOut)> {
 
 /// Figure 18: throughput + fairness.
 pub fn run_fig18(opts: &Opts) -> Report {
-    let mut rep = Report::new("fig18", "many-to-one incast: average throughput and fairness");
+    let mut rep = Report::new(
+        "fig18",
+        "many-to-one incast: average throughput and fairness",
+    );
     rep.line("scheme                senders   avg tput (Mbps)   jain");
     for (name, n, out) in sweep(opts) {
         rep.line(format!(

@@ -11,10 +11,15 @@ use super::common::{pctl, Opts, Report, SEC};
 
 /// Run the experiment.
 pub fn run(opts: &Opts) -> Report {
-    let mut rep = Report::new("fig20", "TCP RTT when almost all switch ports are congested");
+    let mut rep = Report::new(
+        "fig20",
+        "TCP RTT when almost all switch ports are congested",
+    );
     let dur = opts.dur(10 * SEC, 300 * MILLISECOND);
     let group_a = 46usize;
-    rep.line("scheme                p50(ms)   p95(ms)   p99(ms)  p99.9(ms)   avg tput(Mbps)   drops(%)");
+    rep.line(
+        "scheme                p50(ms)   p95(ms)   p99(ms)  p99.9(ms)   avg tput(Mbps)   drops(%)",
+    );
     for scheme in [Scheme::Cubic, Scheme::Dctcp, Scheme::acdc()] {
         let name = scheme.name();
         // Hosts: 0..45 group A, 46 = B1, 47 = B2.

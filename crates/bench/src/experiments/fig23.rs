@@ -58,7 +58,11 @@ pub fn run_trace(
 /// Run the experiment.
 pub fn run(opts: &Opts) -> Report {
     let mut rep = Report::new("fig23", "trace-driven workloads: mice (<10 KB) FCTs");
-    let (apps, deadline) = if opts.full { (5, 60 * SECOND) } else { (5, SECOND) };
+    let (apps, deadline) = if opts.full {
+        (5, 60 * SECOND)
+    } else {
+        (5, SECOND)
+    };
     for dist in [FlowSizeDist::web_search(), FlowSizeDist::data_mining()] {
         rep.line(format!("workload: {}", dist.name()));
         rep.line("  scheme                p50(ms)   p99(ms)  p99.9(ms)   n_mice");

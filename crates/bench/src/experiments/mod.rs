@@ -27,8 +27,29 @@ pub use common::{Opts, Report};
 
 /// All experiment ids, in figure order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "parkinglot", "table1", "ablations", "udpmix",
+    "fig1",
+    "fig2",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "parkinglot",
+    "table1",
+    "ablations",
+    "udpmix",
 ];
 
 /// Run one experiment by id.

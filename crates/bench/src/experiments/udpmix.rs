@@ -50,10 +50,8 @@ pub fn run(opts: &Opts) -> Report {
         tb.run_until(dur);
         let w = (dur - warm) as f64;
         let tcp_gbps = ((tb.acked_bytes(t1) - b1) + (tb.acked_bytes(t2) - b2)) as f64 * 8.0 / w;
-        let udp_gbps = (udp_delivered(&mut tb, rx) - udp_rx_warm) as f64
-            * (udp_payload + 28) as f64
-            * 8.0
-            / w;
+        let udp_gbps =
+            (udp_delivered(&mut tb, rx) - udp_rx_warm) as f64 * (udp_payload + 28) as f64 * 8.0 / w;
         let mut rtt = acdc_stats::Distribution::new();
         rtt.extend(tb.rtt_samples_ms(probe).into_iter().skip(5));
         let drops = tb.drop_rate() * 100.0;

@@ -90,6 +90,11 @@ impl Dctcp {
         if self.acked_bytes > 0 {
             let frac = self.marked_bytes as f64 / self.acked_bytes as f64;
             self.alpha = ((1.0 - self.gain) * self.alpha + self.gain * frac).clamp(0.0, 1.0);
+            crate::strict_invariant!(
+                (0.0..=1.0).contains(&self.alpha),
+                "DCTCP alpha escaped [0,1]: {}",
+                self.alpha
+            );
         }
         self.acked_bytes = 0;
         self.marked_bytes = 0;
@@ -102,6 +107,13 @@ impl Dctcp {
         self.cwnd = new.max(self.cfg.min_window_bytes);
         self.ssthresh = self.cwnd;
         self.cut_in_window = true;
+        crate::strict_invariant!(
+            self.cwnd >= self.cfg.min_window_bytes.min(u64::from(self.cfg.mss)),
+            "cwnd {} fell below the floor (min_window={}, mss={})",
+            self.cwnd,
+            self.cfg.min_window_bytes,
+            self.cfg.mss
+        );
     }
 }
 
@@ -250,7 +262,11 @@ mod tests {
         let after_first = d.cwnd();
         assert!(after_first < before);
         d.on_ack(&ack(now + 1000, 1000, 1000));
-        assert_eq!(d.cwnd(), after_first, "second cut in same RTT must not apply");
+        assert_eq!(
+            d.cwnd(),
+            after_first,
+            "second cut in same RTT must not apply"
+        );
     }
 
     #[test]
@@ -260,7 +276,11 @@ mod tests {
         assert!(d.alpha() < 0.01);
         let before = d.cwnd();
         d.on_fast_retransmit(0);
-        assert_eq!(d.alpha(), 1.0);
+        assert!(
+            (d.alpha() - 1.0).abs() < f64::EPSILON,
+            "alpha={}",
+            d.alpha()
+        );
         assert_eq!(d.cwnd(), (before / 2).max(cfg().min_window_bytes));
     }
 

@@ -155,8 +155,8 @@ impl CongestionControl for HighSpeed {
 
     fn on_retransmit_timeout(&mut self, _now: Nanos) {
         self.update_idx();
-        self.ssthresh = ((self.cwnd as f64 * (1.0 - self.md())) as u64)
-            .max(self.cfg.min_window_bytes);
+        self.ssthresh =
+            ((self.cwnd as f64 * (1.0 - self.md())) as u64).max(self.cfg.min_window_bytes);
         self.cwnd = u64::from(self.cfg.mss);
         self.idx = 0;
     }

@@ -161,8 +161,8 @@ impl CongestionControl for Illinois {
     }
 
     fn on_retransmit_timeout(&mut self, _now: Nanos) {
-        self.ssthresh = ((self.cwnd as f64 * (1.0 - self.beta)) as u64)
-            .max(self.cfg.min_window_bytes);
+        self.ssthresh =
+            ((self.cwnd as f64 * (1.0 - self.beta)) as u64).max(self.cfg.min_window_bytes);
         self.cwnd = u64::from(self.cfg.mss);
         self.epoch_end = None;
     }
@@ -238,7 +238,7 @@ mod tests {
 
         let mut reno = crate::NewReno::new(cfg());
         // Same number of CA ACK bytes through Reno.
-        let mut rw = 0u64;
+        let rw;
         let start_r;
         {
             let mut now2 = 0;

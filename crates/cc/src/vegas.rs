@@ -137,7 +137,7 @@ impl CongestionControl for Vegas {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acdc_stats::time::{MILLISECOND, MICROSECOND};
+    use acdc_stats::time::{MICROSECOND, MILLISECOND};
 
     fn cfg() -> CcConfig {
         CcConfig::host(1000)
@@ -197,7 +197,7 @@ mod tests {
         let mut v = Vegas::new(cfg());
         v.ssthresh = 0;
         v.cwnd = 10_000; // 10 segments
-        // baseRTT 100µs; actual 130µs → diff = 10·0.3/1.3 ≈ 2.3 ∈ [2,4].
+                         // baseRTT 100µs; actual 130µs → diff = 10·0.3/1.3 ≈ 2.3 ∈ [2,4].
         let now = drive(&mut v, 0, 1, 100 * MICROSECOND);
         let target = v.cwnd();
         drive(&mut v, now, 8, 130 * MICROSECOND);

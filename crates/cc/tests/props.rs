@@ -7,7 +7,11 @@ use proptest::prelude::*;
 /// One abstract congestion-control event.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Ack { bytes: u32, marked: bool, rtt_us: u32 },
+    Ack {
+        bytes: u32,
+        marked: bool,
+        rtt_us: u32,
+    },
     Dup,
     FastRetransmit,
     Timeout,

@@ -8,7 +8,7 @@
 //! ```
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -70,13 +70,13 @@ impl Conn {
     fn sample_taps(&mut self, now: Nanos) {
         if let Some(ts) = &mut self.cwnd_trace {
             let v = self.ep.cwnd() as f64;
-            if ts.samples().last().map_or(true, |s| s.value != v) {
+            if ts.samples().last().is_none_or(|s| s.value != v) {
                 ts.push(now, v);
             }
         }
         if let Some(ts) = &mut self.rwnd_trace {
             let v = self.ep.peer_rwnd() as f64;
-            if ts.samples().last().map_or(true, |s| s.value != v) {
+            if ts.samples().last().is_none_or(|s| s.value != v) {
                 ts.push(now, v);
             }
         }
@@ -152,7 +152,7 @@ pub struct HostNode {
     nic: PortId,
     datapath: Arc<AcdcDatapath>,
     conns: Vec<Conn>,
-    by_key: HashMap<FlowKey, usize>,
+    by_key: BTreeMap<FlowKey, usize>,
     multi_apps: Vec<(Box<dyn MultiApp>, Option<Nanos>)>,
     rl: Option<RateLimiter>,
     /// Earliest wake-up currently scheduled with the engine.
@@ -168,7 +168,7 @@ impl HostNode {
             nic,
             datapath: Arc::new(AcdcDatapath::new(acdc)),
             conns: Vec::new(),
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             multi_apps: Vec::new(),
             rl: None,
             armed: None,
@@ -235,7 +235,11 @@ impl HostNode {
         self.conns.push(Conn {
             ep,
             app,
-            start_at: if active { Some(start_at.unwrap_or(0)) } else { None },
+            start_at: if active {
+                Some(start_at.unwrap_or(0))
+            } else {
+                None
+            },
             stop_at: None,
             started: !active,
             stopped: false,
@@ -460,7 +464,7 @@ impl HostNode {
         if let Some(t) = earliest {
             let t = t.max(now);
             // Avoid re-arming for a deadline we already have armed.
-            if self.armed.map_or(true, |a| t < a || a <= now) {
+            if self.armed.is_none_or(|a| t < a || a <= now) {
                 self.armed = Some(t);
                 ctx.set_timer(t - now, 0);
             }

@@ -119,7 +119,14 @@ impl Scheme {
         iss: u32,
     ) -> TcpConfig {
         let mss = TcpConfig::mss_for_mtu(mtu);
-        let mut cfg = TcpConfig::new(local_ip, local_port, remote_ip, remote_port, mss, self.host_cc());
+        let mut cfg = TcpConfig::new(
+            local_ip,
+            local_port,
+            remote_ip,
+            remote_port,
+            mss,
+            self.host_cc(),
+        );
         cfg.iss = iss;
         // Only a native DCTCP stack negotiates ECN end-to-end; under
         // AC/DC the vSwitch handles ECN and guests stay as they are.

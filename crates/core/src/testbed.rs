@@ -6,7 +6,9 @@ use acdc_netsim::{LinkSpec, Network, NodeId, SwitchCounters, SwitchNode};
 use acdc_packet::FlowKey;
 use acdc_stats::time::Nanos;
 use acdc_tcp::Endpoint;
-use acdc_workloads::apps::{App, BulkSender, EchoServer, MessageSender, PingPong, SequentialSender};
+use acdc_workloads::apps::{
+    App, BulkSender, EchoServer, MessageSender, PingPong, SequentialSender,
+};
 use acdc_workloads::{FctKind, FctRecorder};
 
 use crate::host::{ConnTaps, FlowHandle, HostNode};
@@ -16,6 +18,9 @@ use crate::scheme::{Scheme, DEFAULT_MARK_THRESHOLD};
 pub fn default_link() -> LinkSpec {
     LinkSpec::ten_gbe(1_500)
 }
+
+/// Per-vSwitch configuration hook applied after scheme defaults.
+type AcdcTweak = Box<dyn Fn(&mut acdc_vswitch::AcdcConfig)>;
 
 /// A built topology with hosts, switches and flow bookkeeping.
 pub struct Testbed {
@@ -30,7 +35,7 @@ pub struct Testbed {
     switches: Vec<NodeId>,
     next_port: Vec<u16>,
     iss: u32,
-    acdc_tweak: Option<Box<dyn Fn(&mut acdc_vswitch::AcdcConfig)>>,
+    acdc_tweak: Option<AcdcTweak>,
     mark_bytes: u64,
 }
 
@@ -192,7 +197,9 @@ impl Testbed {
         }
         // Chain the switches; default routes point "rightward".
         for i in 0..n - 1 {
-            let (pa, _pb) = tb.net.connect(tb.switches[i], tb.switches[i + 1], default_link());
+            let (pa, _pb) = tb
+                .net
+                .connect(tb.switches[i], tb.switches[i + 1], default_link());
             tb.net
                 .node_mut::<SwitchNode>(tb.switches[i])
                 .unwrap()
@@ -206,7 +213,9 @@ impl Testbed {
         // Receiver→sender routes walk leftward: give every non-first
         // switch a back-route per sender.
         for i in (1..n).rev() {
-            let (pa, _pb) = tb.net.connect(tb.switches[i], tb.switches[i - 1], default_link());
+            let (pa, _pb) = tb
+                .net
+                .connect(tb.switches[i], tb.switches[i - 1], default_link());
             for s in 0..i {
                 let ip = tb.host_ips[s];
                 tb.net
@@ -265,7 +274,8 @@ impl Testbed {
         if let Some(s) = self.net.node_mut::<SwitchNode>(self.switches[sw]) {
             s.add_route(ip, swp);
         }
-        self.net.install(node, Box::new(crate::udp::UdpSinkNode::new()));
+        self.net
+            .install(node, Box::new(crate::udp::UdpSinkNode::new()));
         (node, ip)
     }
 
@@ -280,9 +290,7 @@ impl Testbed {
     /// Mutable access to a host.
     pub fn host_mut(&mut self, idx: usize) -> &mut HostNode {
         let id = self.hosts[idx];
-        self.net
-            .node_mut::<HostNode>(id)
-            .expect("host node")
+        self.net.node_mut::<HostNode>(id).expect("host node")
     }
 
     /// Switch counters of switch `i`.
@@ -385,6 +393,7 @@ impl Testbed {
     /// the mixed-stack experiments (Figures 1, 15, 17; Table 1 runs each
     /// host stack under AC/DC). `ecn` selects end-to-end ECN negotiation
     /// for this connection.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_bulk_with_cc(
         &mut self,
         client: usize,
@@ -555,7 +564,12 @@ impl Testbed {
         self.add_flow(
             client,
             server,
-            Some(Box::new(MessageSender::new(msg, period, limit, FctKind::Mice))),
+            Some(Box::new(MessageSender::new(
+                msg,
+                period,
+                limit,
+                FctKind::Mice,
+            ))),
             None,
             start,
             ConnTaps::default(),
@@ -659,13 +673,11 @@ impl Testbed {
 
     /// Per-flow throughputs (Gbps, measured by acked bytes over the given
     /// interval) for a set of flows — the input to Jain's index.
-    pub fn throughputs_gbps(
-        &mut self,
-        flows: &[FlowHandle],
-        start: Nanos,
-        end: Nanos,
-    ) -> Vec<f64> {
-        flows.iter().map(|&h| self.flow_gbps(h, start, end)).collect()
+    pub fn throughputs_gbps(&mut self, flows: &[FlowHandle], start: Nanos, end: Nanos) -> Vec<f64> {
+        flows
+            .iter()
+            .map(|&h| self.flow_gbps(h, start, end))
+            .collect()
     }
 }
 
@@ -766,7 +778,9 @@ mod tests {
     fn parking_lot_routes_all_senders_to_receiver() {
         let mut tb = Testbed::parking_lot(3, Scheme::Dctcp, 9000);
         let rx = 3; // receiver index
-        let flows: Vec<_> = (0..3).map(|s| tb.add_bulk(s, rx, Some(2_000_000), 0)).collect();
+        let flows: Vec<_> = (0..3)
+            .map(|s| tb.add_bulk(s, rx, Some(2_000_000), 0))
+            .collect();
         tb.run_until(SECOND);
         for f in flows {
             assert_eq!(tb.acked_bytes(f), 2_000_000, "sender {f:?}");

@@ -294,7 +294,10 @@ impl Network {
         let mut node = self.nodes[id.0]
             .take()
             .unwrap_or_else(|| panic!("node {id:?} not installed or reentered"));
-        let mut ctx = Ctx { net: self, node: id };
+        let mut ctx = Ctx {
+            net: self,
+            node: id,
+        };
         f(node.as_mut(), &mut ctx);
         self.nodes[id.0] = Some(node);
     }

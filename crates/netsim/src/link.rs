@@ -24,7 +24,7 @@ impl LinkSpec {
     pub fn serialization_delay(&self, bytes: usize) -> Nanos {
         // ceil(bits * 1e9 / rate) without overflow for realistic sizes.
         let bits = bytes as u128 * 8;
-        ((bits * 1_000_000_000 + self.rate_bps as u128 - 1) / self.rate_bps as u128) as Nanos
+        (bits * 1_000_000_000).div_ceil(self.rate_bps as u128) as Nanos
     }
 }
 

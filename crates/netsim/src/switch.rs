@@ -29,7 +29,7 @@
 //! buffer limits drop packets.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -154,14 +154,15 @@ impl SwitchCounters {
 /// The switch node.
 pub struct SwitchNode {
     cfg: SwitchConfig,
-    /// Destination IPv4 → output port.
-    routes: HashMap<[u8; 4], PortId>,
+    /// Destination IPv4 → output port. Ordered so that any future
+    /// iteration over routes is deterministic (lint rule D002).
+    routes: BTreeMap<[u8; 4], PortId>,
     /// Fallback port for unmatched destinations (inter-switch trunk).
     default_route: Option<PortId>,
     /// Occupancy per output port, bytes (queued + in transmission).
-    occupancy: HashMap<PortId, u64>,
+    occupancy: BTreeMap<PortId, u64>,
     /// WRED-averaged occupancy per output port (EWMA, weight 1/16).
-    avg_occupancy: HashMap<PortId, f64>,
+    avg_occupancy: BTreeMap<PortId, f64>,
     /// Total occupancy, bytes.
     total_occupancy: u64,
     counters: SwitchCounters,
@@ -176,10 +177,10 @@ impl SwitchNode {
     pub fn new(cfg: SwitchConfig) -> SwitchNode {
         SwitchNode {
             cfg,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             default_route: None,
-            occupancy: HashMap::new(),
-            avg_occupancy: HashMap::new(),
+            occupancy: BTreeMap::new(),
+            avg_occupancy: BTreeMap::new(),
             total_occupancy: 0,
             counters: SwitchCounters::default(),
             probe: None,
@@ -460,7 +461,11 @@ mod tests {
             .count();
         let sw = net.node_mut::<SwitchNode>(sw).unwrap();
         assert!(sw.counters().ce_marked > 0);
-        assert_eq!(sw.counters().wred_drops, 0, "ECT traffic is never dropped by WRED");
+        assert_eq!(
+            sw.counters().wred_drops,
+            0,
+            "ECT traffic is never dropped by WRED"
+        );
         assert_eq!(marked_at_dst as u64, sw.counters().ce_marked);
         // All packets still delivered.
         assert_eq!(sw.counters().forwarded, 20);

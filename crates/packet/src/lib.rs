@@ -33,6 +33,7 @@ pub mod segment;
 pub mod seq;
 pub mod tcp;
 pub mod udp;
+pub mod window;
 
 pub use checksum::{checksum, checksum_adjust, pseudo_header_sum};
 pub use ecn::Ecn;
@@ -42,6 +43,7 @@ pub use segment::{FlowKey, Segment};
 pub use seq::SeqNumber;
 pub use tcp::{TcpFlags, TcpOption, TcpPacket, TcpRepr};
 pub use udp::{UdpPacket, UdpRepr};
+pub use window::{scale_rwnd, scale_rwnd_nonzero, unscale_rwnd, MAX_WSCALE};
 
 /// Errors produced when parsing malformed packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -105,10 +105,7 @@ impl Segment {
             ip_repr.emit(&mut ipp);
         }
         {
-            let udp_repr = UdpRepr {
-                payload_len,
-                ..udp
-            };
+            let udp_repr = UdpRepr { payload_len, ..udp };
             let mut udpp = UdpPacket::new_unchecked(&mut buf[ip_repr.header_len()..]);
             udp_repr.emit(&mut udpp);
             udpp.fill_checksum(ip_repr.src_addr, ip_repr.dst_addr, payload_len);
@@ -341,7 +338,7 @@ mod tests {
     #[test]
     fn from_header_bytes_round_trip() {
         let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 777);
-        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        let buf = BytesMut::from(seg.header_bytes());
         let seg2 = Segment::from_header_bytes(buf, 777).unwrap();
         assert_eq!(seg2.wire_len(), seg.wire_len());
         assert_eq!(seg2.flow_key(), seg.flow_key());
@@ -352,7 +349,7 @@ mod tests {
     fn from_header_bytes_rejects_unknown_protocol() {
         let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
         seg.ip_mut().set_protocol(47); // GRE: not ours
-        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        let buf = BytesMut::from(seg.header_bytes());
         assert_eq!(
             Segment::from_header_bytes(buf, 0).unwrap_err(),
             Error::Unsupported
@@ -373,7 +370,7 @@ mod tests {
         let k = seg.flow_key();
         assert_eq!(k.src_port, 6000);
         assert_eq!(k.dst_port, 7000);
-        let buf = BytesMut::from(&seg.header_bytes()[..]);
+        let buf = BytesMut::from(seg.header_bytes());
         let seg2 = Segment::from_header_bytes(buf, 512).unwrap();
         assert_eq!(seg2.flow_key(), k);
         assert!(seg2.verify_checksums());

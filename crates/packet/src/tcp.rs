@@ -252,12 +252,7 @@ impl<T: AsRef<[u8]>> TcpPacket<T> {
     /// Verify the TCP checksum assuming a payload of `payload_len` zero
     /// bytes beyond what the buffer holds (see crate docs on virtual
     /// payloads). For fully materialized packets pass `0`.
-    pub fn verify_checksum(
-        &self,
-        src: [u8; 4],
-        dst: [u8; 4],
-        virtual_payload_len: usize,
-    ) -> bool {
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4], virtual_payload_len: usize) -> bool {
         let data = self.buffer.as_ref();
         let l4_len = (data.len() + virtual_payload_len) as u32;
         let mut sum = pseudo_header_sum(src, dst, crate::PROTO_TCP, l4_len);
@@ -797,7 +792,7 @@ mod tests {
 
     #[test]
     fn header_len_bounds_checked() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[field::OFF_RSVD] = 0x30; // data offset 3 words = 12 bytes < 20
         assert_eq!(
             TcpPacket::new_checked(&buf[..]).unwrap_err(),

@@ -1,0 +1,90 @@
+//! RFC 7323 window scaling, in one place.
+//!
+//! AC/DC enforces congestion control by rewriting the 16-bit TCP receive
+//! window field, and the paper is explicit (§3.3) that the vSwitch must
+//! honour the *window scale negotiated by the guest* when doing so: the
+//! value on the wire is `RWND >> wscale`, and a vSwitch that shifts by the
+//! wrong amount (or forgets to shift) enforces a window up to 2^14 times
+//! off target. Every byte↔wire conversion in the workspace goes through
+//! these helpers; hand-rolled `>> wscale` shifts elsewhere are rejected by
+//! lint rule P002 (`cargo run -p acdc-xtask -- lint`).
+
+/// Largest shift RFC 7323 permits (larger advertised values are treated
+/// as 14 by receivers, and [`crate::tcp`] clamps on parse as well).
+pub const MAX_WSCALE: u8 = 14;
+
+/// Convert a window in bytes to the raw 16-bit wire value under `wscale`.
+///
+/// Saturates at `u16::MAX` (the field's ceiling: with `wscale` 0 that is
+/// 64 KB; with 14 it covers 1 GB). Values that shift to zero *stay* zero —
+/// use [`scale_rwnd_nonzero`] where a zero-window advertisement must never
+/// be produced.
+#[inline]
+pub fn scale_rwnd(bytes: u64, wscale: u8) -> u16 {
+    (bytes >> wscale.min(MAX_WSCALE)).min(u64::from(u16::MAX)) as u16
+}
+
+/// Like [`scale_rwnd`], but never returns zero.
+///
+/// The AC/DC datapath uses this for every window it *enforces*: writing a
+/// zero window into a passing ACK would freeze the sender until a window
+/// probe, turning congestion control into a stall (§3.3 sets a one-packet
+/// floor for exactly this reason).
+#[inline]
+pub fn scale_rwnd_nonzero(bytes: u64, wscale: u8) -> u16 {
+    scale_rwnd(bytes, wscale).max(1)
+}
+
+/// Convert a raw 16-bit wire window back to bytes under `wscale`.
+///
+/// This is the receive direction of RFC 7323: the peer advertised `raw`
+/// and both ends agreed to scale it by `wscale` during the handshake.
+/// Windows carried on SYN segments are *never* scaled — callers must pass
+/// `wscale = 0` for those.
+#[inline]
+pub fn unscale_rwnd(raw: u16, wscale: u8) -> u64 {
+    u64::from(raw) << wscale.min(MAX_WSCALE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_floor_division() {
+        assert_eq!(scale_rwnd(100_000, 3), 12_500);
+        assert_eq!(scale_rwnd(100_007, 3), 12_500);
+        assert_eq!(scale_rwnd(0, 3), 0);
+    }
+
+    #[test]
+    fn scale_saturates_at_field_max() {
+        assert_eq!(scale_rwnd(1 << 40, 0), u16::MAX);
+        assert_eq!(scale_rwnd(1 << 40, 14), u16::MAX);
+    }
+
+    #[test]
+    fn nonzero_floor() {
+        assert_eq!(scale_rwnd_nonzero(0, 7), 1);
+        assert_eq!(
+            scale_rwnd_nonzero(100, 14),
+            1,
+            "sub-granule windows round up to one unit"
+        );
+        assert_eq!(scale_rwnd_nonzero(100_000, 3), 12_500);
+    }
+
+    #[test]
+    fn unscale_round_trips_aligned_windows() {
+        for ws in 0..=MAX_WSCALE {
+            let bytes = 48u64 << ws;
+            assert_eq!(unscale_rwnd(scale_rwnd(bytes, ws), ws), bytes);
+        }
+    }
+
+    #[test]
+    fn oversized_wscale_clamps_to_rfc_limit() {
+        assert_eq!(scale_rwnd(1 << 20, 40), scale_rwnd(1 << 20, 14));
+        assert_eq!(unscale_rwnd(2, 40), 2 << 14);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the wire formats.
 
 use acdc_packet::{
-    checksum, Ecn, Ipv4Packet, Ipv4Repr, PackOption, SeqNumber, Segment, TcpFlags, TcpOption,
+    checksum, Ecn, Ipv4Packet, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption,
     TcpPacket, TcpRepr, PROTO_TCP,
 };
 use proptest::prelude::*;
@@ -77,6 +77,65 @@ proptest! {
         let s = SeqNumber(a);
         prop_assert!(s + delta > s);
         prop_assert_eq!((s + delta) - s, delta as i32);
+    }
+
+    #[test]
+    fn seq_wraparound_add_crosses_boundary(near_end in 0u32..1_000, delta in 1u32..1_000_000) {
+        // Start close enough to 2^32 that the addition wraps.
+        let s = SeqNumber(u32::MAX - near_end);
+        prop_assume!(delta > near_end);
+        let t = s + delta;
+        prop_assert_eq!(t.raw(), delta - near_end - 1, "wrapped raw value");
+        // Serial-number ordering must still see the successor as greater.
+        prop_assert!(t > s);
+        prop_assert_eq!(t - s, delta as i32);
+    }
+
+    #[test]
+    fn seq_add_then_sub_round_trips(a: u32, delta in 0u32..=i32::MAX as u32) {
+        let s = SeqNumber(a);
+        prop_assert_eq!((s + delta) - delta, s);
+        prop_assert_eq!((s + delta).distance(s), delta as i32);
+    }
+
+    #[test]
+    fn seq_in_range_tracks_wrapped_windows(a: u32, len in 1u32..1_000_000, off in 0u32..1_000_000) {
+        // [lo, hi) windows behave identically whether or not they straddle
+        // the 2^32 boundary.
+        let lo = SeqNumber(a);
+        let hi = lo + len;
+        let probe = lo + off.min(len.saturating_sub(1));
+        prop_assert!(probe.in_range(lo, hi));
+        prop_assert!(!hi.in_range(lo, hi), "hi is exclusive");
+        prop_assert!(!(lo - 1u32).in_range(lo, hi), "below lo is out");
+    }
+
+    #[test]
+    fn seq_max_min_agree_with_ordering(a: u32, b: u32) {
+        let (sa, sb) = (SeqNumber(a), SeqNumber(b));
+        prop_assume!((sb - sa) != i32::MIN); // antipodal pair: order undefined
+        let hi = sa.max(sb);
+        let lo = sa.min(sb);
+        prop_assert!(hi >= lo);
+        prop_assert!(hi == sa || hi == sb);
+        prop_assert!(lo == sa || lo == sb);
+        prop_assert_eq!(hi.distance(lo), (sa - sb).abs());
+    }
+
+    #[test]
+    fn rwnd_scaling_bounds(bytes in 0u64..(1u64 << 40), wscale in 0u8..=14) {
+        let raw = acdc_packet::scale_rwnd(bytes, wscale);
+        let back = acdc_packet::unscale_rwnd(raw, wscale);
+        // Never over-advertise, and round down by less than one granule
+        // (unless the 16-bit field saturated).
+        prop_assert!(back <= bytes);
+        if raw < u16::MAX {
+            prop_assert!(bytes - back < (1u64 << wscale));
+        }
+        // The enforcement variant only ever differs by lifting 0 to 1.
+        let nz = acdc_packet::scale_rwnd_nonzero(bytes, wscale);
+        prop_assert!(nz >= 1);
+        prop_assert_eq!(nz, raw.max(1));
     }
 
     #[test]

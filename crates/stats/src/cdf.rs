@@ -117,7 +117,11 @@ impl Distribution {
         }
         let steps = points.max(2).min(n);
         for i in 0..steps {
-            let idx = if steps == 1 { 0 } else { i * (n - 1) / (steps - 1) };
+            let idx = if steps == 1 {
+                0
+            } else {
+                i * (n - 1) / (steps - 1)
+            };
             pts.push(CdfPoint {
                 value: self.samples[idx],
                 fraction: (idx + 1) as f64 / n as f64,

@@ -28,7 +28,7 @@ impl TimeSeries {
     /// Append a sample; timestamps should be nondecreasing.
     pub fn push(&mut self, at: Nanos, value: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |s| s.at <= at),
+            self.samples.last().is_none_or(|s| s.at <= at),
             "time series must be appended in time order"
         );
         self.samples.push(Sample { at, value });

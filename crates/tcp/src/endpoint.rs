@@ -395,9 +395,10 @@ impl Endpoint {
     }
 
     fn maybe_disarm_rto(&mut self) {
-        let outstanding =
-            self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked) || self.need_syn
-                || self.need_synack;
+        let outstanding = self.snd_nxt > self.snd_una
+            || (self.fin_sent && !self.fin_acked)
+            || self.need_syn
+            || self.need_synack;
         if !outstanding {
             self.rto_deadline = None;
             self.backoff = 0;
@@ -463,8 +464,7 @@ impl Endpoint {
             }
             TcpState::Closed | TcpState::Listen | TcpState::TimeWait => {}
             _ => {
-                let outstanding =
-                    self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked);
+                let outstanding = self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked);
                 if !outstanding {
                     return;
                 }
@@ -576,7 +576,7 @@ impl Endpoint {
         self.peer_rwnd = if syn {
             u64::from(raw)
         } else {
-            u64::from(raw) << self.peer_wscale
+            acdc_packet::unscale_rwnd(raw, self.peer_wscale)
         };
     }
 
@@ -594,13 +594,14 @@ impl Endpoint {
         }
 
         // SYN-RCVD completes on the first valid ACK.
-        if self.state == TcpState::SynRcvd && flags.contains(TcpFlags::ACK) {
-            if self.unwrap_ack(tcp.ack_number()) == Some(0) {
-                self.state = TcpState::Established;
-                self.rto_deadline = None;
-                self.backoff = 0;
-                self.need_synack = false;
-            }
+        if self.state == TcpState::SynRcvd
+            && flags.contains(TcpFlags::ACK)
+            && self.unwrap_ack(tcp.ack_number()) == Some(0)
+        {
+            self.state = TcpState::Established;
+            self.rto_deadline = None;
+            self.backoff = 0;
+            self.need_synack = false;
         }
 
         if flags.contains(TcpFlags::ACK) {
@@ -667,6 +668,13 @@ impl Endpoint {
         // do not retransmit bytes the receiver already has.
         self.snd_una = ack_off.min(self.snd_max);
         self.snd_nxt = self.snd_nxt.max(self.snd_una);
+        crate::strict_invariant!(
+            self.snd_una <= self.snd_nxt && self.snd_nxt <= self.snd_max,
+            "send pointers out of order: una={} nxt={} max={}",
+            self.snd_una,
+            self.snd_nxt,
+            self.snd_max
+        );
         if fin_ack {
             self.fin_acked = true;
             self.fin_sent = true;
@@ -903,7 +911,7 @@ impl Endpoint {
     }
 
     fn adv_window_raw(&self) -> u16 {
-        (self.adv_window_bytes() >> self.cfg.wscale).min(u64::from(u16::MAX)) as u16
+        acdc_packet::scale_rwnd(self.adv_window_bytes(), self.cfg.wscale)
     }
 
     /// Build the next outgoing segment, if anything needs sending.
@@ -927,9 +935,7 @@ impl Endpoint {
             }
             return None;
         }
-        if !self.is_established()
-            && !matches!(self.state, TcpState::LastAck | TcpState::Closing)
-        {
+        if !self.is_established() && !matches!(self.state, TcpState::LastAck | TcpState::Closing) {
             return None;
         }
 
@@ -1216,10 +1222,10 @@ mod tests {
                             emitted = true;
                             continue; // drop
                         }
-                        if self.mark_all || self.mark_nth_data.contains(&self.data_count) {
-                            if seg.ecn().is_ect() {
-                                seg.mark_ce();
-                            }
+                        if (self.mark_all || self.mark_nth_data.contains(&self.data_count))
+                            && seg.ecn().is_ect()
+                        {
+                            seg.mark_ce();
                         }
                     }
                     self.wire.push((self.now + self.delay, true, seg));

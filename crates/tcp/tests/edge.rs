@@ -68,7 +68,10 @@ fn rst_tears_down_immediately() {
     );
     a.on_segment(1_000, &rst);
     assert_eq!(a.state(), TcpState::Closed);
-    assert!(a.poll_transmit(2_000).is_none(), "closed endpoints are quiet");
+    assert!(
+        a.poll_transmit(2_000).is_none(),
+        "closed endpoints are quiet"
+    );
 }
 
 #[test]
@@ -137,7 +140,7 @@ fn delayed_ack_fires_on_timer() {
 fn stop_sending_truncates_cleanly() {
     let (mut a, mut b) = established_pair(CcKind::Cubic);
     a.send(1 << 30); // "unlimited"
-    // Move some of it.
+                     // Move some of it.
     for round in 0..50u64 {
         exchange(10_000 + round * 100, &mut a, &mut b);
     }

@@ -14,9 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use acdc_cc::{AckEvent, CcConfig};
-use acdc_packet::{
-    Ecn, Ipv4Repr, PackOption, Segment, TcpFlags, TcpOption, TcpRepr,
-};
+use acdc_packet::{Ecn, Ipv4Repr, PackOption, Segment, TcpFlags, TcpOption, TcpRepr};
 use acdc_stats::time::{Nanos, MILLISECOND};
 
 use crate::entry::FlowEntry;
@@ -153,7 +151,10 @@ impl AcdcCounters {
         [
             ("packs_sent", self.packs_sent.load(Ordering::Relaxed)),
             ("facks_sent", self.facks_sent.load(Ordering::Relaxed)),
-            ("packs_received", self.packs_received.load(Ordering::Relaxed)),
+            (
+                "packs_received",
+                self.packs_received.load(Ordering::Relaxed),
+            ),
             ("rwnd_rewrites", self.rwnd_rewrites.load(Ordering::Relaxed)),
             ("policed_drops", self.policed_drops.load(Ordering::Relaxed)),
             (
@@ -276,15 +277,20 @@ impl AcdcDatapath {
 
         // --- Sender module: data packets ---
         if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
-            let entry = self
-                .table
-                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            let entry = self.table.get_or_create(key, || {
+                FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
+            });
             let mut e = entry.lock();
             e.last_activity = now;
             let tcp = seg.tcp();
             let seq = tcp.seq_number();
-            let seq_end = seq + (seg.payload_len() as u32)
-                + if flags.contains(TcpFlags::FIN) { 1u32 } else { 0u32 };
+            let seq_end = seq
+                + (seg.payload_len() as u32)
+                + if flags.contains(TcpFlags::FIN) {
+                    1u32
+                } else {
+                    0u32
+                };
             if !e.seq_valid {
                 e.snd_una = seq;
                 e.snd_nxt = seq_end;
@@ -359,8 +365,7 @@ impl AcdcDatapath {
                         total_bytes: total,
                         marked_bytes: marked,
                     };
-                    if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu
-                        && can_fit_option(&seg)
+                    if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu && can_fit_option(&seg)
                     {
                         seg = append_pack(&seg, pack);
                         AcdcCounters::bump(&self.counters.packs_sent);
@@ -417,9 +422,9 @@ impl AcdcDatapath {
 
         // --- Receiver module: account + launder ECN on data (§3.2) ---
         if seg.payload_len() > 0 {
-            let entry = self
-                .table
-                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            let entry = self.table.get_or_create(key, || {
+                FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
+            });
             {
                 let mut e = entry.lock();
                 e.last_activity = now;
@@ -429,6 +434,14 @@ impl AcdcDatapath {
                     e.rx_marked += seg.payload_len() as u64;
                     e.rx_marked_lifetime += seg.payload_len() as u64;
                 }
+                crate::strict_invariant!(
+                    e.rx_marked <= e.rx_total && e.rx_marked_lifetime <= e.rx_total_lifetime,
+                    "PACK receive counters inconsistent: marked {}/{} lifetime {}/{}",
+                    e.rx_marked,
+                    e.rx_total,
+                    e.rx_marked_lifetime,
+                    e.rx_total_lifetime
+                );
             }
             // Restore what the sender VM originally put on the wire: ECT
             // if its stack spoke ECN (hiding the CE mark from it is the
@@ -479,6 +492,12 @@ impl AcdcDatapath {
             let mut e = entry.lock();
             e.fb_total += u64::from(pack.total_bytes);
             e.fb_marked += u64::from(pack.marked_bytes);
+            crate::strict_invariant!(
+                e.fb_marked <= e.fb_total,
+                "PACK feedback counters inconsistent: marked {} > total {}",
+                e.fb_marked,
+                e.fb_total
+            );
         }
     }
 
@@ -550,25 +569,22 @@ impl AcdcDatapath {
         // Enforcement: overwrite RWND with the computed window, only when
         // that is *smaller* than what the guest advertised (§3.3). An
         // administrative cap (§3.4) bounds it further.
-        let cwnd = e
-            .cc
-            .cwnd()
-            .min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
+        let cwnd = e.cc.cwnd().min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
         e.computed_rwnd = cwnd;
         if self.cfg.trace_windows {
-            e.window_trace.get_or_insert_with(Vec::new).push((now, cwnd));
+            e.window_trace
+                .get_or_insert_with(Vec::new)
+                .push((now, cwnd));
         }
         let wscale = e.ack_wscale;
         drop(e);
 
-        if rewrite {
-            if !self.cfg.log_only {
-                let raw_target = (cwnd >> wscale).max(1).min(u64::from(u16::MAX)) as u16;
-                let mut tcp = seg.tcp_mut();
-                if raw_target < tcp.window() {
-                    tcp.set_window_update_checksum(raw_target);
-                    AcdcCounters::bump(&self.counters.rwnd_rewrites);
-                }
+        if rewrite && !self.cfg.log_only {
+            let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
+            let mut tcp = seg.tcp_mut();
+            if raw_target < tcp.window() {
+                tcp.set_window_update_checksum(raw_target);
+                AcdcCounters::bump(&self.counters.rwnd_rewrites);
             }
         }
     }
@@ -588,9 +604,9 @@ impl AcdcDatapath {
         // windows in ACKs *it* will send — i.e. the ACKs of the reverse
         // data direction.
         let rev = key.reverse();
-        let rentry = self
-            .table
-            .get_or_create(rev, || FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now));
+        let rentry = self.table.get_or_create(rev, || {
+            FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now)
+        });
         {
             let mut re = rentry.lock();
             re.last_activity = now;
@@ -608,9 +624,9 @@ impl AcdcDatapath {
             } else {
                 flags.contains(TcpFlags::ECE) && flags.contains(TcpFlags::CWR)
             };
-            let entry = self
-                .table
-                .get_or_create(key, || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now));
+            let entry = self.table.get_or_create(key, || {
+                FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
+            });
             let mut e = entry.lock();
             e.last_activity = now;
             e.vm_ecn = vm_ecn;
@@ -695,7 +711,7 @@ impl AcdcDatapath {
             return None;
         }
         let cwnd = e.cc.cwnd().max(1);
-        let raw = (cwnd >> e.ack_wscale).max(1).min(u64::from(u16::MAX)) as u16;
+        let raw = acdc_packet::scale_rwnd_nonzero(cwnd, e.ack_wscale);
         let mut t = TcpRepr::new(key.dst_port, key.src_port);
         t.flags = TcpFlags::ACK;
         t.ack = e.snd_una;
@@ -729,7 +745,7 @@ impl AcdcDatapath {
             t.flags = TcpFlags::ACK;
             t.ack = e.snd_una;
             t.seq = acdc_packet::SeqNumber::ZERO;
-            t.window = (e.cc.cwnd() >> e.ack_wscale).max(1).min(u64::from(u16::MAX)) as u16;
+            t.window = acdc_packet::scale_rwnd_nonzero(e.cc.cwnd(), e.ack_wscale);
             let ip = Ipv4Repr {
                 src_addr: key.dst_ip,
                 dst_addr: key.src_ip,

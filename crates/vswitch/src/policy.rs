@@ -109,13 +109,7 @@ mod tests {
 
     #[test]
     fn priority_policy_maps_beta() {
-        let p = CcPolicy::priority_by_src_port(Arc::new(|port| {
-            if port == 1 {
-                1.0
-            } else {
-                0.25
-            }
-        }));
+        let p = CcPolicy::priority_by_src_port(Arc::new(|port| if port == 1 { 1.0 } else { 0.25 }));
         assert_eq!(p.assign(&key([10, 0, 0, 2], 1)), CcKind::DctcpPriority(1.0));
         assert_eq!(
             p.assign(&key([10, 0, 0, 2], 9)),

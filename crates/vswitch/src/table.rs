@@ -3,15 +3,20 @@
 //! The paper adds a hash table to OVS keyed by the flow 5-tuple, using RCU
 //! for read-mostly lookups and an individual spinlock per flow entry so
 //! distinct flows update concurrently (§4). The Rust equivalent here is a
-//! *sharded* table — each shard a `parking_lot::RwLock<HashMap>` taken for
-//! read on lookup — holding `Arc<Mutex<FlowEntry>>` values, so the
+//! *sharded* table — each shard a `parking_lot::RwLock<BTreeMap>` taken
+//! for read on lookup — holding `Arc<Mutex<FlowEntry>>` values, so the
 //! fast path is: shard read-lock → clone `Arc` → per-entry lock. Inserts
 //! and removals (SYN / FIN + garbage collection) take the shard writer
 //! lock, exactly the "many more lookups than insertions" profile the
 //! paper describes.
+//!
+//! Shard *selection* still hashes the key (`DefaultHasher` with its fixed
+//! default keys, so it is stable run-to-run), but within a shard the map
+//! is ordered: `for_each`/`gc` visit entries in `FlowKey` order, which
+//! keeps every whole-table traversal deterministic (lint rule D002).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -26,7 +31,7 @@ const SHARDS: usize = 64;
 
 /// A sharded flow table: `FlowKey → Arc<Mutex<FlowEntry>>`.
 pub struct FlowTable {
-    shards: Vec<RwLock<HashMap<FlowKey, Arc<Mutex<FlowEntry>>>>>,
+    shards: Vec<RwLock<BTreeMap<FlowKey, Arc<Mutex<FlowEntry>>>>>,
 }
 
 impl Default for FlowTable {
@@ -39,11 +44,11 @@ impl FlowTable {
     /// An empty table.
     pub fn new() -> FlowTable {
         FlowTable {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
         }
     }
 
-    fn shard(&self, key: &FlowKey) -> &RwLock<HashMap<FlowKey, Arc<Mutex<FlowEntry>>>> {
+    fn shard(&self, key: &FlowKey) -> &RwLock<BTreeMap<FlowKey, Arc<Mutex<FlowEntry>>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]

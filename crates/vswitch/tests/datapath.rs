@@ -4,8 +4,7 @@
 
 use acdc_cc::CcKind;
 use acdc_packet::{
-    Ecn, FlowKey, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr,
-    PROTO_TCP,
+    Ecn, FlowKey, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP,
 };
 use acdc_vswitch::{AcdcConfig, AcdcDatapath, CcPolicy, DropReason, Verdict};
 
@@ -125,14 +124,20 @@ fn handshake_creates_entries_and_records_wscale() {
 fn egress_data_forced_ect_and_reserved_bit_reflects_guest() {
     // Non-ECN guest: packets leave NotEct, must become ECT0 + bit clear.
     let (dpa, _) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     assert_eq!(d.ecn(), Ecn::Ect0, "AC/DC forces ECT");
     assert!(!d.tcp().vm_ece());
     assert!(d.verify_checksums());
 
     // ECN guest: bit set.
     let (dpa, _) = rig(true);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::Ect0))
+        .forwarded()
+        .unwrap();
     assert_eq!(d.ecn(), Ecn::Ect0);
     assert!(d.tcp().vm_ece());
     assert!(d.verify_checksums());
@@ -141,7 +146,10 @@ fn egress_data_forced_ect_and_reserved_bit_reflects_guest() {
 #[test]
 fn receiver_module_strips_ce_and_counts() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     let mut d = d;
     d.mark_ce(); // switch marks it
     let delivered = dpb.ingress(20_000, d).forwarded().unwrap();
@@ -158,7 +166,10 @@ fn receiver_module_strips_ce_and_counts() {
 #[test]
 fn ce_stripped_to_ect_for_ecn_guest() {
     let (dpa, dpb) = rig(true);
-    let mut d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    let mut d = dpa
+        .egress(10_000, data(0, MSS, Ecn::Ect0))
+        .forwarded()
+        .unwrap();
     d.mark_ce();
     let delivered = dpb.ingress(20_000, d).forwarded().unwrap();
     // Guest spoke ECN → restore ECT0 (hide only the CE mark).
@@ -170,12 +181,18 @@ fn ce_stripped_to_ect_for_ecn_guest() {
 fn ack_carries_pack_and_sender_consumes_it() {
     let (dpa, dpb) = rig(false);
     // Data A→B, marked in the network.
-    let mut d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let mut d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     d.mark_ce();
     dpb.ingress(20_000, d).forwarded().unwrap();
 
     // B guest ACKs; dpb egress must attach a PACK with the counts.
-    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let a = dpb
+        .egress(21_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
     let pack = a.tcp().pack_option().expect("PACK attached");
     assert_eq!(pack.total_bytes, MSS as u32);
     assert_eq!(pack.marked_bytes, MSS as u32);
@@ -186,7 +203,9 @@ fn ack_carries_pack_and_sender_consumes_it() {
     assert!(delivered.tcp().pack_option().is_none());
     assert!(delivered.verify_checksums());
     assert_eq!(
-        dpa.counters().packs_received.load(std::sync::atomic::Ordering::Relaxed),
+        dpa.counters()
+            .packs_received
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
     // Connection tracking advanced.
@@ -197,9 +216,15 @@ fn ack_carries_pack_and_sender_consumes_it() {
 #[test]
 fn rwnd_rewritten_smaller_with_wscale() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
-    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let a = dpb
+        .egress(21_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
     let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
 
     let e = dpa.table().get(&key_ab()).unwrap();
@@ -209,14 +234,20 @@ fn rwnd_rewritten_smaller_with_wscale() {
     assert!(u64::from(delivered.tcp().window()) < 65_000);
     assert!(delivered.verify_checksums());
     assert!(
-        dpa.counters().rwnd_rewrites.load(std::sync::atomic::Ordering::Relaxed) >= 1
+        dpa.counters()
+            .rwnd_rewrites
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
     );
 }
 
 #[test]
 fn rwnd_not_rewritten_when_guest_window_already_smaller() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
     // Guest advertises raw 2 (scaled: 1 KB) — far below cwnd.
     let a = dpb.egress(21_000, ack(MSS as u32, 2)).forwarded().unwrap();
@@ -227,7 +258,10 @@ fn rwnd_not_rewritten_when_guest_window_already_smaller() {
 #[test]
 fn ece_feedback_hidden_from_guest() {
     let (dpa, dpb) = rig(true);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::Ect0)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::Ect0))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
     // ACK with ECE set (guest B echoing a mark).
     let mut raw_ack = ack(MSS as u32, 65_000);
@@ -248,7 +282,10 @@ fn ece_feedback_hidden_from_guest() {
 #[test]
 fn pack_overflow_generates_fack() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
 
     // B sends a full-MTU data packet that also acks: no room for PACK.
@@ -293,7 +330,10 @@ fn policing_drops_nonconforming_flow() {
     // outstanding must be dropped.
     let mut dropped = 0;
     for i in 0..20u32 {
-        match dpa.egress(10_000 + u64::from(i), data(i * MSS as u32, MSS, Ecn::NotEct)) {
+        match dpa.egress(
+            10_000 + u64::from(i),
+            data(i * MSS as u32, MSS, Ecn::NotEct),
+        ) {
             Verdict::Drop(DropReason::Policed) => dropped += 1,
             Verdict::Forward(_) => {}
             v => panic!("unexpected {v:?}"),
@@ -313,9 +353,15 @@ fn log_only_mode_computes_but_does_not_rewrite() {
     let dpb = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
     handshake(&dpa, &dpb, false);
 
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
-    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let a = dpb
+        .egress(21_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
     let delivered = dpa.ingress(22_000, a).forwarded().unwrap();
     assert_eq!(delivered.tcp().window(), 65_000, "log-only: untouched");
 
@@ -330,22 +376,33 @@ fn dupacks_trigger_inferred_fast_retransmit() {
     let (dpa, dpb) = rig(false);
     for i in 0..5u32 {
         let d = dpa
-            .egress(10_000 + u64::from(i), data(i * MSS as u32, MSS, Ecn::NotEct))
+            .egress(
+                10_000 + u64::from(i),
+                data(i * MSS as u32, MSS, Ecn::NotEct),
+            )
             .forwarded()
             .unwrap();
         dpb.ingress(11_000 + u64::from(i), d).forwarded().unwrap();
     }
     // First ACK advances; then three duplicates.
-    let a = dpb.egress(21_000, ack(MSS as u32, 65_000)).forwarded().unwrap();
+    let a = dpb
+        .egress(21_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
     dpa.ingress(22_000, a).forwarded().unwrap();
     let e = dpa.table().get(&key_ab()).unwrap();
     let cwnd_before = e.lock().cc.cwnd();
     for i in 0..3 {
-        let a = dpb.egress(23_000 + i, ack(MSS as u32, 65_000)).forwarded().unwrap();
+        let a = dpb
+            .egress(23_000 + i, ack(MSS as u32, 65_000))
+            .forwarded()
+            .unwrap();
         dpa.ingress(24_000 + i, a).forwarded().unwrap();
     }
     assert_eq!(
-        dpa.counters().inferred_fast_rtx.load(std::sync::atomic::Ordering::Relaxed),
+        dpa.counters()
+            .inferred_fast_rtx
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
     let e = dpa.table().get(&key_ab()).unwrap();
@@ -407,7 +464,10 @@ fn fin_marks_closing_and_gc_collects() {
 #[test]
 fn window_update_generation() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
     let wu = dpa.make_window_update(&key_ab()).expect("window update");
     assert!(wu.is_pure_ack());
@@ -421,7 +481,10 @@ fn window_update_generation() {
 #[test]
 fn dup_ack_generation() {
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
     let dups = dpa.make_dup_acks(&key_ab(), 3);
     assert_eq!(dups.len(), 3);
@@ -436,14 +499,19 @@ fn dup_ack_generation() {
 fn inactivity_tick_infers_timeout() {
     let (dpa, dpb) = rig(false);
     // Send data that never gets acked.
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(11_000, d).forwarded().unwrap();
     let e = dpa.table().get(&key_ab()).unwrap();
     let cwnd_before = e.lock().cc.cwnd();
     // 50 ms later (RTOmin floor is 10 ms) the tick must infer a timeout.
     dpa.tick(50_000_000);
     assert_eq!(
-        dpa.counters().inferred_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+        dpa.counters()
+            .inferred_timeouts
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
     let e = dpa.table().get(&key_ab()).unwrap();
@@ -451,7 +519,9 @@ fn inactivity_tick_infers_timeout() {
     // A second immediate tick must not double-fire.
     dpa.tick(50_000_001);
     assert_eq!(
-        dpa.counters().inferred_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+        dpa.counters()
+            .inferred_timeouts
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
 }
@@ -468,14 +538,20 @@ fn pack_feedback_drives_dctcp_cut() {
             .unwrap();
         dpb.ingress(11_000 + i, d).forwarded().unwrap();
         off += MSS as u32;
-        let a = dpb.egress(12_000 + i, ack(off, 65_000)).forwarded().unwrap();
+        let a = dpb
+            .egress(12_000 + i, ack(off, 65_000))
+            .forwarded()
+            .unwrap();
         dpa.ingress(13_000 + i, a).forwarded().unwrap();
     }
     let e = dpa.table().get(&key_ab()).unwrap();
     let before = e.lock().cc.cwnd();
 
     // Now a marked round: data CE-marked → PACK reports it → cut.
-    let mut d = dpa.egress(50_000, data(off, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let mut d = dpa
+        .egress(50_000, data(off, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     d.mark_ce();
     dpb.ingress(51_000, d).forwarded().unwrap();
     off += MSS as u32;
@@ -495,7 +571,10 @@ fn pack_option_survives_only_between_vswitches() {
     // A PACK injected from outside (malformed/spoofed) still gets stripped
     // before reaching the guest.
     let (dpa, dpb) = rig(false);
-    let d = dpa.egress(10_000, data(0, MSS, Ecn::NotEct)).forwarded().unwrap();
+    let d = dpa
+        .egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
     dpb.ingress(20_000, d).forwarded().unwrap();
     let mut t = TcpRepr::new(BP, AP);
     t.seq = SeqNumber(ISS_B + 1);
@@ -560,7 +639,10 @@ fn flow_stats_snapshot_reflects_activity() {
         }
         dpb.ingress(11_000 + i, d).forwarded().unwrap();
         off += MSS as u32;
-        let a = dpb.egress(12_000 + i, ack(off, 65_000)).forwarded().unwrap();
+        let a = dpb
+            .egress(12_000 + i, ack(off, 65_000))
+            .forwarded()
+            .unwrap();
         dpa.ingress(13_000 + i, a).forwarded().unwrap();
     }
     // Sender-side view: the enforced flow with its window and RTT.

@@ -122,7 +122,8 @@ impl App for BulkSender {
         }
         if let Some(total) = self.total {
             if conn.acked_bytes() >= total {
-                self.fct.record(self.kind, self.started.unwrap(), now, total);
+                self.fct
+                    .record(self.kind, self.started.unwrap(), now, total);
                 self.done = true;
             }
         }
@@ -181,7 +182,7 @@ impl App for MessageSender {
         }
         let next = *self.next_send.get_or_insert(now);
         let mut next = next;
-        while now >= next && self.limit.map_or(true, |l| self.sent < l) {
+        while now >= next && self.limit.is_none_or(|l| self.sent < l) {
             conn.send(self.msg_bytes);
             self.pending.push((conn.queued_bytes(), next));
             self.sent += 1;
@@ -200,7 +201,7 @@ impl App for MessageSender {
             }
         }
 
-        if self.limit.map_or(true, |l| self.sent < l) {
+        if self.limit.is_none_or(|l| self.sent < l) {
             Some(next)
         } else {
             None
@@ -255,9 +256,7 @@ impl App for SequentialSender {
         }
         loop {
             if !self.active {
-                let Some(&size) = self.sizes.get(self.idx) else {
-                    return None;
-                };
+                let &size = self.sizes.get(self.idx)?;
                 conn.send(size);
                 self.cur_end = conn.queued_bytes();
                 self.cur_start = now;

@@ -1,0 +1,412 @@
+//! The lint rule catalog.
+//!
+//! Every rule protects a property the AC/DC reproduction's correctness
+//! argument leans on (see `LINTS.md` for the full rationale and the paper
+//! sections each rule traces to). Rules are token-level checks over the
+//! comment/string-stripped code channel produced by [`crate::scan`].
+
+use crate::scan::SourceFile;
+
+/// Severity of a finding. Everything ships as `Error` today; the field
+/// exists so a future rule can start life as a warning without an
+/// engine change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+}
+
+/// A single diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    pub rule: &'static Rule,
+    pub message: String,
+    pub severity: Severity,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} ({}): {}",
+            self.path, self.line, self.rule.id, self.rule.name, self.message
+        )
+    }
+}
+
+/// Static description of a rule.
+pub struct Rule {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+pub static D001: Rule = Rule {
+    id: "D001",
+    name: "wall-clock",
+    summary: "no Instant::now/SystemTime::now/thread_rng outside crates/bench \
+              (simulation time must come from the event loop)",
+};
+
+pub static D002: Rule = Rule {
+    id: "D002",
+    name: "hash-collections",
+    summary: "no HashMap/HashSet in netsim/core/vswitch/tcp \
+              (iteration order must be deterministic; use BTreeMap/BTreeSet)",
+};
+
+pub static P001: Rule = Rule {
+    id: "P001",
+    name: "raw-seq-arith",
+    summary: "no wrapping u32 sequence arithmetic outside packet/src/seq.rs \
+              (go through SeqNumber)",
+};
+
+pub static P002: Rule = Rule {
+    id: "P002",
+    name: "rwnd-scale-helper",
+    summary: "no hand-rolled wscale shifts outside crates/packet \
+              (use scale_rwnd/unscale_rwnd; AC/DC §3.3)",
+};
+
+pub static P003: Rule = Rule {
+    id: "P003",
+    name: "float-eq-alpha",
+    summary: "no exact float comparison on DCTCP alpha \
+              (EWMA state; compare with a tolerance)",
+};
+
+pub static H001: Rule = Rule {
+    id: "H001",
+    name: "forbid-unsafe",
+    summary: "every crate root must carry #![forbid(unsafe_code)]",
+};
+
+pub static H002: Rule = Rule {
+    id: "H002",
+    name: "clippy-sync",
+    summary: "clippy.toml disallowed-methods/types must stay in sync with \
+              the lint catalog",
+};
+
+/// All rules, in diagnostic order.
+pub static CATALOG: [&Rule; 7] = [&D001, &D002, &P001, &P002, &P003, &H001, &H002];
+
+pub fn catalog() -> &'static [&'static Rule] {
+    &CATALOG
+}
+
+/// True when `code` contains `token` as a standalone identifier-path, i.e.
+/// not embedded in a longer identifier (`MyHashMapLike` must not match
+/// `HashMap`).
+pub fn contains_token(code: &str, token: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap());
+        let after = at + token.len();
+        let after_ok = after >= code.len() || !is_ident(code[after..].chars().next().unwrap());
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// True when `code` contains an identifier *ending* in `suffix`
+/// (`wscale`, `ack_wscale`, `self.peer_wscale` all count for `wscale`).
+pub fn contains_token_suffix(code: &str, suffix: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(suffix) {
+        let after = start + pos + suffix.len();
+        if after >= code.len() || !is_ident(code[after..].chars().next().unwrap()) {
+            return true;
+        }
+        start = start + pos + 1;
+    }
+    false
+}
+
+/// Per-line rules applied to one file. `path` is repo-relative with
+/// forward slashes.
+pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
+    let in_bench = path.starts_with("crates/bench/");
+    let in_xtask = path.starts_with("crates/xtask/");
+    let d002_scope = [
+        "crates/netsim/",
+        "crates/core/",
+        "crates/vswitch/",
+        "crates/tcp/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p));
+    let p001_scope = ["crates/packet/", "crates/tcp/", "crates/vswitch/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+        && path != "crates/packet/src/seq.rs";
+    let p002_scope = !path.starts_with("crates/packet/") && !in_xtask;
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let mut hits: Vec<(&'static Rule, String)> = Vec::new();
+
+        if !in_bench && !in_xtask {
+            for tok in ["Instant::now", "SystemTime::now", "thread_rng", "ThreadRng"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &D001,
+                        format!("`{tok}` is wall-clock/ambient entropy; derive time and randomness from the simulator"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if d002_scope {
+            for tok in ["HashMap", "HashSet"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &D002,
+                        format!("`{tok}` has nondeterministic iteration order; use BTreeMap/BTreeSet or sort before iterating"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if p001_scope {
+            for tok in ["wrapping_add", "wrapping_sub"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &P001,
+                        format!("raw `{tok}` on sequence numbers; use SeqNumber arithmetic from acdc-packet"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if p002_scope
+            && contains_token_suffix(code, "wscale")
+            && (code.contains(">>") || code.contains("<<"))
+        {
+            hits.push((
+                &P002,
+                "hand-rolled window-scale shift; use acdc_packet::scale_rwnd / unscale_rwnd"
+                    .to_string(),
+            ));
+        }
+
+        if !in_xtask
+            && contains_token(code, "alpha")
+            && (code.contains("==")
+                || code.contains("!=")
+                || code.contains("assert_eq!")
+                || code.contains("assert_ne!"))
+        {
+            hits.push((
+                &P003,
+                "exact comparison on DCTCP alpha (EWMA float state); compare with a tolerance"
+                    .to_string(),
+            ));
+        }
+
+        if hits.is_empty() {
+            continue;
+        }
+        let allows = file.allows_on(idx);
+        for (rule, message) in hits {
+            if allows.iter().any(|a| a == rule.id) {
+                continue;
+            }
+            findings.push(Finding {
+                path: path.to_string(),
+                line: lineno,
+                rule,
+                message,
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// H001: a crate-root file must carry `#![forbid(unsafe_code)]`.
+pub fn lint_crate_root(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
+    let has = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !has {
+        findings.push(Finding {
+            path: path.to_string(),
+            line: 1,
+            rule: &H001,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            severity: Severity::Error,
+        });
+    }
+}
+
+/// Catalog entries `clippy.toml` must mention for H002. Kept here so the
+/// lint catalog and the clippy configuration cannot drift silently.
+pub const CLIPPY_REQUIRED: &[(&str, &str)] = &[
+    ("std::time::Instant::now", "D001"),
+    ("std::time::SystemTime::now", "D001"),
+    ("rand::thread_rng", "D001"),
+    ("std::collections::HashMap", "D002"),
+    ("std::collections::HashSet", "D002"),
+];
+
+/// H002: clippy.toml must exist at the workspace root and mention every
+/// catalog-required disallowed method/type.
+pub fn lint_clippy_sync(clippy_toml: Option<&str>, findings: &mut Vec<Finding>) {
+    match clippy_toml {
+        None => findings.push(Finding {
+            path: "clippy.toml".to_string(),
+            line: 0,
+            rule: &H002,
+            message: "workspace clippy.toml is missing (required to mirror the lint catalog)"
+                .to_string(),
+            severity: Severity::Error,
+        }),
+        Some(text) => {
+            for (entry, rule_id) in CLIPPY_REQUIRED {
+                if !text.contains(entry) {
+                    findings.push(Finding {
+                        path: "clippy.toml".to_string(),
+                        line: 0,
+                        rule: &H002,
+                        message: format!(
+                            "missing disallowed entry `{entry}` (mirrors rule {rule_id})"
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<String> {
+        let f = SourceFile::scan(src);
+        let mut out = Vec::new();
+        lint_lines(path, &f, &mut out);
+        out.iter().map(|f| f.rule.id.to_string()).collect()
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(contains_token("let m: HashMap<u32, u32>;", "HashMap"));
+        assert!(!contains_token("let m: MyHashMapLike;", "HashMap"));
+        assert!(!contains_token("let m: HashMapx;", "HashMap"));
+    }
+
+    #[test]
+    fn d001_fires_outside_bench_only() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(run("crates/core/src/x.rs", src), vec!["D001"]);
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_scoped_to_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(run("crates/netsim/src/x.rs", src), vec!["D002"]);
+        assert!(run("crates/stats/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p001_exempts_seq_rs() {
+        let src = "let n = a.wrapping_add(b);\n";
+        assert_eq!(run("crates/tcp/src/x.rs", src), vec!["P001"]);
+        assert!(run("crates/packet/src/seq.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p002_requires_shift_and_wscale_together() {
+        assert_eq!(
+            run(
+                "crates/vswitch/src/x.rs",
+                "let w = (cwnd >> wscale) as u16;\n"
+            ),
+            vec!["P002"]
+        );
+        assert_eq!(
+            run(
+                "crates/tcp/src/x.rs",
+                "let b = u64::from(raw) << self.peer_wscale;\n"
+            ),
+            vec!["P002"]
+        );
+        assert!(run("crates/vswitch/src/x.rs", "let w = cwnd >> 2;\n").is_empty());
+        assert!(run("crates/packet/src/tcp.rs", "let w = cwnd >> wscale;\n").is_empty());
+    }
+
+    #[test]
+    fn p003_catches_assert_eq_on_alpha() {
+        assert_eq!(
+            run("crates/cc/src/x.rs", "assert_eq!(d.alpha(), 1.0);\n"),
+            vec!["P003"]
+        );
+        assert!(run(
+            "crates/cc/src/x.rs",
+            "assert!((d.alpha() - 1.0).abs() < 1e-9);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "use std::collections::HashMap; // acdc-lint: allow(D002)\n";
+        assert!(run("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_do_not_fire() {
+        let src = "// HashMap would be wrong here\nlet x = 1;\n";
+        assert!(run("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn h001_detects_missing_forbid() {
+        let f = SourceFile::scan("pub fn f() {}\n");
+        let mut out = Vec::new();
+        lint_crate_root("crates/foo/src/lib.rs", &f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule.id, "H001");
+        let ok = SourceFile::scan("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        out.clear();
+        lint_crate_root("crates/foo/src/lib.rs", &ok, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn h002_requires_all_entries() {
+        let mut out = Vec::new();
+        lint_clippy_sync(None, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        lint_clippy_sync(Some("disallowed-methods = []"), &mut out);
+        assert_eq!(out.len(), CLIPPY_REQUIRED.len());
+    }
+}

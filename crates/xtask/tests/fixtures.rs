@@ -1,0 +1,140 @@
+//! End-to-end tests of the lint engine over checked-in fixture trees.
+//!
+//! Each bad fixture is a miniature workspace that violates exactly one
+//! rule; the clean/allow fixtures must come back spotless. The final test
+//! lints the *real* repository, which pins the shipped tree to zero
+//! findings — the same gate `scripts/check.sh` applies in CI.
+
+use std::path::{Path, PathBuf};
+
+use acdc_xtask::run_lint;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lint a fixture and return (rule id, path) pairs.
+fn lint(name: &str) -> Vec<(String, String)> {
+    let report = run_lint(&fixture(name)).expect("fixture lints");
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.id.to_string(), f.path.clone()))
+        .collect()
+}
+
+/// Assert a fixture trips exactly one rule, in the expected file.
+fn assert_single(name: &str, rule: &str, path: &str) {
+    let got = lint(name);
+    assert_eq!(
+        got,
+        vec![(rule.to_string(), path.to_string())],
+        "fixture {name}: expected exactly one {rule} finding in {path}, got {got:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(
+        lint("clean"),
+        vec![],
+        "clean fixture must produce no findings"
+    );
+}
+
+#[test]
+fn inline_allow_suppresses_findings() {
+    assert_eq!(lint("allow_inline"), vec![]);
+}
+
+#[test]
+fn allowlist_file_suppresses_findings() {
+    assert_eq!(lint("allow_list"), vec![]);
+}
+
+#[test]
+fn d001_wall_clock_fixture() {
+    assert_single("d001_wall_clock", "D001", "crates/core/src/bad.rs");
+}
+
+#[test]
+fn d002_hash_map_fixture() {
+    assert_single("d002_hash_map", "D002", "crates/netsim/src/bad.rs");
+}
+
+#[test]
+fn p001_seq_arith_fixture() {
+    assert_single("p001_seq_arith", "P001", "crates/tcp/src/bad.rs");
+}
+
+#[test]
+fn p002_wscale_shift_fixture() {
+    assert_single("p002_wscale_shift", "P002", "crates/vswitch/src/bad.rs");
+}
+
+#[test]
+fn p003_alpha_eq_fixture() {
+    assert_single("p003_alpha_eq", "P003", "crates/cc/src/bad.rs");
+}
+
+#[test]
+fn h001_missing_forbid_fixture() {
+    assert_single("h001_no_forbid", "H001", "crates/foo/src/lib.rs");
+}
+
+#[test]
+fn h002_clippy_drift_fixture() {
+    assert_single("h002_clippy_drift", "H002", "clippy.toml");
+}
+
+#[test]
+fn lint_binary_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_acdc-xtask");
+    let ok = std::process::Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("run binary");
+    assert!(ok.status.success(), "clean fixture must exit 0");
+
+    let bad = std::process::Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(fixture("d002_hash_map"))
+        .output()
+        .expect("run binary");
+    assert_eq!(bad.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("crates/netsim/src/bad.rs:1: D002"),
+        "diagnostic must carry file:line and rule id, got: {stdout}"
+    );
+
+    let missing = std::process::Command::new(bin)
+        .args(["lint", "--root", "/nonexistent-acdc-path"])
+        .output()
+        .expect("run binary");
+    assert_eq!(missing.status.code(), Some(2), "bad root must exit 2");
+}
+
+#[test]
+fn real_repository_is_lint_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = run_lint(&repo_root).expect("repo lints");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "the shipped tree must be lint-clean:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "sanity: the walker should see the whole workspace, saw {}",
+        report.files_scanned
+    );
+}

@@ -1,0 +1,10 @@
+//! Every violation here carries the inline escape hatch, so the lint pass
+//! must come back clean.
+
+// This table is rebuilt per event and never iterated.
+// acdc-lint: allow(D002)
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> { // acdc-lint: allow(D002)
+    HashMap::new() // acdc-lint: allow(D002)
+}

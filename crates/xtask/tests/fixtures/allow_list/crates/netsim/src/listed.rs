@@ -1,0 +1,8 @@
+//! This file violates D002 with no inline directives; the fixture's
+//! checked-in `crates/xtask/allow.list` suppresses it file-wide.
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

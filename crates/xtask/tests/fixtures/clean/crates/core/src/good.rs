@@ -1,0 +1,22 @@
+//! A file that is completely clean: ordered maps, simulator time, helper
+//! use for window scaling, no float equality. Mentions of HashMap or
+//! Instant::now in comments or strings must not fire.
+
+use std::collections::BTreeMap;
+
+pub struct Clock {
+    now: u64,
+}
+
+pub fn tick(c: &mut Clock) -> u64 {
+    // Instant::now() would be wrong here — this comment must not trip D001.
+    c.now += 1;
+    c.now
+}
+
+pub fn routes() -> BTreeMap<u32, u32> {
+    let s = "HashMap in a string literal is fine";
+    let mut m = BTreeMap::new();
+    m.insert(s.len() as u32, 1);
+    m
+}

@@ -1,0 +1,4 @@
+pub fn elapsed_ns() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,3 @@
+pub fn occupancy() -> std::collections::HashMap<u32, u64> {
+    Default::default()
+}

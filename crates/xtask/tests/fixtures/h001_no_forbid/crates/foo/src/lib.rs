@@ -1,0 +1,5 @@
+//! A crate root without `#![forbid(unsafe_code)]`.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,3 @@
+pub fn fine() -> u32 {
+    2
+}

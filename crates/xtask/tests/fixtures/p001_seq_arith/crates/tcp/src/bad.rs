@@ -1,0 +1,3 @@
+pub fn next_seq(seq: u32, len: u32) -> u32 {
+    seq.wrapping_add(len)
+}

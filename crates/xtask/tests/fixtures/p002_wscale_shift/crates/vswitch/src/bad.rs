@@ -1,0 +1,3 @@
+pub fn raw_window(cwnd: u64, wscale: u8) -> u16 {
+    (cwnd >> wscale).max(1).min(u64::from(u16::MAX)) as u16
+}

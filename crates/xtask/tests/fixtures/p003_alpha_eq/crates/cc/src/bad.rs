@@ -1,0 +1,3 @@
+pub fn saturated(alpha: f64) -> bool {
+    alpha == 1.0
+}

@@ -57,5 +57,8 @@ fn main() {
             tb.drop_rate() * 100.0
         );
     }
-    println!("\nfair share would be {:.0} Mbps per flow", 10_000.0 / n as f64);
+    println!(
+        "\nfair share would be {:.0} Mbps per flow",
+        10_000.0 / n as f64
+    );
 }

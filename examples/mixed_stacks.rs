@@ -24,7 +24,15 @@ fn run(scheme: Scheme) -> Vec<f64> {
         .iter()
         .enumerate()
         .map(|(i, &cc)| {
-            tb.add_bulk_with_cc(i, 5 + i, cc, false, None, (i as u64) * 100_000, ConnTaps::default())
+            tb.add_bulk_with_cc(
+                i,
+                5 + i,
+                cc,
+                false,
+                None,
+                (i as u64) * 100_000,
+                ConnTaps::default(),
+            )
         })
         .collect();
     let dur = SECOND;

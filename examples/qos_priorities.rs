@@ -56,7 +56,12 @@ fn main() {
     println!("{:<8} {:>6} {:>12}", "flow", "β/4", "tput (Gbps)");
     for (i, (&h, &b)) in flows.iter().zip(&base).enumerate() {
         let gbps = (tb.acked_bytes(h) - b) as f64 * 8.0 / w;
-        println!("{:<8} {:>6} {:>12.2}", format!("f{}", i + 1), quarters[i], gbps);
+        println!(
+            "{:<8} {:>6} {:>12.2}",
+            format!("f{}", i + 1),
+            quarters[i],
+            gbps
+        );
     }
     println!("\nhigher β ⇒ gentler backoff to marks ⇒ proportionally more bandwidth");
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full pre-push gate: formatting, clippy, the workspace lint pass,
+# and the test suite (once plain, once with the strict-invariants
+# runtime hooks). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> acdc-xtask lint"
+cargo run -q -p acdc-xtask -- lint
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo test --features strict-invariants"
+cargo test -q --features strict-invariants
+
+echo "All checks passed."

@@ -83,9 +83,12 @@ fn policing_contains_nonconforming_stack() {
     let good = tb.add_bulk(0, 1, None, 0);
     tb.run_until(100 * MILLISECOND);
     let good_bytes = tb.acked_bytes(good);
-    let policed_good = tb.host_mut(0).datapath().counters().policed_drops.load(
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    let policed_good = tb
+        .host_mut(0)
+        .datapath()
+        .counters()
+        .policed_drops
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(policed_good, 0, "conforming flow must not be policed");
 
     // Non-conforming guest on a *congested* trunk: ECN marks keep the
@@ -113,9 +116,12 @@ fn policing_contains_nonconforming_stack() {
         .add_connection(scfg, false, None, None, ConnTaps::default());
     tb.kick_host(1, 0);
     tb.run_until(200 * MILLISECOND);
-    let policed = tb.host_mut(1).datapath().counters().policed_drops.load(
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    let policed = tb
+        .host_mut(1)
+        .datapath()
+        .counters()
+        .policed_drops
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert!(policed > 0, "rogue flow must be policed");
     let _ = good_bytes;
 }
@@ -143,7 +149,15 @@ fn acdc_restores_fairness_across_stacks() {
             .iter()
             .enumerate()
             .map(|(i, &cc)| {
-                tb.add_bulk_with_cc(i, 5 + i, cc, false, None, i as u64 * 100_000, ConnTaps::default())
+                tb.add_bulk_with_cc(
+                    i,
+                    5 + i,
+                    cc,
+                    false,
+                    None,
+                    i as u64 * 100_000,
+                    ConnTaps::default(),
+                )
             })
             .collect();
         tb.run_until(500 * MILLISECOND);
@@ -153,7 +167,11 @@ fn acdc_restores_fairness_across_stacks() {
             .collect();
         jains.push(acdc_stats::jain_index(&tputs).unwrap());
     }
-    assert!(jains[0] < 0.85, "plain OVS should be unfair: {:.3}", jains[0]);
+    assert!(
+        jains[0] < 0.85,
+        "plain OVS should be unfair: {:.3}",
+        jains[0]
+    );
     assert!(jains[1] > 0.95, "AC/DC should be fair: {:.3}", jains[1]);
 }
 
@@ -172,7 +190,10 @@ fn ecn_coexistence_fixed_by_acdc() {
     };
     let without = share(false);
     let with = share(true);
-    assert!(without < 0.10, "CUBIC should starve without AC/DC: {without:.3}");
+    assert!(
+        without < 0.10,
+        "CUBIC should starve without AC/DC: {without:.3}"
+    );
     assert!(
         (0.35..=0.65).contains(&with),
         "CUBIC should get ~half under AC/DC: {with:.3}"
@@ -184,7 +205,9 @@ fn ecn_coexistence_fixed_by_acdc() {
 fn whole_stack_determinism() {
     fn run() -> Vec<u64> {
         let mut tb = Testbed::star(6, Scheme::acdc(), 1500);
-        let flows: Vec<_> = (0..4).map(|i| tb.add_bulk(i, 4, None, i as u64 * 10_000)).collect();
+        let flows: Vec<_> = (0..4)
+            .map(|i| tb.add_bulk(i, 4, None, i as u64 * 10_000))
+            .collect();
         let _probe = tb.add_pingpong(5, 4, 64, MILLISECOND, 0);
         tb.run_until(200 * MILLISECOND);
         flows.iter().map(|&h| tb.acked_bytes(h)).collect()

@@ -73,7 +73,11 @@ fn generated_window_update_moves_the_guest_window() {
         0,
     );
     ga.on_segment(10, &wu);
-    assert_eq!(ga.peer_rwnd(), 3 << 9, "window update applied (was {before})");
+    assert_eq!(
+        ga.peer_rwnd(),
+        3 << 9,
+        "window update applied (was {before})"
+    );
 }
 
 /// Three vSwitch-fabricated duplicate ACKs trigger the guest's fast
@@ -108,7 +112,10 @@ fn generated_dup_acks_trigger_guest_fast_retransmit() {
     while let Some(s) = ga.poll_transmit(3) {
         sent.push(s);
     }
-    assert!(sent.len() >= 4, "initial window should emit several segments");
+    assert!(
+        sent.len() >= 4,
+        "initial window should emit several segments"
+    );
     let retx_before = ga.retransmitted_segments();
 
     // The vSwitch injects 3 duplicate ACKs for snd_una (iss+1).
@@ -130,7 +137,9 @@ fn generated_dup_acks_trigger_guest_fast_retransmit() {
         ga.on_segment(1_000_000 + i, &seg);
     }
     // The guest must now retransmit the head segment without any timeout.
-    let rtx = ga.poll_transmit(1_000_010).expect("fast retransmit emitted");
+    let rtx = ga
+        .poll_transmit(1_000_010)
+        .expect("fast retransmit emitted");
     assert!(rtx.payload_len() > 0);
     assert_eq!(
         rtx.tcp().seq_number(),
