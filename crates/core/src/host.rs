@@ -19,6 +19,12 @@ use acdc_netsim::{Ctx, Node, PortId, TokenBucket};
 /// share of the queue is above this — bounding sender-side bufferbloat
 /// without letting bulk flows starve small ones.
 const TSQ_PER_CONN_CAP: u64 = 64 * 1024;
+
+/// Period of the vSwitch maintenance tick. The datapath infers RTOs for
+/// flows whose ACK clock stopped *entirely* (outage, burst loss) only
+/// from [`AcdcDatapath::tick`] — no ingress packet will ever trigger the
+/// inactivity check for them. Matches the default `inactivity_floor`.
+const DP_TICK_PERIOD: Nanos = 10 * acdc_stats::time::MILLISECOND;
 use acdc_packet::{FlowKey, Segment};
 use acdc_stats::time::Nanos;
 use acdc_stats::TimeSeries;
@@ -157,6 +163,11 @@ pub struct HostNode {
     rl: Option<RateLimiter>,
     /// Earliest wake-up currently scheduled with the engine.
     armed: Option<Nanos>,
+    /// Packets discarded at the NIC because checksum verification failed
+    /// (the FCS model for injected corruption; see `acdc-faults`).
+    corrupt_drops: u64,
+    /// Next scheduled vSwitch maintenance tick.
+    next_dp_tick: Nanos,
 }
 
 impl HostNode {
@@ -172,7 +183,15 @@ impl HostNode {
             multi_apps: Vec::new(),
             rl: None,
             armed: None,
+            corrupt_drops: 0,
+            next_dp_tick: DP_TICK_PERIOD,
         }
+    }
+
+    /// Packets dropped at the NIC for failing checksum verification
+    /// (corrupted in flight by a fault injector).
+    pub fn corrupt_drops(&self) -> u64 {
+        self.corrupt_drops
     }
 
     /// The host's IP.
@@ -451,6 +470,11 @@ impl HostNode {
         for (_, wake) in &self.multi_apps {
             fold(*wake);
         }
+        // Keep the vSwitch maintenance tick alive only while some flow
+        // actually has unacknowledged data to watch.
+        if self.conns.iter().any(|c| c.ep.in_flight() > 0) {
+            fold(Some(self.next_dp_tick.max(now)));
+        }
         if let Some(rl) = &mut self.rl {
             if let Some(front) = rl.queue.front() {
                 // Probe the release time without consuming tokens.
@@ -475,6 +499,13 @@ impl HostNode {
 impl Node for HostNode {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, seg: Segment) {
         let now = ctx.now();
+        // NIC FCS check: damaged frames never reach the vSwitch (loss, as
+        // on real hardware). Only injected corruption produces these — the
+        // datapath's own rewrites all maintain checksums.
+        if !seg.verify_checksums() {
+            self.corrupt_drops += 1;
+            return;
+        }
         match self.datapath.ingress(now, seg) {
             Verdict::Forward(s) => {
                 let key = s.flow_key().reverse();
@@ -515,6 +546,11 @@ impl Node for HostNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         self.armed = None;
         self.rl_drain(ctx);
+        let now = ctx.now();
+        if now >= self.next_dp_tick {
+            self.datapath.tick(now);
+            self.next_dp_tick = now + DP_TICK_PERIOD;
+        }
         for idx in 0..self.conns.len() {
             self.service_conn(ctx, idx);
         }

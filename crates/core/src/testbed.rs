@@ -1,7 +1,10 @@
 //! Topology + flow plumbing: the simulated counterpart of the paper's
 //! 17-server, 10 GbE testbed.
 
+use std::collections::BTreeMap;
+
 use acdc_cc::CcKind;
+use acdc_faults::{FaultPlan, FaultyLink, LinkFaultStats};
 use acdc_netsim::{LinkSpec, Network, NodeId, SwitchCounters, SwitchNode};
 use acdc_packet::FlowKey;
 use acdc_stats::time::Nanos;
@@ -37,6 +40,14 @@ pub struct Testbed {
     iss: u32,
     acdc_tweak: Option<AcdcTweak>,
     mark_bytes: u64,
+    /// Fault plans for host access links, by future host index (set
+    /// before `build_*`; applied in [`Testbed::add_host`]).
+    host_fault_plans: BTreeMap<usize, FaultPlan>,
+    /// Fault plan for the dumbbell trunk (set before `build_dumbbell`).
+    trunk_fault_plan: Option<FaultPlan>,
+    /// Installed fault-injector taps, by host index.
+    host_fault_taps: BTreeMap<usize, NodeId>,
+    trunk_fault_tap: Option<NodeId>,
 }
 
 impl Testbed {
@@ -61,6 +72,10 @@ impl Testbed {
             iss: 7,
             acdc_tweak: None,
             mark_bytes: DEFAULT_MARK_THRESHOLD,
+            host_fault_plans: BTreeMap::new(),
+            trunk_fault_plan: None,
+            host_fault_taps: BTreeMap::new(),
+            trunk_fault_tap: None,
         }
     }
 
@@ -83,12 +98,49 @@ impl Testbed {
         self.acdc_tweak = Some(Box::new(tweak));
     }
 
+    /// Inject faults on the access link of the host that will get index
+    /// `host` when a `build_*` method runs (hosts are numbered in creation
+    /// order). The plan's scripted/A→B direction is host→switch (the
+    /// host's egress). Call before `build_*`; read results afterwards with
+    /// [`Testbed::host_fault_stats`].
+    pub fn set_host_fault(&mut self, host: usize, plan: FaultPlan) {
+        self.host_fault_plans.insert(host, plan);
+    }
+
+    /// Inject faults on the dumbbell trunk (A→B is the sw1→sw2 direction,
+    /// i.e. senders→receivers). Call before `build_dumbbell`; read results
+    /// with [`Testbed::trunk_fault_stats`].
+    pub fn set_trunk_fault(&mut self, plan: FaultPlan) {
+        self.trunk_fault_plan = Some(plan);
+    }
+
+    /// Fault counters of host `idx`'s access link, if one was faulted.
+    pub fn host_fault_stats(&mut self, host: usize) -> Option<LinkFaultStats> {
+        let id = *self.host_fault_taps.get(&host)?;
+        self.net.node_mut::<FaultyLink>(id).map(|f| f.stats())
+    }
+
+    /// Fault counters of the trunk, if it was faulted.
+    pub fn trunk_fault_stats(&mut self) -> Option<LinkFaultStats> {
+        let id = self.trunk_fault_tap?;
+        self.net.node_mut::<FaultyLink>(id).map(|f| f.stats())
+    }
+
     /// Add a host attached to `switch` via `link`; returns its index.
     fn add_host(&mut self, switch: NodeId, link: LinkSpec) -> usize {
         let idx = self.hosts.len();
         let ip = Self::host_ip(idx);
         let node = self.net.reserve_node();
-        let (host_port, switch_port) = self.net.connect(node, switch, link);
+        let (host_port, switch_port) = match self.host_fault_plans.get(&idx) {
+            Some(plan) => {
+                let (hp, sp, tap) = self.net.connect_interposed(node, switch, link, |ta, tb| {
+                    Box::new(FaultyLink::new(plan, ta, tb))
+                });
+                self.host_fault_taps.insert(idx, tap);
+                (hp, sp)
+            }
+            None => self.net.connect(node, switch, link),
+        };
         let mut acdc_cfg = self.scheme.acdc_config(self.mtu);
         if let Some(tweak) = &self.acdc_tweak {
             tweak(&mut acdc_cfg);
@@ -166,7 +218,18 @@ impl Testbed {
         let sw2 = tb.net.add_node(Box::new(SwitchNode::new(cfg)));
         tb.switches.push(sw1);
         tb.switches.push(sw2);
-        let (p1, p2) = tb.net.connect(sw1, sw2, default_link());
+        let (p1, p2) = match tb.trunk_fault_plan.take() {
+            Some(plan) => {
+                let (p1, p2, tap) =
+                    tb.net
+                        .connect_interposed(sw1, sw2, default_link(), |ta, tb_port| {
+                            Box::new(FaultyLink::new(&plan, ta, tb_port))
+                        });
+                tb.trunk_fault_tap = Some(tap);
+                (p1, p2)
+            }
+            None => tb.net.connect(sw1, sw2, default_link()),
+        };
         // Default routes point across the trunk.
         tb.net
             .node_mut::<SwitchNode>(sw1)

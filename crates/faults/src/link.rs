@@ -1,0 +1,162 @@
+//! [`FaultyLink`]: a [`Node`] interposed on a netsim link that applies one
+//! [`FaultProcess`] per direction.
+//!
+//! Wire it in with
+//! [`Network::connect_interposed`](acdc_netsim::Network::connect_interposed):
+//!
+//! ```
+//! use acdc_faults::{FaultPlan, FaultyLink};
+//! use acdc_netsim::{LinkSpec, Network};
+//!
+//! let mut net = Network::new();
+//! let a = net.reserve_node();
+//! let b = net.reserve_node();
+//! let plan = FaultPlan::new(1).with_iid_loss(0.01);
+//! let (_pa, _pb, _tap) = net.connect_interposed(a, b, LinkSpec::ten_gbe(1_500), |ta, tb| {
+//!     Box::new(FaultyLink::new(&plan, ta, tb))
+//! });
+//! ```
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use acdc_netsim::{Ctx, Node, PortDropClass, PortId};
+use acdc_packet::Segment;
+use acdc_stats::time::Nanos;
+
+use crate::plan::FaultPlan;
+use crate::process::{Fate, FaultProcess, FaultStats};
+
+/// Per-direction counters of a [`FaultyLink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultStats {
+    /// Faults applied to traffic entering on port A (heading to B).
+    pub a_to_b: FaultStats,
+    /// Faults applied to traffic entering on port B (heading to A).
+    pub b_to_a: FaultStats,
+}
+
+impl LinkFaultStats {
+    /// Both directions combined.
+    pub fn total(&self) -> FaultStats {
+        self.a_to_b.merged(&self.b_to_a)
+    }
+}
+
+/// Seed salt so the two directions draw from distinct RNG streams even
+/// though they share one plan seed.
+const B_TO_A_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A transparent-unless-faulty interposer node. Direction A→B runs the
+/// plan's scripted `*_nth` sets; both directions run the random processes
+/// on independent streams derived from `plan.seed`.
+pub struct FaultyLink {
+    port_a: PortId,
+    port_b: PortId,
+    ab: FaultProcess,
+    ba: FaultProcess,
+    /// Held packets (reorder/jitter), keyed by timer token.
+    pending: BTreeMap<u64, (PortId, Segment)>,
+    next_token: u64,
+}
+
+impl FaultyLink {
+    /// Build the interposer for the tap ports returned by
+    /// `connect_interposed` (`port_a` faces node A, `port_b` faces B).
+    pub fn new(plan: &FaultPlan, port_a: PortId, port_b: PortId) -> FaultyLink {
+        FaultyLink {
+            port_a,
+            port_b,
+            ab: FaultProcess::new(plan, plan.seed, true),
+            ba: FaultProcess::new(plan, plan.seed ^ B_TO_A_SALT, false),
+            pending: BTreeMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Counters for both directions.
+    pub fn stats(&self) -> LinkFaultStats {
+        LinkFaultStats {
+            a_to_b: self.ab.stats(),
+            b_to_a: self.ba.stats(),
+        }
+    }
+
+    /// Packets currently held back (reorder/jitter) and not yet released.
+    pub fn held_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The tap port facing node A (carries the attribution for B→A fault
+    /// drops in [`PortCounters`](acdc_netsim::PortCounters)).
+    pub fn port_facing_a(&self) -> PortId {
+        self.port_a
+    }
+
+    /// The tap port facing node B (carries the attribution for A→B fault
+    /// drops).
+    pub fn port_facing_b(&self) -> PortId {
+        self.port_b
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, out: PortId, seg: Segment, delay: Nanos) {
+        if delay == 0 {
+            ctx.enqueue(out, seg);
+        } else {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending.insert(token, (out, seg));
+            ctx.set_timer(delay, token);
+        }
+    }
+}
+
+/// Damage the header so the receiver's checksum verification fails while
+/// the packet still parses: flip one bit of the raw TCP window field
+/// without updating the checksum (non-TCP segments pass unharmed — the
+/// simulated datapath is TCP-only).
+fn corrupt_header(seg: &mut Segment) {
+    if seg.is_tcp() {
+        let w = seg.tcp().window();
+        seg.tcp_mut().set_window(w ^ 0x0001);
+    }
+}
+
+impl Node for FaultyLink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut seg: Segment) {
+        let now = ctx.now();
+        let (proc_, out) = if port == self.port_a {
+            (&mut self.ab, self.port_b)
+        } else {
+            (&mut self.ba, self.port_a)
+        };
+        let is_data = seg.payload_len() > 0;
+        match proc_.decide(now, is_data) {
+            Fate::Drop(_) => ctx.count_drop(out, PortDropClass::FaultInjected),
+            Fate::Deliver(d) => {
+                if d.corrupt {
+                    corrupt_header(&mut seg);
+                }
+                if d.mark_ce && seg.ecn().is_ect() {
+                    seg.mark_ce();
+                }
+                if d.duplicate {
+                    // The copy goes out immediately, ahead of a held
+                    // original.
+                    self.send(ctx, out, seg.clone(), 0);
+                }
+                self.send(ctx, out, seg, d.delay);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some((out, seg)) = self.pending.remove(&token) {
+            ctx.enqueue(out, seg);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -71,6 +71,25 @@ pub struct PortCounters {
     pub rx_pkts: u64,
     /// Bytes delivered to this port.
     pub rx_bytes: u64,
+    /// Packets the owning node dropped instead of enqueueing because the
+    /// (shared) buffer backing this port was full. Attributed to the port
+    /// the packet *would have* left on.
+    pub queue_full_drops: u64,
+    /// Packets discarded by an injected fault process (see `acdc-faults`)
+    /// instead of being forwarded out this port.
+    pub fault_drops: u64,
+}
+
+/// Why a node dropped a packet it was about to forward out of a port.
+/// Reported via [`Ctx::count_drop`] so runs can attribute loss per port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDropClass {
+    /// Buffer admission failed: the egress queue (or shared buffer pool)
+    /// had no room.
+    QueueFull,
+    /// A fault-injection process (e.g. a `FaultyLink` wrapper) discarded
+    /// the packet deliberately.
+    FaultInjected,
 }
 
 struct Port {
@@ -194,6 +213,38 @@ impl Network {
         });
         self.ports[pa.0].peer = Some(pb);
         (pa, pb)
+    }
+
+    /// Connect `a` and `b` with `link`, but splice an interposer node (a
+    /// tap, e.g. a fault injector) into the middle. The physical link
+    /// (serialization + propagation) sits between `a` and the tap; the tap
+    /// reaches `b` over an effectively-zero-delay patch link, so end-to-end
+    /// timing stays that of a single `link` in both directions.
+    ///
+    /// `make` receives the tap's two ports — `(facing_a, facing_b)` — and
+    /// builds the interposer node. Returns `(port_on_a, port_on_b, tap_id)`
+    /// so callers can treat the outer ports exactly like a plain
+    /// [`Network::connect`] result and inspect the tap later via
+    /// [`Network::node_mut`].
+    pub fn connect_interposed(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        link: LinkSpec,
+        make: impl FnOnce(PortId, PortId) -> Box<dyn Node>,
+    ) -> (PortId, PortId, NodeId) {
+        let tap = self.reserve_node();
+        let (pa, tap_a) = self.connect(a, tap, link);
+        // Near-infinite rate + zero propagation: `serialization_delay` uses
+        // div_ceil so each packet still costs 1 ns, preserving event
+        // ordering without perturbing link timing measurably.
+        let patch = LinkSpec {
+            rate_bps: u64::MAX,
+            propagation: 0,
+        };
+        let (tap_b, pb) = self.connect(tap, b, patch);
+        self.install(tap, make(tap_a, tap_b));
+        (pa, pb, tap)
     }
 
     /// The owner of a port.
@@ -385,6 +436,22 @@ impl Ctx<'_> {
     /// Packets sitting in `port`'s FIFO.
     pub fn queued_pkts(&self, port: PortId) -> usize {
         self.net.ports[port.0].queue.len()
+    }
+
+    /// Record that this node dropped a packet it would otherwise have
+    /// forwarded out `port` (must be owned by this node). The drop shows up
+    /// in the port's [`PortCounters`] under the matching reason field.
+    pub fn count_drop(&mut self, port: PortId, class: PortDropClass) {
+        assert_eq!(
+            self.net.ports[port.0].owner, self.node,
+            "node {:?} counting drop on foreign port {port:?}",
+            self.node
+        );
+        let c = &mut self.net.ports[port.0].counters;
+        match class {
+            PortDropClass::QueueFull => c.queue_full_drops += 1,
+            PortDropClass::FaultInjected => c.fault_drops += 1,
+        }
     }
 
     /// Schedule a timer for this node `delay` from now.
@@ -610,6 +677,102 @@ mod tests {
         assert_eq!(rx.rx_pkts, 5);
         assert_eq!(tx.tx_bytes, 5 * 1000);
         assert_eq!(rx.rx_bytes, 5 * 1000);
+    }
+
+    /// Forwards everything from one port to the other, counting packets.
+    struct Tap {
+        pa: PortId,
+        pb: PortId,
+        seen: u64,
+    }
+
+    impl Node for Tap {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, seg: Segment) {
+            self.seen += 1;
+            let out = if port == self.pa { self.pb } else { self.pa };
+            ctx.enqueue(out, seg);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn interposed_link_preserves_timing_within_patch_slop() {
+        // Same topology as single_packet_timing, but with a transparent tap
+        // spliced in: arrival time may shift only by the ~1 ns patch hop.
+        let mut net = Network::new();
+        let a = net.reserve_node();
+        let b = net.add_node(Box::new(Sink::new()));
+        let link = LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: 10_000,
+        };
+        let (pa, _pb, tap) = net.connect_interposed(a, b, link, |ta, tb| {
+            Box::new(Tap {
+                pa: ta,
+                pb: tb,
+                seen: 0,
+            })
+        });
+        net.install(
+            a,
+            Box::new(Blaster {
+                port: pa,
+                n: 1,
+                payload: 1210,
+            }),
+        );
+        net.schedule_timer_at(a, 0, 0);
+        net.run_until(SECOND_T);
+        assert_eq!(net.node_mut::<Tap>(tap).unwrap().seen, 1);
+        let sink = net.node_mut::<Sink>(b).unwrap();
+        assert_eq!(sink.received.len(), 1);
+        let t = sink.received[0].0;
+        assert!((20_000..=20_005).contains(&t), "arrival at {t}");
+    }
+
+    /// Drops every packet, attributing the drop to the egress port.
+    struct DropTap {
+        pa: PortId,
+        pb: PortId,
+    }
+
+    impl Node for DropTap {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, _seg: Segment) {
+            let out = if port == self.pa { self.pb } else { self.pa };
+            ctx.count_drop(out, PortDropClass::FaultInjected);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn count_drop_attributes_fault_drops_to_egress_port() {
+        let mut net = Network::new();
+        let a = net.reserve_node();
+        let b = net.add_node(Box::new(Sink::new()));
+        let (pa, pb, tap) = net.connect_interposed(a, b, LinkSpec::ten_gbe(1_000), |ta, tb| {
+            Box::new(DropTap { pa: ta, pb: tb })
+        });
+        net.install(
+            a,
+            Box::new(Blaster {
+                port: pa,
+                n: 4,
+                payload: 960,
+            }),
+        );
+        net.schedule_timer_at(a, 0, 0);
+        net.run_until(SECOND_T);
+        let _ = tap;
+        assert_eq!(net.node_mut::<Sink>(b).unwrap().received.len(), 0);
+        assert_eq!(net.port_counters(pb).rx_pkts, 0);
+        // The tap's b-facing port carries the attribution.
+        let tap_b = PortId(pb.0 - 1);
+        assert_eq!(net.port_counters(tap_b).fault_drops, 4);
+        assert_eq!(net.port_counters(tap_b).queue_full_drops, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod link;
 pub mod switch;
 pub mod tokenbucket;
 
-pub use engine::{Ctx, Network, Node, NodeId, PortCounters, PortId};
+pub use engine::{Ctx, Network, Node, NodeId, PortCounters, PortDropClass, PortId};
 pub use link::LinkSpec;
 pub use switch::{SwitchConfig, SwitchCounters, SwitchNode, WredEcnConfig};
 pub use tokenbucket::TokenBucket;

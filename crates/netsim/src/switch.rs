@@ -261,6 +261,7 @@ impl Node for SwitchNode {
         let dyn_limit = (self.cfg.dynamic_alpha * free as f64) as u64;
         if q + len > dyn_limit || len > free {
             self.counters.buffer_drops += 1;
+            ctx.count_drop(out, crate::engine::PortDropClass::QueueFull);
             self.sample_probe(ctx.now(), out);
             return;
         }
@@ -498,6 +499,11 @@ mod tests {
         assert!(c.buffer_drops > 0);
         assert!(c.forwarded < 50);
         assert!((c.drop_rate() - c.buffer_drops as f64 / 50.0).abs() < 1e-9);
+        // The per-port breakdown attributes every buffer drop to the
+        // egress port the packet would have taken (PortId(2) in the rig).
+        let pc = net.port_counters(PortId(2));
+        assert_eq!(pc.queue_full_drops, c.buffer_drops);
+        assert_eq!(pc.fault_drops, 0);
     }
 
     #[test]

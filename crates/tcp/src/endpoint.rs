@@ -321,6 +321,14 @@ impl Endpoint {
         self.timeouts
     }
 
+    /// Current RTO backoff exponent: the armed timeout is
+    /// `rto() << rto_backoff()` (capped at `rto_max`). Non-zero only
+    /// while consecutive timeouts go unrepaired; reset by forward ACK
+    /// progress.
+    pub fn rto_backoff(&self) -> u32 {
+        self.backoff
+    }
+
     /// The peer's advertised receive window in bytes, as last seen
     /// (after AC/DC rewriting, this *is* the enforced window).
     pub fn peer_rwnd(&self) -> u64 {
@@ -330,6 +338,19 @@ impl Endpoint {
     /// Bytes in flight.
     pub fn in_flight(&self) -> u64 {
         self.snd_nxt - self.snd_una
+    }
+
+    /// `snd_una` as a wire sequence number — ground truth for comparing
+    /// against the vSwitch's passively reconstructed per-flow state
+    /// (paper §3.1; exercised by the chaos suite).
+    pub fn wire_snd_una(&self) -> SeqNumber {
+        self.wire_seq(self.snd_una)
+    }
+
+    /// `snd_nxt` as a wire sequence number (highest sent, ground truth
+    /// for the vSwitch's reconstructed `snd_nxt`).
+    pub fn wire_snd_nxt(&self) -> SeqNumber {
+        self.wire_seq(self.snd_nxt.max(self.snd_max))
     }
 
     // ------------------------------------------------------------------

@@ -1,8 +1,16 @@
 //! Property-based tests for the TCP endpoint: under arbitrary loss and
 //! marking patterns, transfers complete, byte accounting is exact, and
 //! the state machine never panics.
+//!
+//! Fault injection rides on `acdc-faults` primitives: each a→b packet is
+//! passed through a [`FaultProcess`] compiled from a scripted
+//! [`FaultPlan`] (`drop_data_nth` / `mark_data_nth` / `drop_any_nth`).
+//! The pipe itself stays hand-rolled because these properties need direct
+//! control over arbitrary ISNs and per-endpoint configs, which the
+//! netsim-level `FaultyLink` wrapper deliberately does not expose.
 
 use acdc_cc::CcKind;
+use acdc_faults::{Fate, FaultPlan, FaultProcess};
 use acdc_packet::Segment;
 use acdc_stats::time::{Nanos, MICROSECOND};
 use acdc_tcp::{Endpoint, TcpConfig};
@@ -11,21 +19,17 @@ use proptest::prelude::*;
 const A_IP: [u8; 4] = [10, 0, 0, 1];
 const B_IP: [u8; 4] = [10, 0, 0, 2];
 
-struct Fault {
-    /// Drop the n-th a→b data transmission (1-based).
-    drop: Vec<u64>,
-    /// CE-mark the n-th a→b data transmission.
-    mark: Vec<u64>,
-}
-
-/// Minimal deterministic two-endpoint pipe with fault injection.
+/// Minimal deterministic two-endpoint pipe with fault injection on the
+/// a→b direction. Only the scripted fault classes these properties use
+/// (drops and CE marks) are honored; the plans carry no random
+/// components, so every [`FaultProcess::decide`] outcome is scripted.
 fn run_transfer(
     cc: CcKind,
     bytes: u64,
     iss_a: u32,
     iss_b: u32,
     delay: Nanos,
-    fault: &Fault,
+    plan: &FaultPlan,
     deadline: Nanos,
 ) -> (Endpoint, Endpoint, Nanos) {
     let mut ca = TcpConfig::new(A_IP, 40_000, B_IP, 5_001, 1448, cc);
@@ -39,7 +43,7 @@ fn run_transfer(
 
     let mut wire: Vec<(Nanos, bool, Segment)> = Vec::new();
     let mut now: Nanos = 0;
-    let mut data_count = 0u64;
+    let mut faults = FaultProcess::new(plan, plan.seed, /*apply_scripts=*/ true);
 
     macro_rules! pump {
         () => {
@@ -47,14 +51,15 @@ fn run_transfer(
                 let mut emitted = false;
                 while let Some(seg) = a.poll_transmit(now) {
                     let mut seg = seg;
-                    if seg.payload_len() > 0 {
-                        data_count += 1;
-                        if fault.drop.contains(&data_count) {
+                    match faults.decide(now, seg.payload_len() > 0) {
+                        Fate::Drop(_) => {
                             emitted = true;
                             continue;
                         }
-                        if fault.mark.contains(&data_count) && seg.ecn().is_ect() {
-                            seg.mark_ce();
+                        Fate::Deliver(d) => {
+                            if d.mark_ce && seg.ecn().is_ect() {
+                                seg.mark_ce();
+                            }
                         }
                     }
                     wire.push((now + delay, true, seg));
@@ -137,11 +142,8 @@ proptest! {
         iss_a in any::<u32>(),
         iss_b in any::<u32>(),
     ) {
-        let fault = Fault {
-            drop: drops.into_iter().collect(),
-            mark: Vec::new(),
-        };
-        let (a, b, _) = run_transfer(cc, bytes, iss_a, iss_b, 50 * MICROSECOND, &fault, 20_000_000_000);
+        let plan = FaultPlan::new(0).drop_data(drops);
+        let (a, b, _) = run_transfer(cc, bytes, iss_a, iss_b, 50 * MICROSECOND, &plan, 20_000_000_000);
         prop_assert_eq!(a.acked_bytes(), bytes, "sender fully acked");
         prop_assert_eq!(b.delivered_bytes(), bytes, "receiver delivered all");
     }
@@ -152,12 +154,9 @@ proptest! {
         bytes in 1u64..300_000,
         marks in prop::collection::btree_set(1u64..400, 0..60),
     ) {
-        let fault = Fault {
-            drop: Vec::new(),
-            mark: marks.into_iter().collect(),
-        };
+        let plan = FaultPlan::new(0).mark_data(marks);
         let (a, b, _) = run_transfer(
-            CcKind::Dctcp, bytes, 7, 11, 50 * MICROSECOND, &fault, 20_000_000_000,
+            CcKind::Dctcp, bytes, 7, 11, 50 * MICROSECOND, &plan, 20_000_000_000,
         );
         prop_assert_eq!(a.acked_bytes(), bytes);
         prop_assert_eq!(b.delivered_bytes(), bytes);
@@ -166,10 +165,10 @@ proptest! {
     /// Wraparound ISNs are handled for any starting point.
     #[test]
     fn any_isn_pair_works(iss_a in any::<u32>(), iss_b in any::<u32>()) {
-        let fault = Fault { drop: vec![5], mark: Vec::new() };
+        let plan = FaultPlan::new(0).drop_data([5]);
         let bytes = 100_000;
         let (a, b, _) = run_transfer(
-            CcKind::Cubic, bytes, iss_a, iss_b, 20 * MICROSECOND, &fault, 10_000_000_000,
+            CcKind::Cubic, bytes, iss_a, iss_b, 20 * MICROSECOND, &plan, 10_000_000_000,
         );
         prop_assert_eq!(a.acked_bytes(), bytes);
         prop_assert_eq!(b.delivered_bytes(), bytes);
@@ -196,17 +195,18 @@ proptest! {
         b.close();
 
         // Inline event loop (like run_transfer but with close already
-        // requested on both sides).
+        // requested on both sides). `drop_any` indexes *every* a→b
+        // packet — handshake and FINs included — unlike `drop_data`.
+        let plan = FaultPlan::new(0).drop_any(drop_one);
+        let mut faults = FaultProcess::new(&plan, plan.seed, true);
         let mut wire: Vec<(Nanos, bool, Segment)> = Vec::new();
         let mut now: Nanos = 0;
-        let mut count = 0u64;
         loop {
             let mut emitted = true;
             while emitted {
                 emitted = false;
                 while let Some(seg) = a.poll_transmit(now) {
-                    count += 1;
-                    if Some(count) == drop_one {
+                    if matches!(faults.decide(now, seg.payload_len() > 0), Fate::Drop(_)) {
                         emitted = true;
                         continue;
                     }

@@ -698,6 +698,22 @@ impl AcdcDatapath {
         out
     }
 
+    /// The passively reconstructed `(snd_una, snd_nxt)` pair for `key`'s
+    /// data sender, if the flow is tracked and its sequence state is valid
+    /// (paper §3.1). The chaos suite compares this against the endpoint's
+    /// ground truth after fault recovery.
+    pub fn seq_state(
+        &self,
+        key: &acdc_packet::FlowKey,
+    ) -> Option<(acdc_packet::SeqNumber, acdc_packet::SeqNumber)> {
+        let entry = self.table.get(key)?;
+        let e = entry.lock();
+        if !e.seq_valid {
+            return None;
+        }
+        Some((e.snd_una, e.snd_nxt))
+    }
+
     /// Generate a TCP Window Update for the data sender of `key` without
     /// waiting for an ACK (§3.3 flexibility): a pure ACK, receiver→sender,
     /// carrying the currently enforced window.

@@ -56,6 +56,14 @@ pub static D001: Rule = Rule {
               (simulation time must come from the event loop)",
 };
 
+pub static D003: Rule = Rule {
+    id: "D003",
+    name: "unseeded-rng",
+    summary: "no from_entropy/from_os_rng/rand::random outside crates/bench \
+              (randomness must flow from an explicit seed; fault injection \
+              and simulations must replay byte-identically)",
+};
+
 pub static D002: Rule = Rule {
     id: "D002",
     name: "hash-collections",
@@ -98,7 +106,7 @@ pub static H002: Rule = Rule {
 };
 
 /// All rules, in diagnostic order.
-pub static CATALOG: [&Rule; 7] = [&D001, &D002, &P001, &P002, &P003, &H001, &H002];
+pub static CATALOG: [&Rule; 8] = [&D001, &D002, &D003, &P001, &P002, &P003, &H001, &H002];
 
 pub fn catalog() -> &'static [&'static Rule] {
     &CATALOG
@@ -148,6 +156,7 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
         "crates/core/",
         "crates/vswitch/",
         "crates/tcp/",
+        "crates/faults/",
     ]
     .iter()
     .any(|p| path.starts_with(p));
@@ -171,6 +180,18 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
                     hits.push((
                         &D001,
                         format!("`{tok}` is wall-clock/ambient entropy; derive time and randomness from the simulator"),
+                    ));
+                    break;
+                }
+            }
+            // D003 is D001's sibling: D001 bans ambient *time* and the
+            // thread-local RNG; D003 bans the remaining unseeded RNG
+            // constructors so every random stream is replayable.
+            for tok in ["from_entropy", "from_os_rng", "rand::random"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &D003,
+                        format!("`{tok}` draws OS entropy; seed explicitly (e.g. StdRng::seed_from_u64) so runs replay"),
                     ));
                     break;
                 }
@@ -332,7 +353,29 @@ mod tests {
     fn d002_scoped_to_deterministic_crates() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(run("crates/netsim/src/x.rs", src), vec!["D002"]);
+        assert_eq!(run("crates/faults/src/x.rs", src), vec!["D002"]);
         assert!(run("crates/stats/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_bans_unseeded_rng_outside_bench() {
+        for src in [
+            "let mut rng = SmallRng::from_entropy();\n",
+            "let mut rng = StdRng::from_os_rng();\n",
+            "let x: f64 = rand::random();\n",
+        ] {
+            assert_eq!(run("crates/faults/src/x.rs", src), vec!["D003"], "{src}");
+            assert!(run("crates/bench/src/x.rs", src).is_empty(), "{src}");
+        }
+        // Seeded construction is the blessed path.
+        assert!(run(
+            "crates/faults/src/x.rs",
+            "let mut rng = StdRng::seed_from_u64(seed);\n"
+        )
+        .is_empty());
+        // Identifier boundaries: a method *named like* a banned token in a
+        // longer path must not fire.
+        assert!(run("crates/core/src/x.rs", "let x = self.rand::randomize();\n").is_empty());
     }
 
     #[test]

@@ -65,6 +65,11 @@ fn d002_hash_map_fixture() {
 }
 
 #[test]
+fn d003_unseeded_rng_fixture() {
+    assert_single("d003_unseeded_rng", "D003", "crates/faults/src/bad.rs");
+}
+
+#[test]
 fn p001_seq_arith_fixture() {
     assert_single("p001_seq_arith", "P001", "crates/tcp/src/bad.rs");
 }

@@ -1,0 +1,5 @@
+pub fn jitter_seed() -> u64 {
+    use rand::{rngs::SmallRng, RngExt, SeedableRng};
+    let mut rng = SmallRng::from_entropy();
+    rng.random()
+}

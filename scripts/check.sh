@@ -17,7 +17,14 @@ cargo run -q -p acdc-xtask -- lint
 echo "==> cargo test"
 cargo test -q
 
+echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
+cargo test -q -p acdc-faults
+cargo test -q --test chaos --test rto_backoff
+
 echo "==> cargo test --features strict-invariants"
 cargo test -q --features strict-invariants
+
+echo "==> chaos suite under strict-invariants"
+cargo test -q --features strict-invariants --test chaos --test rto_backoff
 
 echo "All checks passed."

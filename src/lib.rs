@@ -33,6 +33,7 @@
 
 pub use acdc_cc as cc;
 pub use acdc_core as core;
+pub use acdc_faults as faults;
 pub use acdc_netsim as netsim;
 pub use acdc_packet as packet;
 pub use acdc_stats as stats;
