@@ -80,7 +80,13 @@ impl MultiApp for FanoutSender {
         while i < self.active.len() {
             let (conn, target, start) = self.active[i];
             if conns.acked(conn) >= target {
-                self.fct.record(FctKind::Background, start, now, self.bytes);
+                self.fct.record_flow(
+                    FctKind::Background,
+                    start,
+                    now,
+                    self.bytes,
+                    conns.flow(conn),
+                );
                 self.active.swap_remove(i);
             } else {
                 i += 1;

@@ -109,6 +109,12 @@ pub trait MultiConnAccess {
     fn queued(&self, idx: usize) -> u64;
     /// Is connection `idx` established?
     fn established(&self, idx: usize) -> bool;
+    /// Wire 5-tuple (egress direction) of connection `idx`, for FCT
+    /// attribution.
+    fn flow(&self, idx: usize) -> Option<FlowKey> {
+        let _ = idx;
+        None
+    }
 }
 
 /// A host-level application spanning all of the host's connections.
@@ -143,6 +149,9 @@ impl MultiConnAccess for ConnsAccess<'_> {
     }
     fn established(&self, idx: usize) -> bool {
         self.conns[idx].ep.is_established()
+    }
+    fn flow(&self, idx: usize) -> Option<FlowKey> {
+        Some(self.conns[idx].ep.flow_key())
     }
 }
 
@@ -499,6 +508,14 @@ impl HostNode {
 impl Node for HostNode {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, seg: Segment) {
         let now = ctx.now();
+        // The single parse of the receive path: `try_meta` caches the
+        // header metadata every later stage (checksum verify, vSwitch
+        // ingress, endpoint demux + processing) reads. Frames that do not
+        // even parse are counted at the port and dropped.
+        let Ok(meta) = seg.try_meta() else {
+            ctx.count_drop(self.nic, acdc_netsim::PortDropClass::Malformed);
+            return;
+        };
         // NIC FCS check: damaged frames never reach the vSwitch (loss, as
         // on real hardware). Only injected corruption produces these — the
         // datapath's own rewrites all maintain checksums.
@@ -506,9 +523,9 @@ impl Node for HostNode {
             self.corrupt_drops += 1;
             return;
         }
+        let key = meta.flow.reverse();
         match self.datapath.ingress(now, seg) {
             Verdict::Forward(s) => {
-                let key = s.flow_key().reverse();
                 if let Some(&idx) = self.by_key.get(&key) {
                     self.conns[idx].ep.on_segment(now, &s);
                     self.service_conn(ctx, idx);
@@ -532,8 +549,12 @@ impl Node for HostNode {
         if port != self.nic {
             return;
         }
-        let key = seg.flow_key();
-        if let Some(&idx) = self.by_key.get(&key) {
+        // Locally generated packets always parse; the cache built at
+        // egress rides along with the clone the engine hands back.
+        let Ok(meta) = seg.try_meta() else {
+            return;
+        };
+        if let Some(&idx) = self.by_key.get(&meta.flow) {
             let c = &mut self.conns[idx];
             c.nic_queued = c.nic_queued.saturating_sub(seg.wire_len() as u64);
             if c.tsq_blocked && c.nic_queued < TSQ_PER_CONN_CAP {

@@ -60,7 +60,8 @@ impl MultiApp for TraceSender {
                 } else {
                     FctKind::Background
                 };
-                self.fct.record(kind, start, now, size);
+                self.fct
+                    .record_flow(kind, start, now, size, conns.flow(idx));
                 self.outstanding = None;
             }
         }

@@ -111,17 +111,6 @@ impl FaultyLink {
     }
 }
 
-/// Damage the header so the receiver's checksum verification fails while
-/// the packet still parses: flip one bit of the raw TCP window field
-/// without updating the checksum (non-TCP segments pass unharmed — the
-/// simulated datapath is TCP-only).
-fn corrupt_header(seg: &mut Segment) {
-    if seg.is_tcp() {
-        let w = seg.tcp().window();
-        seg.tcp_mut().set_window(w ^ 0x0001);
-    }
-}
-
 impl Node for FaultyLink {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut seg: Segment) {
         let now = ctx.now();
@@ -135,7 +124,10 @@ impl Node for FaultyLink {
             Fate::Drop(_) => ctx.count_drop(out, PortDropClass::FaultInjected),
             Fate::Deliver(d) => {
                 if d.corrupt {
-                    corrupt_header(&mut seg);
+                    // Damage the header so the receiver's checksum check
+                    // fails while the packet still parses: one raw window
+                    // bit, checksum left stale, cached meta kept in step.
+                    seg.corrupt_window_bit();
                 }
                 if d.mark_ce && seg.ecn().is_ect() {
                     seg.mark_ce();

@@ -78,6 +78,9 @@ pub struct PortCounters {
     /// Packets discarded by an injected fault process (see `acdc-faults`)
     /// instead of being forwarded out this port.
     pub fault_drops: u64,
+    /// Packets whose headers failed to parse (malformed wire input). The
+    /// receiving node drops and counts these instead of panicking.
+    pub malformed_drops: u64,
 }
 
 /// Why a node dropped a packet it was about to forward out of a port.
@@ -90,6 +93,10 @@ pub enum PortDropClass {
     /// A fault-injection process (e.g. a `FaultyLink` wrapper) discarded
     /// the packet deliberately.
     FaultInjected,
+    /// The packet's headers failed to parse; the fallible single-parse
+    /// pipeline (see `acdc-packet`'s `PacketMeta`) rejects such frames at
+    /// the first layer that touches them.
+    Malformed,
 }
 
 struct Port {
@@ -451,6 +458,7 @@ impl Ctx<'_> {
         match class {
             PortDropClass::QueueFull => c.queue_full_drops += 1,
             PortDropClass::FaultInjected => c.fault_drops += 1,
+            PortDropClass::Malformed => c.malformed_drops += 1,
         }
     }
 

@@ -16,7 +16,7 @@ pub const PROTO_UDP: u8 = 17;
 /// Length of the fixed IPv4 header (we do not emit IP options).
 pub const HEADER_LEN: usize = 20;
 
-mod field {
+pub(crate) mod field {
     pub const VER_IHL: usize = 0;
     pub const DSCP_ECN: usize = 1;
     pub const LENGTH: core::ops::Range<usize> = 2..4;
@@ -177,6 +177,18 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// Set the total length field.
     pub fn set_total_len(&mut self, len: u16) {
         self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the total length field and incrementally patch the header
+    /// checksum — used when a PACK option grows or shrinks the packet in
+    /// place.
+    pub fn set_total_len_update_checksum(&mut self, len: u16) {
+        let data = self.buffer.as_mut();
+        let old = u16::from_be_bytes(data[field::LENGTH].try_into().unwrap());
+        data[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+        let old_ck = u16::from_be_bytes(data[field::CHECKSUM].try_into().unwrap());
+        let new_ck = checksum_adjust(old_ck, old, len);
+        data[field::CHECKSUM].copy_from_slice(&new_ck.to_be_bytes());
     }
 
     /// Set the identification field.

@@ -28,6 +28,7 @@
 pub mod checksum;
 pub mod ecn;
 pub mod ipv4;
+pub mod meta;
 pub mod pack;
 pub mod segment;
 pub mod seq;
@@ -38,6 +39,7 @@ pub mod window;
 pub use checksum::{checksum, checksum_adjust, pseudo_header_sum};
 pub use ecn::Ecn;
 pub use ipv4::{Ipv4Packet, Ipv4Repr, PROTO_TCP, PROTO_UDP};
+pub use meta::PacketMeta;
 pub use pack::PackOption;
 pub use segment::{FlowKey, Segment};
 pub use seq::SeqNumber;

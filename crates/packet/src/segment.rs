@@ -6,16 +6,38 @@
 //! checksum — while the simulator avoids allocating and copying bulk
 //! payloads. Checksums treat the payload as zeros, so they stay end-to-end
 //! verifiable (see crate docs).
+//!
+//! # The parse-once contract
+//!
+//! Each segment lazily caches a [`PacketMeta`] — the full set of header
+//! fields the hot path consumes — built by a single parse at first access
+//! ([`Segment::try_meta`]). The in-place mutators below (window rewrite,
+//! ECN patch, flag/reserved-bit edits, PACK insertion and removal) patch
+//! the bytes, the checksum, *and* the cached meta together, so downstream
+//! layers keep reading cached fields after the datapath has rewritten the
+//! packet. Only the raw escape hatches [`Segment::ip_mut`] and
+//! [`Segment::tcp_mut`] invalidate the cache, forcing a re-parse at the
+//! next access. See DESIGN.md §9.
+
+use std::cell::RefCell;
 
 use bytes::{Bytes, BytesMut};
 
+use crate::checksum::checksum_adjust;
+use crate::tcp::option_kind;
+#[cfg(test)]
+use crate::Error;
 use crate::{
-    Ecn, Error, Ipv4Packet, Ipv4Repr, Result, TcpFlags, TcpPacket, TcpRepr, UdpPacket, UdpRepr,
-    PROTO_TCP, PROTO_UDP,
+    Ecn, Ipv4Packet, Ipv4Repr, PackOption, PacketMeta, Result, SeqNumber, TcpFlags, TcpOption,
+    TcpPacket, TcpRepr, UdpPacket, UdpRepr, PROTO_TCP, PROTO_UDP,
 };
 
 /// A 5-tuple-minus-protocol flow key (the simulator is IPv4/TCP only; the
 /// paper hashes on addresses, ports and VLAN — we have no VLANs).
+///
+/// This is the *one* flow identity used across the workspace: the vSwitch
+/// flow table shards on it, the host NIC demuxes on it, and the workload
+/// FCT bookkeeping labels samples with it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Source IPv4 address.
@@ -30,6 +52,7 @@ pub struct FlowKey {
 
 impl FlowKey {
     /// The key of the reverse direction (ACKs of this flow).
+    #[inline]
     pub fn reverse(&self) -> FlowKey {
         FlowKey {
             src_ip: self.dst_ip,
@@ -37,6 +60,23 @@ impl FlowKey {
             src_port: self.dst_port,
             dst_port: self.src_port,
         }
+    }
+
+    /// FNV-1a over the 12 key bytes: a fast, deterministic, well-spread
+    /// hash for flow-table sharding. Unlike `DefaultHasher` it has no
+    /// per-hasher setup cost, which matters at one-to-two lookups per
+    /// packet on the datapath fast path.
+    #[inline]
+    pub fn hash64(&self) -> u64 {
+        const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET_BASIS;
+        let mut step = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        self.src_ip.iter().copied().for_each(&mut step);
+        self.dst_ip.iter().copied().for_each(&mut step);
+        self.src_port.to_be_bytes().into_iter().for_each(&mut step);
+        self.dst_port.to_be_bytes().into_iter().for_each(&mut step);
+        h
     }
 }
 
@@ -59,11 +99,15 @@ impl core::fmt::Display for FlowKey {
     }
 }
 
-/// A simulated packet: serialized headers + virtual payload length.
+/// A simulated packet: serialized headers + virtual payload length + a
+/// lazily-built cache of parsed header metadata.
 #[derive(Debug, Clone)]
 pub struct Segment {
     buf: BytesMut,
     payload_len: usize,
+    /// Parse-once cache. `None` until first access or after a raw mutable
+    /// view invalidated it; the maintained mutators keep it coherent.
+    meta: RefCell<Option<PacketMeta>>,
 }
 
 impl Segment {
@@ -87,7 +131,17 @@ impl Segment {
             tcp.emit(&mut tcpp);
             tcpp.fill_checksum(ip_repr.src_addr, ip_repr.dst_addr, payload_len);
         }
-        Segment { buf, payload_len }
+        // The emitter is the "single parse" of a locally built segment: it
+        // already holds every field the meta cache wants, so downstream
+        // consumers never parse at all. Exotic options (explicit EOL,
+        // Unknown) fall back to lazy first-access parsing so the cache
+        // always matches what `PacketMeta::parse` would say.
+        let meta = tcp_meta_from_reprs(&ip_repr, &tcp, tcp_hdr_len);
+        Segment {
+            buf,
+            payload_len,
+            meta: RefCell::new(meta),
+        }
     }
 
     /// Build a UDP datagram (the vSwitch forwards these untouched; the
@@ -110,32 +164,96 @@ impl Segment {
             udp_repr.emit(&mut udpp);
             udpp.fill_checksum(ip_repr.src_addr, ip_repr.dst_addr, payload_len);
         }
-        Segment { buf, payload_len }
+        let meta = PacketMeta {
+            flow: FlowKey {
+                src_ip: ip_repr.src_addr,
+                dst_ip: ip_repr.dst_addr,
+                src_port: udp.src_port,
+                dst_port: udp.dst_port,
+            },
+            protocol: PROTO_UDP,
+            ecn: ip_repr.ecn,
+            ip_header_len: ip_repr.header_len() as u8,
+            l4_header_len: crate::udp::HEADER_LEN as u8,
+            flags: TcpFlags::empty(),
+            seq: SeqNumber::ZERO,
+            ack: SeqNumber::ZERO,
+            window: 0,
+            vm_ece: false,
+            fack: false,
+            pack_off: None,
+            pack: None,
+            wscale: None,
+            mss: None,
+        };
+        Segment {
+            buf,
+            payload_len,
+            meta: RefCell::new(Some(meta)),
+        }
     }
 
     /// Is this a TCP segment (as opposed to UDP)?
+    ///
+    /// Deliberately does *not* fill the meta cache: pass-through paths
+    /// (non-TCP traffic, a disabled datapath) route on this single byte
+    /// and never pay a parse. Panic-free on truncated buffers.
+    #[inline]
     pub fn is_tcp(&self) -> bool {
-        self.ip().protocol() == PROTO_TCP
+        match *self.meta.borrow() {
+            Some(ref m) => m.protocol == PROTO_TCP,
+            None => self.buf.get(crate::ipv4::field::PROTOCOL) == Some(&PROTO_TCP),
+        }
     }
 
-    /// Reconstruct a segment from raw header bytes (e.g. after a datapath
-    /// emitted a fresh packet) plus a virtual payload length.
+    /// Reconstruct a segment from raw header bytes (e.g. off a trace) plus
+    /// a virtual payload length. The validating parse doubles as the
+    /// cache fill: the returned segment already carries its meta.
     pub fn from_header_bytes(buf: BytesMut, payload_len: usize) -> Result<Segment> {
-        let ipp = Ipv4Packet::new_checked(&buf[..])?;
-        let ihl = ipp.header_len();
-        match ipp.protocol() {
-            PROTO_TCP => {
-                TcpPacket::new_checked(&buf[ihl..])?;
-            }
-            PROTO_UDP => {
-                UdpPacket::new_checked(&buf[ihl..])?;
-            }
-            _ => return Err(Error::Unsupported),
+        let meta = PacketMeta::parse(&buf)?;
+        Ok(Segment {
+            buf,
+            payload_len,
+            meta: RefCell::new(Some(meta)),
+        })
+    }
+
+    /// The cached header metadata, parsing (once) on a cache miss.
+    ///
+    /// This is the hot-path accessor: the first caller on a segment's
+    /// journey (normally NIC checksum verification) pays the single parse
+    /// and every later layer reads the cached copy. Malformed headers
+    /// return `Err` — callers drop and count, never panic.
+    #[inline]
+    pub fn try_meta(&self) -> Result<PacketMeta> {
+        let mut slot = self.meta.borrow_mut();
+        if let Some(m) = *slot {
+            return Ok(m);
         }
-        Ok(Segment { buf, payload_len })
+        let m = PacketMeta::parse(&self.buf)?;
+        *slot = Some(m);
+        Ok(m)
+    }
+
+    /// Is the meta cache currently populated? (Test hook for the
+    /// invalidation rules; not meaningful on the hot path.)
+    #[inline]
+    pub fn meta_is_cached(&self) -> bool {
+        self.meta.borrow().is_some()
+    }
+
+    /// Apply `patch` to the cached meta, if one is cached. Mutators that
+    /// keep the cache coherent use this: a cold cache stays cold (the
+    /// next `try_meta` re-parses the — already updated — bytes).
+    #[inline]
+    fn patch_meta(&self, patch: impl FnOnce(&mut PacketMeta)) {
+        if let Some(m) = self.meta.borrow_mut().as_mut() {
+            patch(m);
+        }
     }
 
     /// The serialized header bytes (IP + TCP, no payload).
+    #[inline]
     pub fn header_bytes(&self) -> &[u8] {
         &self.buf
     }
@@ -146,27 +264,34 @@ impl Segment {
     }
 
     /// Virtual payload length in bytes.
+    #[inline]
     pub fn payload_len(&self) -> usize {
         self.payload_len
     }
 
     /// Total length on the wire: headers + payload.
+    #[inline]
     pub fn wire_len(&self) -> usize {
         self.buf.len() + self.payload_len
     }
 
     /// Immutable IP header view.
+    #[inline]
     pub fn ip(&self) -> Ipv4Packet<&[u8]> {
         Ipv4Packet::new_unchecked(&self.buf[..])
     }
 
-    /// Mutable IP header view.
+    /// Mutable IP header view. Invalidates the meta cache: the caller can
+    /// change anything, so the next meta access re-parses. Datapath code
+    /// uses the maintained mutators instead.
     pub fn ip_mut(&mut self) -> Ipv4Packet<&mut [u8]> {
+        self.meta.replace(None);
         Ipv4Packet::new_unchecked(&mut self.buf[..])
     }
 
     /// Immutable TCP header view (panics when called on a UDP segment —
     /// check [`Segment::is_tcp`] first on mixed paths).
+    #[inline]
     pub fn tcp(&self) -> TcpPacket<&[u8]> {
         debug_assert!(self.is_tcp(), "tcp() on a UDP segment");
         let ihl = self.ip().header_len();
@@ -180,53 +305,290 @@ impl Segment {
         UdpPacket::new_unchecked(&self.buf[ihl..])
     }
 
-    /// Mutable TCP header view.
+    /// Mutable TCP header view. Invalidates the meta cache, like
+    /// [`Segment::ip_mut`].
     pub fn tcp_mut(&mut self) -> TcpPacket<&mut [u8]> {
+        self.meta.replace(None);
         let ihl = self.ip().header_len();
         TcpPacket::new_unchecked(&mut self.buf[ihl..])
     }
 
     /// The flow key of this segment's direction (TCP or UDP ports).
+    ///
+    /// Convenience for locally constructed segments and tests; wire-input
+    /// paths use [`Segment::try_meta`] so malformed frames are dropped
+    /// and counted rather than panicking here.
     pub fn flow_key(&self) -> FlowKey {
-        let ip = self.ip();
-        let (src_port, dst_port) = if self.is_tcp() {
-            let t = self.tcp();
-            (t.src_port(), t.dst_port())
-        } else {
-            let u = self.udp();
-            (u.src_port(), u.dst_port())
-        };
-        FlowKey {
-            src_ip: ip.src_addr(),
-            dst_ip: ip.dst_addr(),
-            src_port,
-            dst_port,
-        }
+        self.try_meta().expect("flow_key on malformed segment").flow
     }
 
     /// ECN codepoint from the IP header.
+    #[inline]
     pub fn ecn(&self) -> Ecn {
-        self.ip().ecn()
+        match *self.meta.borrow() {
+            Some(ref m) => m.ecn,
+            None => self.ip().ecn(),
+        }
+    }
+
+    /// Set the ECN codepoint, incrementally patching the IP checksum and
+    /// the cached meta.
+    #[inline]
+    pub fn set_ecn(&mut self, ecn: Ecn) {
+        Ipv4Packet::new_unchecked(&mut self.buf[..]).set_ecn_update_checksum(ecn);
+        self.patch_meta(|m| m.ecn = ecn);
     }
 
     /// Mark this segment CE (what a WRED/ECN switch does), keeping the IP
     /// checksum valid.
+    #[inline]
     pub fn mark_ce(&mut self) {
-        self.ip_mut().set_ecn_update_checksum(Ecn::Ce);
+        self.set_ecn(Ecn::Ce);
     }
 
     /// TCP flags.
+    #[inline]
     pub fn tcp_flags(&self) -> TcpFlags {
-        self.tcp().flags()
+        match *self.meta.borrow() {
+            Some(ref m) => m.flags,
+            None => self.tcp().flags(),
+        }
+    }
+
+    /// Overwrite the advertised window — the AC/DC enforcement write
+    /// (§3.3 / §4): a 2-byte patch plus RFC 1624 incremental checksum,
+    /// with the cached meta updated in step.
+    #[inline]
+    pub fn rewrite_window(&mut self, window: u16) {
+        debug_assert!(self.is_tcp(), "rewrite_window on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).set_window_update_checksum(window);
+        self.patch_meta(|m| m.window = window);
+    }
+
+    /// Overwrite the TCP flag byte, patching checksum and meta.
+    #[inline]
+    pub fn set_tcp_flags(&mut self, flags: TcpFlags) {
+        debug_assert!(self.is_tcp(), "set_tcp_flags on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).set_flags_update_checksum(flags);
+        self.patch_meta(|m| m.flags = flags);
+    }
+
+    /// Clear TCP flag bits (e.g. stripping ECE before the guest sees it),
+    /// patching checksum and meta.
+    #[inline]
+    pub fn clear_tcp_flags(&mut self, flags: TcpFlags) {
+        debug_assert!(self.is_tcp(), "clear_tcp_flags on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).clear_flags_update_checksum(flags);
+        self.patch_meta(|m| m.flags = m.flags.difference(flags));
+    }
+
+    /// Set the AC/DC reserved-bit markers, patching checksum and meta.
+    #[inline]
+    pub fn set_reserved(&mut self, vm_ece: bool, fack: bool) {
+        debug_assert!(self.is_tcp(), "set_reserved on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).set_reserved_update_checksum(vm_ece, fack);
+        self.patch_meta(|m| {
+            m.vm_ece = vm_ece;
+            m.fack = fack;
+        });
+    }
+
+    /// Clear both AC/DC reserved-bit markers, patching checksum and meta.
+    #[inline]
+    pub fn clear_reserved(&mut self) {
+        debug_assert!(self.is_tcp(), "clear_reserved on a UDP segment");
+        let ihl = self.ip().header_len();
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).clear_reserved_update_checksum();
+        self.patch_meta(|m| {
+            m.vm_ece = false;
+            m.fack = false;
+        });
+    }
+
+    /// Flip the lowest bit of the raw TCP window *without* fixing the
+    /// checksum — deliberate header damage for fault injection. The meta
+    /// is kept in step with the (corrupted) bytes so classification after
+    /// the fault still reads the truth; non-TCP segments pass unharmed.
+    #[inline]
+    pub fn corrupt_window_bit(&mut self) {
+        if !self.is_tcp() {
+            return;
+        }
+        let ihl = self.ip().header_len();
+        let mut tcp = TcpPacket::new_unchecked(&mut self.buf[ihl..]);
+        let w = tcp.window() ^ 0x0001;
+        tcp.set_window(w);
+        self.patch_meta(|m| m.window = w);
+    }
+
+    /// Change the virtual payload length in place (TCP only): patches the
+    /// IP total length and both checksums incrementally. Used to turn a
+    /// cloned data packet into a feedback-only fake ACK.
+    #[inline]
+    pub fn set_virtual_payload_len(&mut self, new_len: usize) {
+        debug_assert!(self.is_tcp(), "set_virtual_payload_len on a UDP segment");
+        if new_len == self.payload_len {
+            return;
+        }
+        let ihl = self.ip().header_len();
+        let thl = self.buf.len() - ihl;
+        Ipv4Packet::new_unchecked(&mut self.buf[..])
+            .set_total_len_update_checksum((ihl + thl + new_len) as u16);
+        let old_l4 = (thl + self.payload_len) as u32;
+        let new_l4 = (thl + new_len) as u32;
+        let mut tcp = TcpPacket::new_unchecked(&mut self.buf[ihl..]);
+        let mut ck = tcp.checksum();
+        ck = checksum_adjust(ck, (old_l4 >> 16) as u16, (new_l4 >> 16) as u16);
+        ck = checksum_adjust(ck, old_l4 as u16, new_l4 as u16);
+        tcp.set_checksum(ck);
+        self.payload_len = new_len;
+        // Meta carries no length-derived fields; nothing to patch.
+    }
+
+    /// Append a PACK feedback option to the TCP header in place: EOL
+    /// padding is rewritten to NOP so the appended option stays reachable,
+    /// the header grows by [`PackOption::WIRE_LEN`] bytes, and both
+    /// checksums are patched incrementally (no re-emit, no allocation
+    /// beyond the buffer growth). Returns `false` — leaving the segment
+    /// untouched — when the option does not fit, one is already present,
+    /// or the options region does not parse.
+    pub fn append_pack_in_place(&mut self, pack: PackOption) -> bool {
+        let Ok(meta) = self.try_meta() else {
+            return false;
+        };
+        if !meta.is_tcp() || meta.pack_off.is_some() {
+            return false;
+        }
+        let ihl = usize::from(meta.ip_header_len);
+        let thl = usize::from(meta.l4_header_len);
+        if thl + PackOption::WIRE_LEN > crate::tcp::MAX_HEADER_LEN {
+            return false;
+        }
+        let opts_start = ihl + crate::tcp::HEADER_LEN;
+        let Some(pad_start) = options_padding_start(&self.buf[opts_start..ihl + thl]) else {
+            return false;
+        };
+        let old_words = self.tcp_header_words(ihl);
+        for b in &mut self.buf[opts_start + pad_start..ihl + thl] {
+            *b = option_kind::NOP;
+        }
+        let old_buf_len = self.buf.len();
+        self.buf.resize(old_buf_len + PackOption::WIRE_LEN, 0);
+        pack.emit(&mut self.buf[old_buf_len..]);
+        let new_thl = thl + PackOption::WIRE_LEN;
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).set_header_len(new_thl);
+        Ipv4Packet::new_unchecked(&mut self.buf[..])
+            .set_total_len_update_checksum((ihl + new_thl + self.payload_len) as u16);
+        let new_words = self.tcp_header_words(ihl);
+        self.adjust_tcp_checksum(
+            ihl,
+            &old_words,
+            &new_words,
+            (thl + self.payload_len) as u32,
+            (new_thl + self.payload_len) as u32,
+        );
+        let mut m = meta;
+        m.l4_header_len = new_thl as u8;
+        m.pack_off = Some((ihl + thl) as u16);
+        m.pack = Some(pack);
+        self.meta.replace(Some(m));
+        true
+    }
+
+    /// Remove the PACK option from the TCP header in place (the inverse of
+    /// [`Segment::append_pack_in_place`]): later options/padding shift
+    /// down, the header shrinks, checksums are patched incrementally.
+    /// Returns `false` when no PACK option is present.
+    pub fn strip_pack_in_place(&mut self) -> bool {
+        let Ok(meta) = self.try_meta() else {
+            return false;
+        };
+        let Some(pack_off) = meta.pack_off else {
+            return false;
+        };
+        let off = usize::from(pack_off);
+        let ihl = usize::from(meta.ip_header_len);
+        let thl = usize::from(meta.l4_header_len);
+        debug_assert!(off + PackOption::WIRE_LEN <= ihl + thl);
+        let old_words = self.tcp_header_words(ihl);
+        let end = self.buf.len();
+        self.buf.copy_within(off + PackOption::WIRE_LEN..end, off);
+        self.buf.truncate(end - PackOption::WIRE_LEN);
+        let new_thl = thl - PackOption::WIRE_LEN;
+        TcpPacket::new_unchecked(&mut self.buf[ihl..]).set_header_len(new_thl);
+        Ipv4Packet::new_unchecked(&mut self.buf[..])
+            .set_total_len_update_checksum((ihl + new_thl + self.payload_len) as u16);
+        let new_words = self.tcp_header_words(ihl);
+        self.adjust_tcp_checksum(
+            ihl,
+            &old_words,
+            &new_words,
+            (thl + self.payload_len) as u32,
+            (new_thl + self.payload_len) as u32,
+        );
+        let mut m = meta;
+        m.l4_header_len = new_thl as u8;
+        m.pack_off = None;
+        m.pack = None;
+        self.meta.replace(Some(m));
+        true
+    }
+
+    /// Snapshot the TCP header as 16-bit words (missing tail words read as
+    /// zero — a zero word contributes nothing to the Internet checksum, so
+    /// grown/shrunk headers diff cleanly against each other).
+    fn tcp_header_words(&self, ihl: usize) -> [u16; MAX_TCP_WORDS] {
+        let mut words = [0u16; MAX_TCP_WORDS];
+        let data = &self.buf[ihl..];
+        for (i, w) in words.iter_mut().enumerate() {
+            let off = i * 2;
+            if off + 2 <= data.len() {
+                *w = u16::from_be_bytes([data[off], data[off + 1]]);
+            }
+        }
+        words
+    }
+
+    /// Fold the word-level diff of two header snapshots (plus a
+    /// pseudo-header length change) into the TCP checksum, RFC 1624 style.
+    fn adjust_tcp_checksum(
+        &mut self,
+        ihl: usize,
+        old: &[u16; MAX_TCP_WORDS],
+        new: &[u16; MAX_TCP_WORDS],
+        old_l4_len: u32,
+        new_l4_len: u32,
+    ) {
+        // The checksum field itself (TCP bytes 16..18) is the output, not
+        // an input, of the adjustment.
+        const CHECKSUM_WORD: usize = 8;
+        let mut tcp = TcpPacket::new_unchecked(&mut self.buf[ihl..]);
+        let mut ck = tcp.checksum();
+        for (i, (o, n)) in old.iter().zip(new.iter()).enumerate() {
+            if i != CHECKSUM_WORD && o != n {
+                ck = checksum_adjust(ck, *o, *n);
+            }
+        }
+        if old_l4_len != new_l4_len {
+            ck = checksum_adjust(ck, (old_l4_len >> 16) as u16, (new_l4_len >> 16) as u16);
+            ck = checksum_adjust(ck, old_l4_len as u16, new_l4_len as u16);
+        }
+        tcp.set_checksum(ck);
     }
 
     /// Does this segment carry payload, SYN, or FIN (i.e. occupy sequence
     /// space and need acknowledgement)?
+    #[inline]
     pub fn occupies_seq_space(&self) -> bool {
         self.payload_len > 0 || self.tcp_flags().intersects(TcpFlags::SYN | TcpFlags::FIN)
     }
 
     /// Is this a "pure ACK": no payload, no SYN/FIN/RST?
+    #[inline]
     pub fn is_pure_ack(&self) -> bool {
         self.payload_len == 0
             && self.tcp_flags().contains(TcpFlags::ACK)
@@ -241,12 +603,18 @@ impl Segment {
     }
 
     /// Verify both checksums (IP header and L4 with virtual payload).
+    /// Doubles as the cache fill: verification is the first thing a NIC
+    /// does to an arriving frame, so the single parse happens here and
+    /// every later layer hits the cache. Malformed headers fail.
     pub fn verify_checksums(&self) -> bool {
+        let Ok(meta) = self.try_meta() else {
+            return false;
+        };
         let ip = self.ip();
         if !ip.verify_checksum() {
             return false;
         }
-        if self.is_tcp() {
+        if meta.is_tcp() {
             self.tcp()
                 .verify_checksum(ip.src_addr(), ip.dst_addr(), self.payload_len)
         } else {
@@ -256,10 +624,87 @@ impl Segment {
     }
 }
 
+/// Number of 16-bit words in a maximum-size TCP header.
+const MAX_TCP_WORDS: usize = crate::tcp::MAX_HEADER_LEN / 2;
+
+/// Walk the options region; return the byte index where trailing padding
+/// begins (the first terminating EOL, or `opts.len()` if options run to
+/// the end), or `None` if an option is malformed — in which case bytes
+/// appended past the walk's stopping point would be unreachable to any
+/// parser and in-place insertion must be refused.
+/// Build the meta cache for a freshly emitted TCP segment straight from
+/// the representations — the emitter already knows every field, so a
+/// locally built packet costs *zero* parses over its whole lifetime.
+///
+/// Returns `None` (leave the cache cold, parse lazily) for option lists a
+/// wire walk would interpret differently than a naive sweep: an explicit
+/// `EndOfList` terminates the walk, and `Unknown` options may collide with
+/// EOL/NOP kind bytes or carry bogus lengths. The meta-coherence proptests
+/// pin this fast path to `PacketMeta::parse` of the emitted bytes.
+fn tcp_meta_from_reprs(ip: &Ipv4Repr, tcp: &TcpRepr, tcp_hdr_len: usize) -> Option<PacketMeta> {
+    let mut meta = PacketMeta {
+        flow: FlowKey {
+            src_ip: ip.src_addr,
+            dst_ip: ip.dst_addr,
+            src_port: tcp.src_port,
+            dst_port: tcp.dst_port,
+        },
+        protocol: PROTO_TCP,
+        ecn: ip.ecn,
+        ip_header_len: ip.header_len() as u8,
+        l4_header_len: tcp_hdr_len as u8,
+        flags: tcp.flags,
+        seq: tcp.seq,
+        ack: tcp.ack,
+        window: tcp.window,
+        vm_ece: tcp.vm_ece,
+        fack: tcp.fack,
+        pack_off: None,
+        pack: None,
+        wscale: None,
+        mss: None,
+    };
+    let mut off = (ip.header_len() + crate::tcp::HEADER_LEN) as u16;
+    for opt in &tcp.options {
+        match *opt {
+            TcpOption::EndOfList | TcpOption::Unknown(..) => return None,
+            TcpOption::MaxSegmentSize(v) => meta.mss = Some(v),
+            TcpOption::WindowScale(v) => meta.wscale = Some(v),
+            TcpOption::Pack(p) => {
+                meta.pack = Some(p);
+                meta.pack_off = Some(off);
+            }
+            TcpOption::NoOperation | TcpOption::SackPermitted | TcpOption::Timestamps(..) => {}
+        }
+        off += opt.wire_len() as u16;
+    }
+    Some(meta)
+}
+
+fn options_padding_start(opts: &[u8]) -> Option<usize> {
+    let mut i = 0usize;
+    while i < opts.len() {
+        match opts[i] {
+            option_kind::EOL => return Some(i),
+            option_kind::NOP => i += 1,
+            _ => {
+                if i + 1 >= opts.len() {
+                    return None;
+                }
+                let len = usize::from(opts[i + 1]);
+                if len < 2 || i + len > opts.len() {
+                    return None;
+                }
+                i += len;
+            }
+        }
+    }
+    Some(opts.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SeqNumber;
 
     fn ip_repr() -> Ipv4Repr {
         Ipv4Repr {
@@ -302,6 +747,80 @@ mod tests {
     }
 
     #[test]
+    fn flow_key_hash_is_stable_and_direction_sensitive() {
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        let k = seg.flow_key();
+        assert_eq!(k.hash64(), k.hash64());
+        assert_ne!(k.hash64(), k.reverse().hash64());
+    }
+
+    #[test]
+    fn constructors_prepopulate_and_reparse_is_lazy() {
+        // Locally built segments are born with their meta: the emitter is
+        // the single "parse" of their lifetime.
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 100);
+        assert!(seg.meta_is_cached());
+        let m = seg.try_meta().unwrap();
+        assert_eq!(m.window, 1234);
+        assert_eq!(m.seq, SeqNumber(1000));
+        // The pre-populated cache matches a from-scratch parse exactly.
+        assert_eq!(m, PacketMeta::parse(seg.header_bytes()).unwrap());
+        // Clones carry the cache.
+        assert!(seg.clone().meta_is_cached());
+
+        // After a raw-view invalidation the rebuild is lazy: nothing is
+        // parsed until the next accessor call.
+        let mut seg = seg;
+        let _ = seg.tcp_mut();
+        assert!(!seg.meta_is_cached());
+        seg.try_meta().unwrap();
+        assert!(seg.meta_is_cached());
+    }
+
+    #[test]
+    fn exotic_options_fall_back_to_lazy_parse() {
+        // An explicit EndOfList makes the emit-time fast path bail; the
+        // cache must then be built by a real parse on first access and the
+        // two must agree.
+        let mut r = tcp_repr();
+        r.options = vec![TcpOption::MaxSegmentSize(1448), TcpOption::EndOfList];
+        let seg = Segment::new_tcp(ip_repr(), r, 0);
+        assert!(!seg.meta_is_cached());
+        let m = seg.try_meta().unwrap();
+        assert_eq!(m, PacketMeta::parse(seg.header_bytes()).unwrap());
+        assert_eq!(m.mss, Some(1448));
+    }
+
+    #[test]
+    fn raw_mutable_views_invalidate_meta() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        seg.try_meta().unwrap();
+        let _ = seg.tcp_mut();
+        assert!(!seg.meta_is_cached());
+        seg.try_meta().unwrap();
+        let _ = seg.ip_mut();
+        assert!(!seg.meta_is_cached());
+    }
+
+    #[test]
+    fn maintained_mutators_keep_meta_coherent() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 100);
+        seg.try_meta().unwrap();
+        seg.rewrite_window(99);
+        seg.mark_ce();
+        seg.set_reserved(true, false);
+        assert!(seg.meta_is_cached());
+        let m = seg.try_meta().unwrap();
+        assert_eq!(m.window, 99);
+        assert_eq!(m.ecn, Ecn::Ce);
+        assert!(m.vm_ece);
+        // The cached view matches a from-scratch parse and the checksums
+        // are still valid.
+        assert_eq!(m, PacketMeta::parse(seg.header_bytes()).unwrap());
+        assert!(seg.verify_checksums());
+    }
+
+    #[test]
     fn ce_marking_keeps_ip_checksum_valid() {
         let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 100);
         assert_eq!(seg.ecn(), Ecn::Ect0);
@@ -336,10 +855,100 @@ mod tests {
     }
 
     #[test]
+    fn append_and_strip_pack_in_place() {
+        let pack = PackOption {
+            total_bytes: 100_000,
+            marked_bytes: 20_000,
+        };
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        let before = seg.header_bytes().to_vec();
+        assert!(seg.append_pack_in_place(pack));
+        assert_eq!(
+            seg.header_bytes().len(),
+            before.len() + PackOption::WIRE_LEN
+        );
+        assert_eq!(seg.tcp().pack_option(), Some(pack));
+        assert!(seg.verify_checksums());
+        let m = seg.try_meta().unwrap();
+        assert_eq!(m.pack, Some(pack));
+        assert_eq!(m, PacketMeta::parse(seg.header_bytes()).unwrap());
+        // A second append is refused.
+        assert!(!seg.append_pack_in_place(pack));
+
+        assert!(seg.strip_pack_in_place());
+        assert_eq!(seg.header_bytes().len(), before.len());
+        assert_eq!(seg.tcp().pack_option(), None);
+        assert!(seg.verify_checksums());
+        let m = seg.try_meta().unwrap();
+        assert_eq!(m.pack, None);
+        assert_eq!(m, PacketMeta::parse(seg.header_bytes()).unwrap());
+        // Nothing left to strip.
+        assert!(!seg.strip_pack_in_place());
+    }
+
+    #[test]
+    fn append_pack_converts_eol_padding_to_nop() {
+        // A Timestamps option emits 10 bytes, padded to 12 with EOL; the
+        // appended PACK must stay reachable past that padding.
+        let mut r = tcp_repr();
+        r.options = vec![crate::TcpOption::Timestamps(7, 8)];
+        let mut seg = Segment::new_tcp(ip_repr(), r, 0);
+        let pack = PackOption {
+            total_bytes: 9,
+            marked_bytes: 3,
+        };
+        assert!(seg.append_pack_in_place(pack));
+        assert_eq!(seg.tcp().pack_option(), Some(pack));
+        assert!(seg
+            .tcp()
+            .options_iter()
+            .any(|o| matches!(o, crate::TcpOption::Timestamps(7, 8))));
+        assert!(seg.verify_checksums());
+        assert_eq!(
+            seg.try_meta().unwrap(),
+            PacketMeta::parse(seg.header_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn append_pack_refuses_full_header() {
+        let mut r = tcp_repr();
+        // 4 timestamps = 40 option bytes: a full 60-byte header with no
+        // room for 12 more.
+        r.options = vec![crate::TcpOption::Timestamps(1, 2); 4];
+        let mut seg = Segment::new_tcp(ip_repr(), r, 0);
+        let before = seg.header_bytes().to_vec();
+        assert!(!seg.append_pack_in_place(PackOption::default()));
+        assert_eq!(seg.header_bytes(), &before[..]);
+        assert!(seg.verify_checksums());
+    }
+
+    #[test]
+    fn set_virtual_payload_len_keeps_checksums_valid() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 1448);
+        seg.set_virtual_payload_len(0);
+        assert_eq!(seg.payload_len(), 0);
+        assert_eq!(seg.wire_len(), 40);
+        assert_eq!(seg.ip().total_len(), 40);
+        assert!(seg.verify_checksums());
+    }
+
+    #[test]
+    fn corrupt_window_bit_breaks_checksum_but_not_meta() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        let w = seg.try_meta().unwrap().window;
+        seg.corrupt_window_bit();
+        assert!(!seg.verify_checksums());
+        assert_eq!(seg.try_meta().unwrap().window, w ^ 1);
+        assert_eq!(seg.tcp().window(), w ^ 1);
+    }
+
+    #[test]
     fn from_header_bytes_round_trip() {
         let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 777);
         let buf = BytesMut::from(seg.header_bytes());
         let seg2 = Segment::from_header_bytes(buf, 777).unwrap();
+        assert!(seg2.meta_is_cached());
         assert_eq!(seg2.wire_len(), seg.wire_len());
         assert_eq!(seg2.flow_key(), seg.flow_key());
         assert!(seg2.verify_checksums());
@@ -354,6 +963,14 @@ mod tests {
             Segment::from_header_bytes(buf, 0).unwrap_err(),
             Error::Unsupported
         );
+    }
+
+    #[test]
+    fn try_meta_reports_malformed_instead_of_panicking() {
+        let mut seg = Segment::new_tcp(ip_repr(), tcp_repr(), 0);
+        seg.ip_mut().set_protocol(47);
+        assert_eq!(seg.try_meta().unwrap_err(), Error::Unsupported);
+        assert!(!seg.verify_checksums());
     }
 
     #[test]

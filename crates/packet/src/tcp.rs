@@ -331,6 +331,17 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
         data[field::CHECKSUM].copy_from_slice(&new_ck.to_be_bytes());
     }
 
+    /// Overwrite the flag byte and incrementally patch the checksum.
+    pub fn set_flags_update_checksum(&mut self, flags: TcpFlags) {
+        let data = self.buffer.as_mut();
+        let old = u16::from_be_bytes([data[field::OFF_RSVD], data[field::FLAGS]]);
+        data[field::FLAGS] = flags.bits();
+        let new = u16::from_be_bytes([data[field::OFF_RSVD], data[field::FLAGS]]);
+        let old_ck = u16::from_be_bytes(data[field::CHECKSUM].try_into().unwrap());
+        let new_ck = checksum_adjust(old_ck, old, new);
+        data[field::CHECKSUM].copy_from_slice(&new_ck.to_be_bytes());
+    }
+
     /// Clear a flag bit and incrementally patch the checksum. Used by the
     /// sender module to strip ECE feedback before the guest sees it.
     pub fn clear_flags_update_checksum(&mut self, flags: TcpFlags) {

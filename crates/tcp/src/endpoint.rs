@@ -10,7 +10,9 @@
 //! wraparound while the wire format stays faithful.
 
 use acdc_cc::{AckEvent, CcConfig, CongestionControl};
-use acdc_packet::{Ecn, Ipv4Repr, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP};
+use acdc_packet::{
+    Ecn, FlowKey, Ipv4Repr, PacketMeta, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP,
+};
 use acdc_stats::time::Nanos;
 
 use crate::TcpConfig;
@@ -278,6 +280,18 @@ impl Endpoint {
         &self.cfg
     }
 
+    /// The wire 5-tuple of this endpoint's *egress* (local → remote)
+    /// direction — the same key the vSwitch flow table and the host NIC
+    /// demux use.
+    pub fn flow_key(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.cfg.local_ip,
+            dst_ip: self.cfg.remote_ip,
+            src_port: self.cfg.local_port,
+            dst_port: self.cfg.remote_port,
+        }
+    }
+
     /// Is the connection established (data can flow)?
     pub fn is_established(&self) -> bool {
         matches!(
@@ -531,8 +545,13 @@ impl Endpoint {
 
     /// Feed an arriving segment (addressed to this endpoint).
     pub fn on_segment(&mut self, now: Nanos, seg: &Segment) {
-        let tcp = seg.tcp();
-        let flags = tcp.flags();
+        // One parse per packet lifetime: the NIC's checksum verification
+        // already populated the cache, so this is normally a cache read.
+        // A malformed frame (which the NIC should have dropped) is ignored.
+        let Ok(meta) = seg.try_meta() else {
+            return;
+        };
+        let flags = meta.flags;
 
         if flags.contains(TcpFlags::RST) {
             self.state = TcpState::Closed;
@@ -542,8 +561,8 @@ impl Endpoint {
         match self.state {
             TcpState::Listen => {
                 if flags.contains(TcpFlags::SYN) {
-                    self.irs = tcp.seq_number();
-                    self.parse_syn_options(seg);
+                    self.irs = meta.seq;
+                    self.parse_syn_options(&meta);
                     // ECN negotiation: SYN carries ECE|CWR.
                     self.ecn_ok = self.cfg.ecn
                         && flags.contains(TcpFlags::ECE)
@@ -555,13 +574,13 @@ impl Endpoint {
             }
             TcpState::SynSent => {
                 if flags.contains(TcpFlags::SYN) && flags.contains(TcpFlags::ACK) {
-                    if self.unwrap_ack(tcp.ack_number()) != Some(0) {
+                    if self.unwrap_ack(meta.ack) != Some(0) {
                         return; // not acking our SYN
                     }
-                    self.irs = tcp.seq_number();
-                    self.parse_syn_options(seg);
+                    self.irs = meta.seq;
+                    self.parse_syn_options(&meta);
                     self.ecn_ok = self.cfg.ecn && flags.contains(TcpFlags::ECE);
-                    self.update_peer_window(&tcp, true);
+                    self.update_peer_window(meta.window, true);
                     self.state = TcpState::Established;
                     self.rto_deadline = None;
                     self.backoff = 0;
@@ -572,27 +591,21 @@ impl Endpoint {
                 }
             }
             _ => {
-                self.on_segment_established(now, seg);
+                self.on_segment_established(now, seg, &meta);
             }
         }
     }
 
-    fn parse_syn_options(&mut self, seg: &Segment) {
-        for opt in seg.tcp().options_iter() {
-            match opt {
-                TcpOption::MaxSegmentSize(mss) => {
-                    self.mss = self.mss.min(u32::from(mss));
-                }
-                TcpOption::WindowScale(ws) => {
-                    self.peer_wscale = ws.min(14);
-                }
-                _ => {}
-            }
+    fn parse_syn_options(&mut self, meta: &PacketMeta) {
+        if let Some(mss) = meta.mss {
+            self.mss = self.mss.min(u32::from(mss));
+        }
+        if let Some(ws) = meta.wscale {
+            self.peer_wscale = ws.min(14);
         }
     }
 
-    fn update_peer_window(&mut self, tcp: &acdc_packet::TcpPacket<&[u8]>, syn: bool) {
-        let raw = tcp.window();
+    fn update_peer_window(&mut self, raw: u16, syn: bool) {
         self.last_raw_wnd = raw;
         self.peer_rwnd = if syn {
             u64::from(raw)
@@ -601,9 +614,8 @@ impl Endpoint {
         };
     }
 
-    fn on_segment_established(&mut self, now: Nanos, seg: &Segment) {
-        let tcp = seg.tcp();
-        let flags = tcp.flags();
+    fn on_segment_established(&mut self, now: Nanos, seg: &Segment, meta: &PacketMeta) {
+        let flags = meta.flags;
 
         // A retransmitted SYN-ACK while we are established: just re-ack.
         if flags.contains(TcpFlags::SYN) {
@@ -617,7 +629,7 @@ impl Endpoint {
         // SYN-RCVD completes on the first valid ACK.
         if self.state == TcpState::SynRcvd
             && flags.contains(TcpFlags::ACK)
-            && self.unwrap_ack(tcp.ack_number()) == Some(0)
+            && self.unwrap_ack(meta.ack) == Some(0)
         {
             self.state = TcpState::Established;
             self.rto_deadline = None;
@@ -626,21 +638,20 @@ impl Endpoint {
         }
 
         if flags.contains(TcpFlags::ACK) {
-            self.process_ack(now, seg);
+            self.process_ack(now, seg, meta);
         }
         if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
-            self.process_data(now, seg);
+            self.process_data(now, seg, meta);
         }
     }
 
-    fn process_ack(&mut self, now: Nanos, seg: &Segment) {
-        let tcp = seg.tcp();
-        let Some(ack_off) = self.unwrap_ack(tcp.ack_number()) else {
+    fn process_ack(&mut self, now: Nanos, seg: &Segment, meta: &PacketMeta) {
+        let Some(ack_off) = self.unwrap_ack(meta.ack) else {
             return; // out-of-window ACK
         };
         let prev_raw_wnd = self.last_raw_wnd;
-        self.update_peer_window(&tcp, false);
-        let ece = tcp.flags().contains(TcpFlags::ECE);
+        self.update_peer_window(meta.window, false);
+        let ece = meta.flags.contains(TcpFlags::ECE);
 
         // Persist (zero-window probe) management, RFC 793/1122: arm when
         // the peer window closes while data is pending; cancel on reopen.
@@ -667,7 +678,7 @@ impl Endpoint {
             // and there is outstanding data (RFC 5681).
             if seg.payload_len() == 0
                 && ack_off == self.snd_una
-                && tcp.window() == prev_raw_wnd
+                && meta.window == prev_raw_wnd
                 && self.snd_nxt > self.snd_una
             {
                 self.dupacks += 1;
@@ -797,11 +808,10 @@ impl Endpoint {
         }
     }
 
-    fn process_data(&mut self, now: Nanos, seg: &Segment) {
-        let tcp = seg.tcp();
-        let start = self.unwrap_seq(tcp.seq_number());
+    fn process_data(&mut self, now: Nanos, seg: &Segment, meta: &PacketMeta) {
+        let start = self.unwrap_seq(meta.seq);
         let len = seg.payload_len() as u64;
-        let has_fin = tcp.flags().contains(TcpFlags::FIN);
+        let has_fin = meta.flags.contains(TcpFlags::FIN);
 
         if has_fin {
             let fin_off = (start + len as i64) as u64;
@@ -823,7 +833,7 @@ impl Endpoint {
             } else if ce {
                 self.ece_latch = true;
             }
-            if tcp.flags().contains(TcpFlags::CWR) {
+            if meta.flags.contains(TcpFlags::CWR) {
                 self.ece_latch = false;
             }
         }

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use acdc_cc::{AckEvent, CcConfig};
-use acdc_packet::{Ecn, Ipv4Repr, PackOption, Segment, TcpFlags, TcpOption, TcpRepr};
+use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, Segment, TcpFlags, TcpRepr};
 use acdc_stats::time::{Nanos, MILLISECOND};
 
 use crate::entry::FlowEntry;
@@ -115,6 +115,9 @@ pub enum DropReason {
     /// A FACK reached the sender module and was absorbed after its
     /// feedback was logged (§3.2).
     FackConsumed,
+    /// The headers failed the single fallible parse; wire input never
+    /// panics the datapath (it is dropped and counted instead).
+    Malformed,
 }
 
 /// Datapath event counters (atomic: the table is shared across threads in
@@ -139,6 +142,8 @@ pub struct AcdcCounters {
     pub feedback_dropped: AtomicU64,
     /// Non-TCP (UDP) packets forwarded untouched.
     pub non_tcp_passthrough: AtomicU64,
+    /// Malformed frames dropped by the fallible parse.
+    pub malformed_drops: AtomicU64,
 }
 
 impl AcdcCounters {
@@ -147,7 +152,7 @@ impl AcdcCounters {
     }
 
     /// Load all counters (relaxed).
-    pub fn snapshot(&self) -> [(&'static str, u64); 9] {
+    pub fn snapshot(&self) -> [(&'static str, u64); 10] {
         [
             ("packs_sent", self.packs_sent.load(Ordering::Relaxed)),
             ("facks_sent", self.facks_sent.load(Ordering::Relaxed)),
@@ -172,6 +177,10 @@ impl AcdcCounters {
             (
                 "non_tcp_passthrough",
                 self.non_tcp_passthrough.load(Ordering::Relaxed),
+            ),
+            (
+                "malformed_drops",
+                self.malformed_drops.load(Ordering::Relaxed),
             ),
         ]
     }
@@ -253,7 +262,9 @@ impl AcdcDatapath {
     pub fn egress(&self, now: Nanos, mut seg: Segment) -> Verdict {
         // The prototype only enforces TCP (the paper leaves UDP tunnels as
         // future work); other protocols pass through untouched (counted
-        // even with AC/DC disabled — it is a visibility counter).
+        // even with AC/DC disabled — it is a visibility counter). The
+        // protocol check is a single byte read: pass-through traffic and
+        // the plain-OVS baseline never parse headers at all.
         if !seg.is_tcp() {
             AcdcCounters::bump(&self.counters.non_tcp_passthrough);
             return Verdict::Forward(seg);
@@ -261,8 +272,15 @@ impl AcdcDatapath {
         if !self.cfg.enabled {
             return Verdict::Forward(seg);
         }
-        let key = seg.flow_key();
-        let flags = seg.tcp_flags();
+        // The single parse of the packet's journey (or a cache hit, when
+        // the NIC already verified checksums). Malformed frames are
+        // dropped and counted — wire input never panics the datapath.
+        let Ok(meta) = seg.try_meta() else {
+            AcdcCounters::bump(&self.counters.malformed_drops);
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let key = meta.flow;
+        let flags = meta.flags;
 
         if flags.contains(TcpFlags::RST) {
             self.mark_closing(&key);
@@ -271,67 +289,72 @@ impl AcdcDatapath {
 
         // --- Handshake monitoring (§3.1, §3.3) ---
         if flags.contains(TcpFlags::SYN) {
-            self.on_handshake_packet(now, &seg, /*egress=*/ true);
+            self.on_handshake_packet(now, &meta, /*egress=*/ true);
             return Verdict::Forward(seg); // SYNs are never mangled
         }
 
         // --- Sender module: data packets ---
         if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
-            let entry = self.table.get_or_create(key, || {
-                FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
-            });
-            let mut e = entry.lock();
-            e.last_activity = now;
-            let tcp = seg.tcp();
-            let seq = tcp.seq_number();
-            let seq_end = seq
-                + (seg.payload_len() as u32)
-                + if flags.contains(TcpFlags::FIN) {
-                    1u32
-                } else {
-                    0u32
-                };
-            if !e.seq_valid {
-                e.snd_una = seq;
-                e.snd_nxt = seq_end;
-                e.seq_valid = true;
-            }
-
-            // Policing: a conforming stack never sends beyond the window
-            // we enforced; drop the excess of one that does (§3.3).
-            if let Some(slack) = self.cfg.police_slack_bytes {
-                if !self.cfg.log_only && seg.payload_len() > 0 {
-                    let allowed_end = e.snd_una + (e.cc.cwnd() + slack) as usize;
-                    if seq_end > allowed_end {
-                        e.policed += 1;
-                        AcdcCounters::bump(&self.counters.policed_drops);
-                        return Verdict::Drop(DropReason::Policed);
+            let payload_len = seg.payload_len();
+            let tracked = self.table.with_entry_or_create(
+                key,
+                || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now),
+                |slot| {
+                    let mut e = slot.entry.lock();
+                    e.last_activity = now;
+                    let seq = meta.seq;
+                    let seq_end = seq
+                        + (payload_len as u32)
+                        + if flags.contains(TcpFlags::FIN) {
+                            1u32
+                        } else {
+                            0u32
+                        };
+                    if !e.seq_valid {
+                        e.snd_una = seq;
+                        e.snd_nxt = seq_end;
+                        e.seq_valid = true;
                     }
-                }
-            }
 
-            if seq_end > e.snd_nxt {
-                e.snd_nxt = seq_end;
-                if e.rtt_probe.is_none() {
-                    e.rtt_probe = Some((seq_end, now));
-                }
-            } else if seq < e.snd_nxt {
-                // Retransmission: invalidate the RTT probe (Karn).
-                if let Some((p, _)) = e.rtt_probe {
-                    if seq < p {
-                        e.rtt_probe = None;
+                    // Policing: a conforming stack never sends beyond the
+                    // window we enforced; drop the excess of one that
+                    // does (§3.3).
+                    if let Some(slack) = self.cfg.police_slack_bytes {
+                        if !self.cfg.log_only && payload_len > 0 {
+                            let allowed_end = e.snd_una + (e.cc.cwnd() + slack) as usize;
+                            if seq_end > allowed_end {
+                                e.policed += 1;
+                                return Err(());
+                            }
+                        }
                     }
-                }
-            }
 
-            let vm_ecn = e.vm_ecn;
-            drop(e);
-
-            if flags.contains(TcpFlags::FIN) {
-                if let Some(en) = self.table.get(&key) {
-                    en.lock().closing = true;
+                    if seq_end > e.snd_nxt {
+                        e.snd_nxt = seq_end;
+                        if e.rtt_probe.is_none() {
+                            e.rtt_probe = Some((seq_end, now));
+                        }
+                    } else if seq < e.snd_nxt {
+                        // Retransmission: invalidate the RTT probe (Karn).
+                        if let Some((p, _)) = e.rtt_probe {
+                            if seq < p {
+                                e.rtt_probe = None;
+                            }
+                        }
+                    }
+                    if flags.contains(TcpFlags::FIN) {
+                        e.closing = true;
+                    }
+                    Ok(e.vm_ecn)
+                },
+            );
+            let vm_ecn = match tracked {
+                Ok(v) => v,
+                Err(()) => {
+                    AcdcCounters::bump(&self.counters.policed_drops);
+                    return Verdict::Drop(DropReason::Policed);
                 }
-            }
+            };
 
             // Force ECT on egress data so switches mark instead of drop
             // (§3.2), and stamp the guest's original ECN capability into
@@ -340,9 +363,9 @@ impl AcdcDatapath {
             // guest's ECN loop, so it skips all packet rewriting.
             if seg.payload_len() > 0 && !self.cfg.log_only {
                 if !seg.ecn().is_ect() {
-                    seg.ip_mut().set_ecn_update_checksum(Ecn::Ect0);
+                    seg.set_ecn(Ecn::Ect0);
                 }
-                seg.tcp_mut().set_reserved_update_checksum(vm_ecn, false);
+                seg.set_reserved(vm_ecn, false);
             }
         }
 
@@ -350,33 +373,46 @@ impl AcdcDatapath {
         // module" (§3.2) — including pure ACKs, so they survive WRED on
         // congested reverse paths.
         if !self.cfg.log_only && !seg.ecn().is_ect() {
-            seg.ip_mut().set_ecn_update_checksum(Ecn::Ect0);
+            seg.set_ecn(Ecn::Ect0);
         }
 
         // --- Receiver module: attach feedback to ACKs (§3.2) ---
         if flags.contains(TcpFlags::ACK) {
-            if let Some(rentry) = self.table.get(&key.reverse()) {
-                let mut re = rentry.lock();
-                re.last_activity = now;
-                if re.rx_total > 0 {
-                    let (total, marked) = re.take_feedback();
-                    drop(re);
-                    let pack = PackOption {
-                        total_bytes: total,
-                        marked_bytes: marked,
-                    };
-                    if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu && can_fit_option(&seg)
-                    {
-                        seg = append_pack(&seg, pack);
-                        AcdcCounters::bump(&self.counters.packs_sent);
-                    } else if self.cfg.disable_fack {
-                        // Ablation: the feedback is simply lost.
-                        AcdcCounters::bump(&self.counters.feedback_dropped);
-                    } else {
-                        let fack = make_fack(&seg, pack);
-                        AcdcCounters::bump(&self.counters.facks_sent);
-                        return Verdict::ForwardWithExtra(seg, fack);
+            // Lock-free probe first: a unidirectional sender has no
+            // receiver-role feedback, so the common data packet skips the
+            // reverse-entry lock (and its `last_activity` touch) entirely.
+            let feedback = self
+                .table
+                .with_entry(&key.reverse(), |slot| {
+                    if !slot.rx_pending() {
+                        return None;
                     }
+                    let mut re = slot.entry.lock();
+                    re.last_activity = now;
+                    let fb = (re.rx_total > 0).then(|| re.take_feedback());
+                    slot.set_rx_pending(false);
+                    fb
+                })
+                .flatten();
+            if let Some((total, marked)) = feedback {
+                let pack = PackOption {
+                    total_bytes: total,
+                    marked_bytes: marked,
+                };
+                if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu
+                    && seg.append_pack_in_place(pack)
+                {
+                    AcdcCounters::bump(&self.counters.packs_sent);
+                } else if self.cfg.disable_fack {
+                    // Ablation: the feedback is simply lost.
+                    AcdcCounters::bump(&self.counters.feedback_dropped);
+                } else if let Some(fack) = make_fack(&seg, pack) {
+                    AcdcCounters::bump(&self.counters.facks_sent);
+                    return Verdict::ForwardWithExtra(seg, fack);
+                } else {
+                    // No room even in a payload-free copy (pathological
+                    // option soup): the feedback is lost, not a panic.
+                    AcdcCounters::bump(&self.counters.feedback_dropped);
                 }
             }
         }
@@ -397,89 +433,102 @@ impl AcdcDatapath {
         if !self.cfg.enabled {
             return Verdict::Forward(seg);
         }
-        let key = seg.flow_key();
-        let flags = seg.tcp_flags();
+        // Usually a cache hit: the host NIC's checksum verification has
+        // already parsed and cached the metadata.
+        let Ok(meta) = seg.try_meta() else {
+            AcdcCounters::bump(&self.counters.malformed_drops);
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let key = meta.flow;
+        let flags = meta.flags;
 
         if flags.contains(TcpFlags::RST) {
             self.mark_closing(&key);
             return Verdict::Forward(seg);
         }
         if flags.contains(TcpFlags::SYN) {
-            self.on_handshake_packet(now, &seg, /*egress=*/ false);
+            self.on_handshake_packet(now, &meta, /*egress=*/ false);
             return Verdict::Forward(seg);
         }
 
+        let pure_ack = seg.payload_len() == 0
+            && flags.contains(TcpFlags::ACK)
+            && !flags.intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST);
+
         // --- Sender module: FACKs are logged and absorbed (§3.2) ---
-        if seg.tcp().is_fack() {
-            if let Some(pack) = seg.tcp().pack_option() {
+        if meta.fack {
+            if let Some(pack) = meta.pack {
                 self.absorb_feedback(&key, pack);
             }
             // The FACK still carries an ACK; process congestion control on
             // it so feedback takes effect immediately, then drop it.
-            self.sender_ack_processing(now, &mut seg, false);
+            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, false);
             return Verdict::Drop(DropReason::FackConsumed);
         }
 
         // --- Receiver module: account + launder ECN on data (§3.2) ---
         if seg.payload_len() > 0 {
-            let entry = self.table.get_or_create(key, || {
-                FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
-            });
-            {
-                let mut e = entry.lock();
-                e.last_activity = now;
-                e.rx_total += seg.payload_len() as u64;
-                e.rx_total_lifetime += seg.payload_len() as u64;
-                if seg.ecn().is_ce() {
-                    e.rx_marked += seg.payload_len() as u64;
-                    e.rx_marked_lifetime += seg.payload_len() as u64;
-                }
-                crate::strict_invariant!(
-                    e.rx_marked <= e.rx_total && e.rx_marked_lifetime <= e.rx_total_lifetime,
-                    "PACK receive counters inconsistent: marked {}/{} lifetime {}/{}",
-                    e.rx_marked,
-                    e.rx_total,
-                    e.rx_marked_lifetime,
-                    e.rx_total_lifetime
-                );
-            }
+            let payload_len = seg.payload_len() as u64;
+            let ce = seg.ecn().is_ce();
+            self.table.with_entry_or_create(
+                key,
+                || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now),
+                |slot| {
+                    let mut e = slot.entry.lock();
+                    e.last_activity = now;
+                    e.rx_total += payload_len;
+                    e.rx_total_lifetime += payload_len;
+                    if ce {
+                        e.rx_marked += payload_len;
+                        e.rx_marked_lifetime += payload_len;
+                    }
+                    crate::strict_invariant!(
+                        e.rx_marked <= e.rx_total && e.rx_marked_lifetime <= e.rx_total_lifetime,
+                        "PACK receive counters inconsistent: marked {}/{} lifetime {}/{}",
+                        e.rx_marked,
+                        e.rx_total,
+                        e.rx_marked_lifetime,
+                        e.rx_total_lifetime
+                    );
+                    if flags.contains(TcpFlags::FIN) {
+                        e.closing = true;
+                    }
+                    // Publish "feedback pending" for the egress fast path.
+                    slot.set_rx_pending(true);
+                },
+            );
             // Restore what the sender VM originally put on the wire: ECT
             // if its stack spoke ECN (hiding the CE mark from it is the
             // point — DCTCP in the vSwitch reacts instead), nothing
             // otherwise. Log-only mode leaves packets untouched so the
             // guest's own congestion loop stays intact.
             if !self.cfg.log_only {
-                let vm_was_ecn = seg.tcp().vm_ece();
-                let target = if vm_was_ecn { Ecn::Ect0 } else { Ecn::NotEct };
+                let target = if meta.vm_ece { Ecn::Ect0 } else { Ecn::NotEct };
                 if seg.ecn() != target {
-                    seg.ip_mut().set_ecn_update_checksum(target);
+                    seg.set_ecn(target);
                 }
-            }
-            if flags.contains(TcpFlags::FIN) {
-                entry.lock().closing = true;
             }
         }
 
         // --- Sender module: ACK processing + enforcement (§3.1–3.3) ---
         if flags.contains(TcpFlags::ACK) {
-            if let Some(pack) = seg.tcp().pack_option() {
+            if let Some(pack) = meta.pack {
                 self.absorb_feedback(&key, pack);
                 AcdcCounters::bump(&self.counters.packs_received);
-                seg = strip_pack(&seg);
+                seg.strip_pack_in_place();
             }
-            self.sender_ack_processing(now, &mut seg, true);
+            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, true);
             // Hide ECN feedback from the guest so it does not also back
             // off (§3.3): AC/DC is the one reacting. Applied to every
             // non-SYN ACK — the vSwitch owns ECN on this fabric.
-            if !self.cfg.log_only && seg.tcp_flags().contains(TcpFlags::ECE) {
-                seg.tcp_mut().clear_flags_update_checksum(TcpFlags::ECE);
+            if !self.cfg.log_only && flags.contains(TcpFlags::ECE) {
+                seg.clear_tcp_flags(TcpFlags::ECE);
             }
         }
 
         // Never leak AC/DC metadata into the guest.
-        let tcp = seg.tcp();
-        if tcp.vm_ece() || tcp.is_fack() {
-            seg.tcp_mut().clear_reserved_update_checksum();
+        if meta.vm_ece || meta.fack {
+            seg.clear_reserved();
         }
 
         Verdict::Forward(seg)
@@ -488,8 +537,8 @@ impl AcdcDatapath {
     /// Fold a PACK's counters into the sender-role feedback accumulators
     /// of the acked flow.
     fn absorb_feedback(&self, ack_key: &acdc_packet::FlowKey, pack: PackOption) {
-        if let Some(entry) = self.table.get(&ack_key.reverse()) {
-            let mut e = entry.lock();
+        self.table.with_entry(&ack_key.reverse(), |slot| {
+            let mut e = slot.entry.lock();
             e.fb_total += u64::from(pack.total_bytes);
             e.fb_marked += u64::from(pack.marked_bytes);
             crate::strict_invariant!(
@@ -498,108 +547,108 @@ impl AcdcDatapath {
                 e.fb_marked,
                 e.fb_total
             );
-        }
+        });
     }
 
     /// Connection-tracking + congestion control + RWND enforcement for an
     /// arriving ACK. When `rewrite` is true, the enforcement write is
     /// applied to the segment (it is the one delivered to the guest).
-    fn sender_ack_processing(&self, now: Nanos, seg: &mut Segment, rewrite: bool) {
-        let key = seg.flow_key();
-        let Some(entry) = self.table.get(&key.reverse()) else {
-            return;
-        };
-        let mut e = entry.lock();
-        e.last_activity = now;
-        let tcp = seg.tcp();
-        let ack = tcp.ack_number();
-        let mut newly_acked = 0u64;
-        let mut rtt_sample = None;
+    fn sender_ack_processing(
+        &self,
+        now: Nanos,
+        seg: &mut Segment,
+        key: &acdc_packet::FlowKey,
+        meta: &PacketMeta,
+        pure_ack: bool,
+        rewrite: bool,
+    ) {
+        let (ack, window) = (meta.ack, meta.window);
+        let enforced = self.table.with_entry(&key.reverse(), |slot| {
+            let mut e = slot.entry.lock();
+            e.last_activity = now;
+            let mut newly_acked = 0u64;
+            let mut rtt_sample = None;
 
-        if e.seq_valid {
-            if ack > e.snd_una && ack <= e.snd_nxt {
-                newly_acked = (ack - e.snd_una) as u64;
-                e.snd_una = ack;
-                e.dupacks = 0;
-                e.last_ack_activity = now;
-                if let Some((probe_seq, sent_at)) = e.rtt_probe {
-                    if ack >= probe_seq {
-                        let s = now - sent_at;
-                        e.record_rtt(s);
-                        rtt_sample = Some(s);
-                        e.rtt_probe = None;
+            if e.seq_valid {
+                if ack > e.snd_una && ack <= e.snd_nxt {
+                    newly_acked = (ack - e.snd_una) as u64;
+                    e.snd_una = ack;
+                    e.dupacks = 0;
+                    e.last_ack_activity = now;
+                    if let Some((probe_seq, sent_at)) = e.rtt_probe {
+                        if ack >= probe_seq {
+                            let s = now - sent_at;
+                            e.record_rtt(s);
+                            rtt_sample = Some(s);
+                            e.rtt_probe = None;
+                        }
+                    }
+                } else if ack == e.snd_una && pure_ack && e.snd_nxt > e.snd_una {
+                    e.dupacks += 1;
+                    if e.dupacks == 3 {
+                        e.cc.on_fast_retransmit(now);
+                        AcdcCounters::bump(&self.counters.inferred_fast_rtx);
                     }
                 }
-            } else if ack == e.snd_una && seg.is_pure_ack() && e.snd_nxt > e.snd_una {
-                e.dupacks += 1;
-                if e.dupacks == 3 {
-                    e.cc.on_fast_retransmit(now);
-                    AcdcCounters::bump(&self.counters.inferred_fast_rtx);
+
+                // Inactivity-inferred timeout (§3.1).
+                if e.snd_una < e.snd_nxt {
+                    let thresh = e.inactivity_threshold(self.cfg.inactivity_floor);
+                    if now.saturating_sub(e.last_ack_activity) > thresh {
+                        e.cc.on_retransmit_timeout(now);
+                        e.last_ack_activity = now;
+                        AcdcCounters::bump(&self.counters.inferred_timeouts);
+                    }
                 }
             }
 
-            // Inactivity-inferred timeout (§3.1).
-            if e.snd_una < e.snd_nxt {
-                let thresh = e.inactivity_threshold(self.cfg.inactivity_floor);
-                if now.saturating_sub(e.last_ack_activity) > thresh {
-                    e.cc.on_retransmit_timeout(now);
-                    e.last_ack_activity = now;
-                    AcdcCounters::bump(&self.counters.inferred_timeouts);
-                }
+            // Consume accumulated feedback and run the algorithm (Figure 5).
+            let marked = e.fb_marked;
+            e.fb_total = 0;
+            e.fb_marked = 0;
+            let in_flight = e.in_flight();
+            let rtt = rtt_sample.or(e.srtt);
+            if newly_acked > 0 || marked > 0 {
+                e.cc.on_ack(&AckEvent {
+                    now,
+                    newly_acked,
+                    marked,
+                    rtt,
+                    in_flight,
+                    ece: marked > 0,
+                });
             }
-        }
 
-        // Consume accumulated feedback and run the algorithm (Figure 5).
-        let marked = e.fb_marked;
-        e.fb_total = 0;
-        e.fb_marked = 0;
-        let in_flight = e.in_flight();
-        let rtt = rtt_sample.or(e.srtt);
-        if newly_acked > 0 || marked > 0 {
-            e.cc.on_ack(&AckEvent {
-                now,
-                newly_acked,
-                marked,
-                rtt,
-                in_flight,
-                ece: marked > 0,
-            });
-        }
+            // Enforcement target: the computed window, bounded by the
+            // administrative cap (§3.4).
+            let cwnd = e.cc.cwnd().min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
+            e.computed_rwnd = cwnd;
+            if self.cfg.trace_windows {
+                e.window_trace
+                    .get_or_insert_with(Vec::new)
+                    .push((now, cwnd));
+            }
+            (cwnd, e.ack_wscale)
+        });
 
         // Enforcement: overwrite RWND with the computed window, only when
-        // that is *smaller* than what the guest advertised (§3.3). An
-        // administrative cap (§3.4) bounds it further.
-        let cwnd = e.cc.cwnd().min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
-        e.computed_rwnd = cwnd;
-        if self.cfg.trace_windows {
-            e.window_trace
-                .get_or_insert_with(Vec::new)
-                .push((now, cwnd));
-        }
-        let wscale = e.ack_wscale;
-        drop(e);
-
-        if rewrite && !self.cfg.log_only {
-            let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
-            let mut tcp = seg.tcp_mut();
-            if raw_target < tcp.window() {
-                tcp.set_window_update_checksum(raw_target);
-                AcdcCounters::bump(&self.counters.rwnd_rewrites);
+        // that is *smaller* than what the guest advertised (§3.3).
+        if let Some((cwnd, wscale)) = enforced {
+            if rewrite && !self.cfg.log_only {
+                let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
+                if raw_target < window {
+                    seg.rewrite_window(raw_target);
+                    AcdcCounters::bump(&self.counters.rwnd_rewrites);
+                }
             }
         }
     }
 
     /// Record handshake parameters from a SYN or SYN-ACK (§3.1).
-    fn on_handshake_packet(&self, now: Nanos, seg: &Segment, egress: bool) {
-        let key = seg.flow_key();
-        let tcp = seg.tcp();
-        let flags = tcp.flags();
-        let mut wscale = None;
-        for opt in tcp.options_iter() {
-            if let TcpOption::WindowScale(w) = opt {
-                wscale = Some(w.min(14));
-            }
-        }
+    fn on_handshake_packet(&self, now: Nanos, meta: &PacketMeta, egress: bool) {
+        let key = meta.flow;
+        let flags = meta.flags;
+        let wscale = meta.wscale.map(|w| w.min(14));
         // The sender of this SYN advertises the scale used to interpret
         // windows in ACKs *it* will send — i.e. the ACKs of the reverse
         // data direction.
@@ -631,18 +680,16 @@ impl AcdcDatapath {
             e.last_activity = now;
             e.vm_ecn = vm_ecn;
             // Initialize sequence tracking from the SYN.
-            let seq = tcp.seq_number();
-            e.snd_una = seq + 1u32;
-            e.snd_nxt = seq + 1u32;
+            e.snd_una = meta.seq + 1u32;
+            e.snd_nxt = meta.seq + 1u32;
             e.seq_valid = true;
         }
     }
 
     fn mark_closing(&self, key: &acdc_packet::FlowKey) {
         for k in [*key, key.reverse()] {
-            if let Some(e) = self.table.get(&k) {
-                e.lock().closing = true;
-            }
+            self.table
+                .with_entry(&k, |slot| slot.entry.lock().closing = true);
         }
     }
 
@@ -776,37 +823,20 @@ impl AcdcDatapath {
     }
 }
 
-/// Can another 12-byte option fit in this packet's TCP header?
-fn can_fit_option(seg: &Segment) -> bool {
-    seg.tcp().header_len() + PackOption::WIRE_LEN <= acdc_packet::tcp::MAX_HEADER_LEN
-}
-
-/// Rebuild `seg` with a PACK option appended (the paper does this by
-/// shifting headers into the skb headroom; we re-emit the header).
-fn append_pack(seg: &Segment, pack: PackOption) -> Segment {
-    let ip = Ipv4Repr::parse(&seg.ip()).expect("valid ip");
-    let mut tcp = seg.tcp_repr().expect("valid tcp");
-    tcp.options.push(TcpOption::Pack(pack));
-    Segment::new_tcp(ip, tcp, seg.payload_len())
-}
-
-/// Rebuild `seg` with any PACK option removed (sender module strips the
-/// option before the guest sees it).
-fn strip_pack(seg: &Segment) -> Segment {
-    let ip = Ipv4Repr::parse(&seg.ip()).expect("valid ip");
-    let mut tcp = seg.tcp_repr().expect("valid tcp");
-    tcp.options.retain(|o| !matches!(o, TcpOption::Pack(_)));
-    Segment::new_tcp(ip, tcp, seg.payload_len())
-}
-
 /// Build a dedicated FACK: a payload-free copy of `ack` carrying the PACK
-/// option and the FACK reserved-bit marker.
-fn make_fack(ack: &Segment, pack: PackOption) -> Segment {
-    let ip = Ipv4Repr::parse(&ack.ip()).expect("valid ip");
-    let mut tcp = ack.tcp_repr().expect("valid tcp");
-    tcp.options.retain(|o| !matches!(o, TcpOption::Pack(_)));
-    tcp.options.push(TcpOption::Pack(pack));
-    tcp.fack = true;
-    tcp.flags = TcpFlags::ACK;
-    Segment::new_tcp(ip, tcp, 0)
+/// option and the FACK reserved-bit marker. The copy is produced by
+/// in-place byte patches on a clone (the paper shifts headers into skb
+/// headroom — same idea, no re-emit). `None` when even the payload-free
+/// copy has no room for the option; the caller drops the feedback.
+fn make_fack(ack: &Segment, pack: PackOption) -> Option<Segment> {
+    let mut fack = ack.clone();
+    fack.set_virtual_payload_len(0);
+    fack.strip_pack_in_place();
+    let vm_ece = fack.try_meta().ok()?.vm_ece;
+    if !fack.append_pack_in_place(pack) {
+        return None;
+    }
+    fack.set_tcp_flags(TcpFlags::ACK);
+    fack.set_reserved(vm_ece, true);
+    Some(fack)
 }

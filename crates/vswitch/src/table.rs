@@ -4,21 +4,22 @@
 //! for read-mostly lookups and an individual spinlock per flow entry so
 //! distinct flows update concurrently (§4). The Rust equivalent here is a
 //! *sharded* table — each shard a `parking_lot::RwLock<BTreeMap>` taken
-//! for read on lookup — holding `Arc<Mutex<FlowEntry>>` values, so the
-//! fast path is: shard read-lock → clone `Arc` → per-entry lock. Inserts
-//! and removals (SYN / FIN + garbage collection) take the shard writer
-//! lock, exactly the "many more lookups than insertions" profile the
-//! paper describes.
+//! for read on lookup — holding `Arc<FlowSlot>` values (the entry behind
+//! its own lock, plus a lock-free feedback-pending flag). The per-packet
+//! fast path is [`FlowTable::with_entry`]: shard read-lock → per-entry
+//! lock, no `Arc` refcount traffic. Inserts and removals (SYN / FIN +
+//! garbage collection) take the shard writer lock, exactly the "many more
+//! lookups than insertions" profile the paper describes.
 //!
-//! Shard *selection* still hashes the key (`DefaultHasher` with its fixed
-//! default keys, so it is stable run-to-run), but within a shard the map
+//! Shard *selection* hashes the key with [`FlowKey::hash64`] (FNV-1a over
+//! the 12 key bytes — stable run-to-run and cheap enough for the two
+//! lookups every packet makes), but within a shard the map
 //! is ordered: `for_each`/`gc` visit entries in `FlowKey` order, which
 //! keeps every whole-table traversal deterministic (lint rule D002).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, MutexGuard};
 
 use acdc_packet::FlowKey;
 use acdc_stats::time::Nanos;
@@ -26,12 +27,53 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::entry::FlowEntry;
 
-/// Number of shards (power of two).
-const SHARDS: usize = 64;
+/// Number of shards (power of two). Sized so that even the 10k-flow CPU
+/// benchmarks keep shards a handful of entries deep: the per-packet cost
+/// is then one FNV hash, one uncontended read lock, and a one-or-two
+/// comparison tree descent, instead of a deep BTreeMap walk.
+const SHARDS: usize = 1024;
 
-/// A sharded flow table: `FlowKey → Arc<Mutex<FlowEntry>>`.
+/// A table slot: the per-flow entry behind its lock, plus the one flag
+/// the egress fast path reads without taking that lock.
+pub struct FlowSlot {
+    /// Mirrors `entry.rx_total > 0` — receiver-module bytes awaiting PACK
+    /// feedback. The egress ACK path probes this with a relaxed load and
+    /// skips the reverse-entry lock entirely in the common unidirectional
+    /// case; it is written back under the entry lock, so a stale `true`
+    /// costs one harmless probe and a stale `false` only defers feedback
+    /// to the next ACK (which is the PACK contract anyway).
+    pub rx_pending: AtomicBool,
+    /// The flow entry proper.
+    pub entry: Mutex<FlowEntry>,
+}
+
+impl FlowSlot {
+    fn new(entry: FlowEntry) -> FlowSlot {
+        FlowSlot {
+            rx_pending: AtomicBool::new(false),
+            entry: Mutex::new(entry),
+        }
+    }
+
+    /// Lock the flow entry.
+    pub fn lock(&self) -> MutexGuard<'_, FlowEntry> {
+        self.entry.lock()
+    }
+
+    /// Relaxed probe of the feedback-pending flag.
+    pub fn rx_pending(&self) -> bool {
+        self.rx_pending.load(Ordering::Relaxed)
+    }
+
+    /// Set the feedback-pending flag (call with the entry lock held).
+    pub fn set_rx_pending(&self, pending: bool) {
+        self.rx_pending.store(pending, Ordering::Relaxed);
+    }
+}
+
+/// A sharded flow table: `FlowKey → Arc<FlowSlot>`.
 pub struct FlowTable {
-    shards: Vec<RwLock<BTreeMap<FlowKey, Arc<Mutex<FlowEntry>>>>>,
+    shards: Vec<RwLock<BTreeMap<FlowKey, Arc<FlowSlot>>>>,
 }
 
 impl Default for FlowTable {
@@ -48,30 +90,54 @@ impl FlowTable {
         }
     }
 
-    fn shard(&self, key: &FlowKey) -> &RwLock<BTreeMap<FlowKey, Arc<Mutex<FlowEntry>>>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    fn shard(&self, key: &FlowKey) -> &RwLock<BTreeMap<FlowKey, Arc<FlowSlot>>> {
+        &self.shards[(key.hash64() as usize) & (SHARDS - 1)]
     }
 
-    /// Look up an entry (read path: shard read lock only).
-    pub fn get(&self, key: &FlowKey) -> Option<Arc<Mutex<FlowEntry>>> {
+    /// Look up an entry (read path: shard read lock only). Clones the
+    /// `Arc` — fine for cold paths; per-packet code uses
+    /// [`FlowTable::with_entry`] to skip the two refcount ops.
+    pub fn get(&self, key: &FlowKey) -> Option<Arc<FlowSlot>> {
         self.shard(key).read().get(key).cloned()
     }
 
-    /// Look up or create an entry with `init`.
-    pub fn get_or_create(
+    /// Run `f` on the slot for `key`, under the shard read lock, without
+    /// touching the `Arc` refcount. `f` must not call back into the table
+    /// (the shard lock is held).
+    pub fn with_entry<R>(&self, key: &FlowKey, f: impl FnOnce(&FlowSlot) -> R) -> Option<R> {
+        self.shard(key).read().get(key).map(|slot| f(slot))
+    }
+
+    /// [`FlowTable::with_entry`], creating the slot with `init` when
+    /// absent. Same rule: `f` must not call back into the table.
+    pub fn with_entry_or_create<R>(
         &self,
         key: FlowKey,
         init: impl FnOnce() -> FlowEntry,
-    ) -> Arc<Mutex<FlowEntry>> {
+        f: impl FnOnce(&FlowSlot) -> R,
+    ) -> R {
+        {
+            let shard = self.shard(&key).read();
+            if let Some(slot) = shard.get(&key) {
+                return f(slot);
+            }
+        }
+        let mut shard = self.shard(&key).write();
+        let slot = shard
+            .entry(key)
+            .or_insert_with(|| Arc::new(FlowSlot::new(init())));
+        f(slot)
+    }
+
+    /// Look up or create an entry with `init`.
+    pub fn get_or_create(&self, key: FlowKey, init: impl FnOnce() -> FlowEntry) -> Arc<FlowSlot> {
         if let Some(e) = self.get(&key) {
             return e;
         }
         let mut shard = self.shard(&key).write();
         shard
             .entry(key)
-            .or_insert_with(|| Arc::new(Mutex::new(init())))
+            .or_insert_with(|| Arc::new(FlowSlot::new(init())))
             .clone()
     }
 
@@ -98,7 +164,7 @@ impl FlowTable {
         for shard in &self.shards {
             let mut shard = shard.write();
             shard.retain(|_, v| {
-                let e = v.lock();
+                let e = v.entry.lock();
                 let dead = e.closing || now.saturating_sub(e.last_activity) > idle_timeout;
                 if dead {
                     collected += 1;
@@ -114,7 +180,7 @@ impl FlowTable {
         for shard in &self.shards {
             let shard = shard.read();
             for (k, v) in shard.iter() {
-                f(k, &mut v.lock());
+                f(k, &mut v.entry.lock());
             }
         }
     }

@@ -6,6 +6,7 @@
 //! requests. Apps talk to the endpoint through [`AppConn`], a narrow
 //! interface implemented by [`acdc_tcp::Endpoint`].
 
+use acdc_packet::FlowKey;
 use acdc_stats::time::{Nanos, MILLISECOND};
 
 use crate::fct::{FctKind, FctRecorder};
@@ -24,6 +25,11 @@ pub trait AppConn {
     fn delivered_bytes(&self) -> u64;
     /// Can data flow yet?
     fn is_established(&self) -> bool;
+    /// The wire 5-tuple of the egress direction, if the transport has one
+    /// (FCT samples are attributed to it).
+    fn flow_key(&self) -> Option<FlowKey> {
+        None
+    }
 }
 
 impl AppConn for acdc_tcp::Endpoint {
@@ -44,6 +50,9 @@ impl AppConn for acdc_tcp::Endpoint {
     }
     fn is_established(&self) -> bool {
         acdc_tcp::Endpoint::is_established(self)
+    }
+    fn flow_key(&self) -> Option<FlowKey> {
+        Some(acdc_tcp::Endpoint::flow_key(self))
     }
 }
 
@@ -122,8 +131,13 @@ impl App for BulkSender {
         }
         if let Some(total) = self.total {
             if conn.acked_bytes() >= total {
-                self.fct
-                    .record(self.kind, self.started.unwrap(), now, total);
+                self.fct.record_flow(
+                    self.kind,
+                    self.started.unwrap(),
+                    now,
+                    total,
+                    conn.flow_key(),
+                );
                 self.done = true;
             }
         }
@@ -194,7 +208,8 @@ impl App for MessageSender {
         let acked = conn.acked_bytes();
         while let Some(&(end, start)) = self.pending.first() {
             if acked >= end {
-                self.fct.record(self.kind, start, now, self.msg_bytes);
+                self.fct
+                    .record_flow(self.kind, start, now, self.msg_bytes, conn.flow_key());
                 self.pending.remove(0);
             } else {
                 break;
@@ -264,7 +279,8 @@ impl App for SequentialSender {
             }
             if conn.acked_bytes() >= self.cur_end {
                 let size = self.sizes[self.idx];
-                self.fct.record(self.kind, self.cur_start, now, size);
+                self.fct
+                    .record_flow(self.kind, self.cur_start, now, size, conn.flow_key());
                 self.idx += 1;
                 self.active = false;
                 if self.idx >= self.sizes.len() {

@@ -5,6 +5,7 @@
 //! bytes)` tuples; experiment code splits mice from background flows by
 //! kind and feeds the distributions in `acdc-stats`.
 
+use acdc_packet::FlowKey;
 use acdc_stats::time::{Nanos, MILLISECOND};
 use acdc_stats::Distribution;
 
@@ -31,6 +32,9 @@ pub struct FctSample {
     pub end: Nanos,
     /// Message size in bytes.
     pub bytes: u64,
+    /// The wire 5-tuple the transfer ran on (the same [`FlowKey`] the
+    /// vSwitch table and the host demux use), when the recorder knows it.
+    pub flow: Option<FlowKey>,
 }
 
 impl FctSample {
@@ -52,14 +56,39 @@ impl FctRecorder {
         FctRecorder::default()
     }
 
-    /// Record a completion.
+    /// Record a completion with no flow attribution.
     pub fn record(&mut self, kind: FctKind, start: Nanos, end: Nanos, bytes: u64) {
         self.samples.push(FctSample {
             kind,
             start,
             end,
             bytes,
+            flow: None,
         });
+    }
+
+    /// Record a completion attributed to a wire flow, so samples can be
+    /// joined against vSwitch [`flow_stats`](FlowKey) by key.
+    pub fn record_flow(
+        &mut self,
+        kind: FctKind,
+        start: Nanos,
+        end: Nanos,
+        bytes: u64,
+        flow: Option<FlowKey>,
+    ) {
+        self.samples.push(FctSample {
+            kind,
+            start,
+            end,
+            bytes,
+            flow,
+        });
+    }
+
+    /// Samples attributed to `flow`.
+    pub fn samples_for(&self, flow: FlowKey) -> impl Iterator<Item = &FctSample> {
+        self.samples.iter().filter(move |s| s.flow == Some(flow))
     }
 
     /// All samples.
@@ -150,7 +179,24 @@ mod tests {
             start: 10,
             end: 5,
             bytes: 0,
+            flow: None,
         };
         assert_eq!(s.fct(), 0);
+    }
+
+    #[test]
+    fn samples_join_by_flow_key() {
+        let key = FlowKey {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            src_port: 40_000,
+            dst_port: 5_001,
+        };
+        let mut r = FctRecorder::new();
+        r.record(FctKind::Mice, 0, 1, 100);
+        r.record_flow(FctKind::Mice, 0, 2, 100, Some(key));
+        r.record_flow(FctKind::Mice, 0, 3, 100, Some(key.reverse()));
+        assert_eq!(r.samples_for(key).count(), 1);
+        assert_eq!(r.samples_for(key.reverse()).count(), 1);
     }
 }

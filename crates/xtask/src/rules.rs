@@ -92,6 +92,14 @@ pub static P003: Rule = Rule {
               (EWMA state; compare with a tolerance)",
 };
 
+pub static P004: Rule = Rule {
+    id: "P004",
+    name: "reparse-on-meta",
+    summary: "no Ipv4Repr/TcpRepr/UdpRepr::parse or tcp_repr in the packet \
+              pipeline crates (segments carry cached PacketMeta; read \
+              Segment::try_meta and the maintained accessors instead)",
+};
+
 pub static H001: Rule = Rule {
     id: "H001",
     name: "forbid-unsafe",
@@ -106,7 +114,9 @@ pub static H002: Rule = Rule {
 };
 
 /// All rules, in diagnostic order.
-pub static CATALOG: [&Rule; 8] = [&D001, &D002, &D003, &P001, &P002, &P003, &H001, &H002];
+pub static CATALOG: [&Rule; 9] = [
+    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &H001, &H002,
+];
 
 pub fn catalog() -> &'static [&'static Rule] {
     &CATALOG
@@ -165,6 +175,19 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
         .any(|p| path.starts_with(p))
         && path != "crates/packet/src/seq.rs";
     let p002_scope = !path.starts_with("crates/packet/") && !in_xtask;
+    // P004 guards the single-parse pipeline: every crate a Segment flows
+    // through reads the cached PacketMeta instead of re-parsing wire
+    // bytes. Scoped to src/ so tests may still round-trip through Reprs.
+    let p004_scope = [
+        "crates/vswitch/src/",
+        "crates/core/src/",
+        "crates/tcp/src/",
+        "crates/netsim/src/",
+        "crates/faults/src/",
+        "crates/workloads/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p));
 
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -216,6 +239,23 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
                     hits.push((
                         &P001,
                         format!("raw `{tok}` on sequence numbers; use SeqNumber arithmetic from acdc-packet"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if p004_scope {
+            for tok in [
+                "Ipv4Repr::parse",
+                "TcpRepr::parse",
+                "UdpRepr::parse",
+                "tcp_repr",
+            ] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &P004,
+                        format!("`{tok}` re-parses header bytes the segment's PacketMeta cache already holds; use Segment::try_meta and the maintained accessors"),
                     ));
                     break;
                 }
@@ -403,6 +443,25 @@ mod tests {
         );
         assert!(run("crates/vswitch/src/x.rs", "let w = cwnd >> 2;\n").is_empty());
         assert!(run("crates/packet/src/tcp.rs", "let w = cwnd >> wscale;\n").is_empty());
+    }
+
+    #[test]
+    fn p004_bans_reparse_in_pipeline_crates() {
+        let src = "let t = TcpRepr::parse(&seg.tcp())?;\n";
+        assert_eq!(run("crates/vswitch/src/x.rs", src), vec!["P004"]);
+        assert_eq!(run("crates/core/src/x.rs", src), vec!["P004"]);
+        // The packet crate *is* the parser; benches and tests round-trip
+        // through Reprs on purpose.
+        assert!(run("crates/packet/src/segment.rs", src).is_empty());
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+        assert!(run("crates/vswitch/tests/x.rs", src).is_empty());
+        // The convenience helper counts as a re-parse too.
+        assert_eq!(
+            run("crates/tcp/src/x.rs", "let r = seg.tcp_repr()?;\n"),
+            vec!["P004"]
+        );
+        // Identifier boundaries: `my_tcp_repr` must not fire.
+        assert!(run("crates/tcp/src/x.rs", "let r = my_tcp_repr();\n").is_empty());
     }
 
     #[test]

@@ -85,6 +85,11 @@ fn p003_alpha_eq_fixture() {
 }
 
 #[test]
+fn p004_reparse_fixture() {
+    assert_single("p004_reparse", "P004", "crates/vswitch/src/bad.rs");
+}
+
+#[test]
 fn h001_missing_forbid_fixture() {
     assert_single("h001_no_forbid", "H001", "crates/foo/src/lib.rs");
 }

@@ -1,0 +1,3 @@
+pub fn ack_number(seg: &acdc_packet::Segment) -> u32 {
+    TcpRepr::parse(&seg.tcp()).unwrap().ack.0
+}

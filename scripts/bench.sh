@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Datapath benchmark driver (PR 3 acceptance gate).
+#
+# Runs the Criterion micro-benchmarks (smoke-level: the vendored
+# criterion stub exercises the bench bodies without timing) and then the
+# statistical `datapath_bench` binary, which interleaves
+# construct / baseline-OVS / AC/DC measurements within every repetition
+# and reports medians. The machine-readable result lands in
+# BENCH_pr3.json at the repo root (override with --json PATH).
+#
+#   scripts/bench.sh            # full run (100k iters x 9 reps per side)
+#   scripts/bench.sh --smoke    # CI-friendly: 5k iters x 3 reps
+#
+# Extra arguments are forwarded to datapath_bench (e.g. --flows 10000,
+# --ref-egress / --ref-ingress to re-baseline on different hardware).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JSON_OUT="BENCH_pr3.json"
+FWD=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --json)
+            JSON_OUT="$2"
+            shift 2
+            ;;
+        *)
+            FWD+=("$1")
+            shift
+            ;;
+    esac
+done
+
+echo "==> cargo bench (criterion smoke: parse/emit wire + datapath + flowtable)"
+cargo bench -q -p acdc-bench --bench wire --bench datapath --bench flowtable
+
+echo "==> datapath_bench (interleaved medians -> ${JSON_OUT})"
+cargo build --release -q -p acdc-bench
+./target/release/datapath_bench --json "$JSON_OUT" ${FWD[@]+"${FWD[@]}"}
+
+echo "Wrote ${JSON_OUT}:"
+cat "$JSON_OUT"

@@ -14,8 +14,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> acdc-xtask lint"
 cargo run -q -p acdc-xtask -- lint
 
+echo "==> no expect/unwrap on wire-input parse paths (vswitch, core, tcp)"
+if grep -rnE '(try_meta|::parse)\([^)]*\)[[:space:]]*\.[[:space:]]*(unwrap|expect)\(' \
+    crates/vswitch/src crates/core/src crates/tcp/src; then
+    echo "error: wire-input parses must be fallible (drop + count), not unwrap/expect" >&2
+    exit 1
+fi
+
 echo "==> cargo test"
 cargo test -q
+
+echo "==> packet pipeline proptests (meta/checksum coherence)"
+cargo test -q -p acdc-packet --test meta_coherence --test props
+
+echo "==> datapath benchmark smoke (scripts/bench.sh --smoke)"
+scripts/bench.sh --smoke --json /tmp/acdc-bench-smoke.json >/dev/null
 
 echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
 cargo test -q -p acdc-faults
