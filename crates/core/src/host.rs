@@ -570,6 +570,11 @@ impl Node for HostNode {
         let now = ctx.now();
         if now >= self.next_dp_tick {
             self.datapath.tick(now);
+            // Flow-table garbage collection rides the same maintenance
+            // tick: closed/idle entries are collected and the datapath
+            // re-evaluates its health ladder against the new occupancy.
+            self.datapath
+                .gc(now, self.datapath.config().gc_idle_timeout);
             self.next_dp_tick = now + DP_TICK_PERIOD;
         }
         for idx in 0..self.conns.len() {

@@ -11,15 +11,16 @@
 //! plays the paper's *sender module* (for flows this host originates) and
 //! *receiver module* (for flows it terminates).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use acdc_cc::{AckEvent, CcConfig};
 use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, Segment, TcpFlags, TcpRepr};
-use acdc_stats::time::{Nanos, MILLISECOND};
+use acdc_stats::time::{Nanos, MILLISECOND, SECOND};
 
 use crate::entry::FlowEntry;
+use crate::health::{HealthCell, HealthState, Watermarks};
 use crate::policy::CcPolicy;
-use crate::table::FlowTable;
+use crate::table::{Admission, AdmissionPolicy, FlowTable};
 
 /// Datapath configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +58,18 @@ pub struct AcdcConfig {
     /// piggyback is dropped. Quantifies what the FACK mechanism buys on
     /// bidirectional traffic (§3.2).
     pub disable_fack: bool,
+    /// Hard cap on tracked flow entries (`None` = unbounded). The paper
+    /// sizes per-flow state for tens of thousands of connections (§4);
+    /// a bounded table makes exhaustion an explicit, tested regime.
+    pub max_flows: Option<usize>,
+    /// What to do when a new flow arrives with the table at `max_flows`.
+    pub admission: AdmissionPolicy,
+    /// Idle timeout for the periodic flow-table garbage collection driven
+    /// from the host's maintenance tick.
+    pub gc_idle_timeout: Nanos,
+    /// Occupancy watermarks driving the health degradation ladder
+    /// (meaningful only with `max_flows` set).
+    pub watermarks: Watermarks,
 }
 
 impl AcdcConfig {
@@ -74,6 +87,10 @@ impl AcdcConfig {
             max_rwnd_bytes: None,
             min_window_bytes: None,
             disable_fack: false,
+            max_flows: None,
+            admission: AdmissionPolicy::EvictOldestIdle,
+            gc_idle_timeout: 30 * SECOND,
+            watermarks: Watermarks::default(),
         }
     }
 
@@ -144,6 +161,25 @@ pub struct AcdcCounters {
     pub non_tcp_passthrough: AtomicU64,
     /// Malformed frames dropped by the fallible parse.
     pub malformed_drops: AtomicU64,
+    /// Entries collected by the periodic idle/closed garbage collection.
+    pub gc_evictions: AtomicU64,
+    /// Entries evicted to admit new flows at capacity (evict-oldest-idle).
+    pub capacity_evictions: AtomicU64,
+    /// New flows refused at the capacity gate (reject-new, or eviction
+    /// found no victim); their packets are forwarded untouched.
+    pub admission_rejects: AtomicU64,
+    /// Packets forwarded untouched because the datapath was in the
+    /// `PassThrough` health state.
+    pub overload_passthrough: AtomicU64,
+    /// RWND rewrites skipped because the flow's window scale was never
+    /// learned from a handshake (mid-stream adoption stays log-only).
+    pub unscaled_rwnd_skips: AtomicU64,
+    /// Health-ladder demotions (toward less intervention).
+    pub health_demotions: AtomicU64,
+    /// Health-ladder promotions (recovery toward enforcement).
+    pub health_promotions: AtomicU64,
+    /// Datapath restarts (`AcdcDatapath::reset`).
+    pub datapath_resets: AtomicU64,
 }
 
 impl AcdcCounters {
@@ -152,36 +188,27 @@ impl AcdcCounters {
     }
 
     /// Load all counters (relaxed).
-    pub fn snapshot(&self) -> [(&'static str, u64); 10] {
-        [
-            ("packs_sent", self.packs_sent.load(Ordering::Relaxed)),
-            ("facks_sent", self.facks_sent.load(Ordering::Relaxed)),
-            (
-                "packs_received",
-                self.packs_received.load(Ordering::Relaxed),
-            ),
-            ("rwnd_rewrites", self.rwnd_rewrites.load(Ordering::Relaxed)),
-            ("policed_drops", self.policed_drops.load(Ordering::Relaxed)),
-            (
-                "inferred_timeouts",
-                self.inferred_timeouts.load(Ordering::Relaxed),
-            ),
-            (
-                "inferred_fast_rtx",
-                self.inferred_fast_rtx.load(Ordering::Relaxed),
-            ),
-            (
-                "feedback_dropped",
-                self.feedback_dropped.load(Ordering::Relaxed),
-            ),
-            (
-                "non_tcp_passthrough",
-                self.non_tcp_passthrough.load(Ordering::Relaxed),
-            ),
-            (
-                "malformed_drops",
-                self.malformed_drops.load(Ordering::Relaxed),
-            ),
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("packs_sent", ld(&self.packs_sent)),
+            ("facks_sent", ld(&self.facks_sent)),
+            ("packs_received", ld(&self.packs_received)),
+            ("rwnd_rewrites", ld(&self.rwnd_rewrites)),
+            ("policed_drops", ld(&self.policed_drops)),
+            ("inferred_timeouts", ld(&self.inferred_timeouts)),
+            ("inferred_fast_rtx", ld(&self.inferred_fast_rtx)),
+            ("feedback_dropped", ld(&self.feedback_dropped)),
+            ("non_tcp_passthrough", ld(&self.non_tcp_passthrough)),
+            ("malformed_drops", ld(&self.malformed_drops)),
+            ("gc_evictions", ld(&self.gc_evictions)),
+            ("capacity_evictions", ld(&self.capacity_evictions)),
+            ("admission_rejects", ld(&self.admission_rejects)),
+            ("overload_passthrough", ld(&self.overload_passthrough)),
+            ("unscaled_rwnd_skips", ld(&self.unscaled_rwnd_skips)),
+            ("health_demotions", ld(&self.health_demotions)),
+            ("health_promotions", ld(&self.health_promotions)),
+            ("datapath_resets", ld(&self.datapath_resets)),
         ]
     }
 }
@@ -214,15 +241,25 @@ pub struct AcdcDatapath {
     cfg: AcdcConfig,
     table: FlowTable,
     counters: AcdcCounters,
+    health: HealthCell,
+    /// Any admission reject since the last maintenance check? Promotion
+    /// requires a clean interval, not just receded occupancy.
+    overload_seen: AtomicBool,
 }
 
 impl AcdcDatapath {
     /// Create a datapath with the given configuration.
     pub fn new(cfg: AcdcConfig) -> AcdcDatapath {
+        let table = match cfg.max_flows {
+            Some(cap) => FlowTable::bounded(cap, cfg.admission),
+            None => FlowTable::new(),
+        };
         AcdcDatapath {
             cfg,
-            table: FlowTable::new(),
+            table,
             counters: AcdcCounters::default(),
+            health: HealthCell::new(),
+            overload_seen: AtomicBool::new(false),
         }
     }
 
@@ -244,6 +281,99 @@ impl AcdcDatapath {
     /// Number of tracked flows.
     pub fn flows(&self) -> usize {
         self.table.len()
+    }
+
+    /// Current rung of the degradation ladder.
+    pub fn health(&self) -> HealthState {
+        self.health.get()
+    }
+
+    /// Time-stamped health transition trace (restart epochs included).
+    pub fn health_trace(&self) -> Vec<(Nanos, HealthState)> {
+        self.health.trace()
+    }
+
+    fn set_health(&self, now: Nanos, to: HealthState) {
+        if let Some((from, to)) = self.health.transition(now, to) {
+            if to > from {
+                AcdcCounters::bump(&self.counters.health_demotions);
+            } else {
+                AcdcCounters::bump(&self.counters.health_promotions);
+            }
+        }
+    }
+
+    /// A flow was refused at the capacity gate: count it, remember the
+    /// overload for the promotion logic, and drop to pass-through — if
+    /// admission is failing, per-flow work is no longer trustworthy, and
+    /// forwarding untouched is always safe (§3.3 fail-safe).
+    fn on_admission_reject(&self, now: Nanos) {
+        AcdcCounters::bump(&self.counters.admission_rejects);
+        self.overload_seen.store(true, Ordering::Relaxed);
+        self.set_health(now, HealthState::PassThrough);
+    }
+
+    /// Bookkeeping after a create-capable table op that was admitted.
+    fn note_admission(&self, now: Nanos, adm: Admission) {
+        if let Admission::CreatedAfterEviction(n) = adm {
+            self.counters
+                .capacity_evictions
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        if adm.created() {
+            if let Some(cap) = self.cfg.max_flows {
+                // Eager demotion on the way up; recovery is left to the
+                // maintenance tick (hysteresis lives in `update_health`).
+                if self.health.get() == HealthState::Enforcing
+                    && self.table.len() * 100 >= cap * usize::from(self.cfg.watermarks.log_only_pct)
+                {
+                    self.set_health(now, HealthState::LogOnly);
+                }
+            }
+        }
+    }
+
+    /// Re-evaluate the ladder against occupancy (maintenance-tick path).
+    /// Promotions require occupancy below the recovery watermark *and* a
+    /// reject-free interval since the last check.
+    fn update_health(&self, now: Nanos) {
+        let Some(cap) = self.cfg.max_flows else {
+            return;
+        };
+        let occ = self.table.len() * 100;
+        let wm = &self.cfg.watermarks;
+        let overload = self.overload_seen.swap(false, Ordering::Relaxed);
+        match self.health.get() {
+            HealthState::Enforcing => {
+                if occ >= cap * usize::from(wm.log_only_pct) {
+                    self.set_health(now, HealthState::LogOnly);
+                }
+            }
+            HealthState::LogOnly => {
+                if !overload && occ < cap * usize::from(wm.log_recover_pct) {
+                    self.set_health(now, HealthState::Enforcing);
+                }
+            }
+            HealthState::PassThrough => {
+                if !overload && occ < cap * usize::from(wm.pass_recover_pct) {
+                    self.set_health(now, HealthState::LogOnly);
+                }
+            }
+        }
+    }
+
+    /// Simulate a vSwitch restart: drop all connection-tracking state and
+    /// return to `Enforcing`, marking a restart epoch in the health trace.
+    /// In-flight connections are re-adopted from subsequent data packets —
+    /// conservatively: a flow whose handshake was lost stays log-only
+    /// until a new SYN teaches its window scale. Returns the number of
+    /// entries dropped.
+    pub fn reset(&self, now: Nanos) -> usize {
+        let dropped = self.table.clear();
+        AcdcCounters::bump(&self.counters.datapath_resets);
+        self.overload_seen.store(false, Ordering::Relaxed);
+        self.health.force(now, HealthState::Enforcing);
+        dropped
     }
 
     fn cc_config(&self) -> CcConfig {
@@ -272,6 +402,15 @@ impl AcdcDatapath {
         if !self.cfg.enabled {
             return Verdict::Forward(seg);
         }
+        // Degradation ladder: an overloaded datapath forwards guest
+        // packets untouched — no parse, no table work. Always safe: the
+        // guest's own congestion control still runs (§3.3 fail-safe).
+        let health = self.health.get();
+        if health == HealthState::PassThrough {
+            AcdcCounters::bump(&self.counters.overload_passthrough);
+            return Verdict::Forward(seg);
+        }
+        let log_only = self.cfg.log_only || health == HealthState::LogOnly;
         // The single parse of the packet's journey (or a cache hit, when
         // the NIC already verified checksums). Malformed frames are
         // dropped and counted — wire input never panics the datapath.
@@ -296,7 +435,7 @@ impl AcdcDatapath {
         // --- Sender module: data packets ---
         if seg.payload_len() > 0 || flags.contains(TcpFlags::FIN) {
             let payload_len = seg.payload_len();
-            let tracked = self.table.with_entry_or_create(
+            let (tracked, admission) = self.table.with_entry_or_create(
                 key,
                 || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now),
                 |slot| {
@@ -318,9 +457,10 @@ impl AcdcDatapath {
 
                     // Policing: a conforming stack never sends beyond the
                     // window we enforced; drop the excess of one that
-                    // does (§3.3).
+                    // does (§3.3). A window we never rewrote (unlearned
+                    // scale) was never enforced, so it is not policed.
                     if let Some(slack) = self.cfg.police_slack_bytes {
-                        if !self.cfg.log_only && payload_len > 0 {
+                        if !log_only && e.wscale_learned && payload_len > 0 {
                             let allowed_end = e.snd_una + (e.cc.cwnd() + slack) as usize;
                             if seq_end > allowed_end {
                                 e.policed += 1;
@@ -349,8 +489,17 @@ impl AcdcDatapath {
                 },
             );
             let vm_ecn = match tracked {
-                Ok(v) => v,
-                Err(()) => {
+                // Table full, flow refused: forward untouched (fail-safe)
+                // and let the ladder drop to pass-through.
+                None => {
+                    self.on_admission_reject(now);
+                    return Verdict::Forward(seg);
+                }
+                Some(Ok(v)) => {
+                    self.note_admission(now, admission);
+                    v
+                }
+                Some(Err(())) => {
                     AcdcCounters::bump(&self.counters.policed_drops);
                     return Verdict::Drop(DropReason::Policed);
                 }
@@ -361,7 +510,7 @@ impl AcdcDatapath {
             // the reserved bit for the peer module. Log-only mode
             // (Figure 9's measurement methodology) must not perturb the
             // guest's ECN loop, so it skips all packet rewriting.
-            if seg.payload_len() > 0 && !self.cfg.log_only {
+            if seg.payload_len() > 0 && !log_only {
                 if !seg.ecn().is_ect() {
                     seg.set_ecn(Ecn::Ect0);
                 }
@@ -372,7 +521,7 @@ impl AcdcDatapath {
         // "All egress packets are marked to be ECN-capable on the sender
         // module" (§3.2) — including pure ACKs, so they survive WRED on
         // congested reverse paths.
-        if !self.cfg.log_only && !seg.ecn().is_ect() {
+        if !log_only && !seg.ecn().is_ect() {
             seg.set_ecn(Ecn::Ect0);
         }
 
@@ -442,6 +591,30 @@ impl AcdcDatapath {
         let key = meta.flow;
         let flags = meta.flags;
 
+        // Degradation ladder: overloaded datapaths do no per-flow work on
+        // ingress either, but AC/DC's own wire metadata must never reach
+        // a guest — FACKs are consumed, PACKs stripped, reserved bits
+        // cleared. All of it is stateless header hygiene.
+        let health = self.health.get();
+        if health == HealthState::PassThrough {
+            AcdcCounters::bump(&self.counters.overload_passthrough);
+            if meta.fack {
+                if let Some(pack) = meta.pack {
+                    self.absorb_feedback(&key, pack);
+                }
+                return Verdict::Drop(DropReason::FackConsumed);
+            }
+            if meta.pack.is_some() {
+                AcdcCounters::bump(&self.counters.packs_received);
+                seg.strip_pack_in_place();
+            }
+            if meta.vm_ece || meta.fack {
+                seg.clear_reserved();
+            }
+            return Verdict::Forward(seg);
+        }
+        let log_only = self.cfg.log_only || health == HealthState::LogOnly;
+
         if flags.contains(TcpFlags::RST) {
             self.mark_closing(&key);
             return Verdict::Forward(seg);
@@ -470,7 +643,7 @@ impl AcdcDatapath {
         if seg.payload_len() > 0 {
             let payload_len = seg.payload_len() as u64;
             let ce = seg.ecn().is_ce();
-            self.table.with_entry_or_create(
+            let (tracked, admission) = self.table.with_entry_or_create(
                 key,
                 || FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now),
                 |slot| {
@@ -497,16 +670,25 @@ impl AcdcDatapath {
                     slot.set_rx_pending(true);
                 },
             );
-            // Restore what the sender VM originally put on the wire: ECT
-            // if its stack spoke ECN (hiding the CE mark from it is the
-            // point — DCTCP in the vSwitch reacts instead), nothing
-            // otherwise. Log-only mode leaves packets untouched so the
-            // guest's own congestion loop stays intact.
-            if !self.cfg.log_only {
-                let target = if meta.vm_ece { Ecn::Ect0 } else { Ecn::NotEct };
-                if seg.ecn() != target {
-                    seg.set_ecn(target);
+            if tracked.is_some() {
+                self.note_admission(now, admission);
+                // Restore what the sender VM originally put on the wire:
+                // ECT if its stack spoke ECN (hiding the CE mark from it
+                // is the point — DCTCP in the vSwitch reacts instead),
+                // nothing otherwise. Log-only mode leaves packets
+                // untouched so the guest's own congestion loop stays
+                // intact.
+                if !log_only {
+                    let target = if meta.vm_ece { Ecn::Ect0 } else { Ecn::NotEct };
+                    if seg.ecn() != target {
+                        seg.set_ecn(target);
+                    }
                 }
+            } else {
+                // Untracked at capacity: leave the wire untouched — an
+                // unlaundered CE mark is at worst ignored by a guest that
+                // never negotiated ECN.
+                self.on_admission_reject(now);
             }
         }
 
@@ -517,11 +699,11 @@ impl AcdcDatapath {
                 AcdcCounters::bump(&self.counters.packs_received);
                 seg.strip_pack_in_place();
             }
-            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, true);
+            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, !log_only);
             // Hide ECN feedback from the guest so it does not also back
             // off (§3.3): AC/DC is the one reacting. Applied to every
             // non-SYN ACK — the vSwitch owns ECN on this fabric.
-            if !self.cfg.log_only && flags.contains(TcpFlags::ECE) {
+            if !log_only && flags.contains(TcpFlags::ECE) {
                 seg.clear_tcp_flags(TcpFlags::ECE);
             }
         }
@@ -552,7 +734,8 @@ impl AcdcDatapath {
 
     /// Connection-tracking + congestion control + RWND enforcement for an
     /// arriving ACK. When `rewrite` is true, the enforcement write is
-    /// applied to the segment (it is the one delivered to the guest).
+    /// applied to the segment (it is the one delivered to the guest);
+    /// callers fold log-only mode (config flag or health ladder) into it.
     fn sender_ack_processing(
         &self,
         now: Nanos,
@@ -628,17 +811,25 @@ impl AcdcDatapath {
                     .get_or_insert_with(Vec::new)
                     .push((now, cwnd));
             }
-            (cwnd, e.ack_wscale)
+            (cwnd, e.ack_wscale, e.wscale_learned)
         });
 
         // Enforcement: overwrite RWND with the computed window, only when
-        // that is *smaller* than what the guest advertised (§3.3).
-        if let Some((cwnd, wscale)) = enforced {
-            if rewrite && !self.cfg.log_only {
-                let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
-                if raw_target < window {
-                    seg.rewrite_window(raw_target);
-                    AcdcCounters::bump(&self.counters.rwnd_rewrites);
+        // that is *smaller* than what the guest advertised (§3.3). Never
+        // with an unlearned scale: an entry adopted mid-stream (restart,
+        // migration) stays log-only until a handshake teaches the shift —
+        // a raw write interpreted through the guest's real scale could be
+        // off by 2^14 in either direction.
+        if let Some((cwnd, wscale, learned)) = enforced {
+            if rewrite {
+                if learned {
+                    let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
+                    if raw_target < window {
+                        seg.rewrite_window(raw_target);
+                        AcdcCounters::bump(&self.counters.rwnd_rewrites);
+                    }
+                } else {
+                    AcdcCounters::bump(&self.counters.unscaled_rwnd_skips);
                 }
             }
         }
@@ -653,15 +844,21 @@ impl AcdcDatapath {
         // windows in ACKs *it* will send — i.e. the ACKs of the reverse
         // data direction.
         let rev = key.reverse();
-        let rentry = self.table.get_or_create(rev, || {
+        let (rentry, radm) = self.table.get_or_create(rev, || {
             FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now)
         });
+        let Some(rentry) = rentry else {
+            self.on_admission_reject(now);
+            return;
+        };
+        self.note_admission(now, radm);
         {
             let mut re = rentry.lock();
             re.last_activity = now;
-            if let Some(w) = wscale {
-                re.ack_wscale = w;
-            }
+            // A SYN without the option means "scale 0" — that is a
+            // *learned* fact, unlike the default an adopted entry gets.
+            re.ack_wscale = wscale.unwrap_or(0);
+            re.wscale_learned = true;
         }
 
         // The VM originating this SYN is the data sender of `key`; its ECN
@@ -673,9 +870,14 @@ impl AcdcDatapath {
             } else {
                 flags.contains(TcpFlags::ECE) && flags.contains(TcpFlags::CWR)
             };
-            let entry = self.table.get_or_create(key, || {
+            let (entry, adm) = self.table.get_or_create(key, || {
                 FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
             });
+            let Some(entry) = entry else {
+                self.on_admission_reject(now);
+                return;
+            };
+            self.note_admission(now, adm);
             let mut e = entry.lock();
             e.last_activity = now;
             e.vm_ecn = vm_ecn;
@@ -715,11 +917,21 @@ impl AcdcDatapath {
         for _ in 0..timeouts {
             AcdcCounters::bump(&self.counters.inferred_timeouts);
         }
+        self.update_health(now);
     }
 
     /// Garbage-collect closed/idle entries (paired with FIN tracking).
+    /// Driven from the host's 10 ms maintenance tick; also the moment the
+    /// health ladder re-evaluates recovery (occupancy just receded).
     pub fn gc(&self, now: Nanos, idle_timeout: Nanos) -> usize {
-        self.table.gc(now, idle_timeout)
+        let collected = self.table.gc(now, idle_timeout);
+        if collected > 0 {
+            self.counters
+                .gc_evictions
+                .fetch_add(collected as u64, Ordering::Relaxed);
+        }
+        self.update_health(now);
+        collected
     }
 
     /// Snapshot per-flow statistics for every tracked entry — the

@@ -37,6 +37,12 @@ pub struct FlowEntry {
     /// arriving for this flow (advertised by the data *receiver* in its
     /// SYN; captured by monitoring the handshake, §3.3).
     pub ack_wscale: u8,
+    /// Was `ack_wscale` actually learned from an observed handshake? An
+    /// entry adopted mid-stream (vSwitch restart, VM migration) never saw
+    /// the SYN, so rewriting RWND with its default shift of 0 would
+    /// silently mis-scale the window; such flows stay log-only until a
+    /// handshake teaches the scale.
+    pub wscale_learned: bool,
     /// The guest's own stack negotiated ECN (from its SYN); drives the
     /// per-packet reserved-bit marker of §3.2.
     pub vm_ecn: bool,
@@ -90,6 +96,7 @@ impl FlowEntry {
             dupacks: 0,
             cc: Box::new(Clamped::new(kind.build(cc_cfg), MAX_ENFORCED_WINDOW)),
             ack_wscale: 0,
+            wscale_learned: false,
             vm_ecn: false,
             rtt_probe: None,
             srtt: None,

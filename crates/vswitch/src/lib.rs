@@ -40,10 +40,12 @@ pub(crate) use strict_invariant;
 
 pub mod datapath;
 pub mod entry;
+pub mod health;
 pub mod policy;
 pub mod table;
 
 pub use datapath::{AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict};
 pub use entry::FlowEntry;
+pub use health::{HealthState, Watermarks};
 pub use policy::CcPolicy;
-pub use table::FlowTable;
+pub use table::{Admission, AdmissionPolicy, FlowTable};

@@ -16,9 +16,24 @@
 //! lookups every packet makes), but within a shard the map
 //! is ordered: `for_each`/`gc` visit entries in `FlowKey` order, which
 //! keeps every whole-table traversal deterministic (lint rule D002).
+//!
+//! ## Capacity & admission
+//!
+//! A production vSwitch carries tens of thousands of connections and the
+//! paper sizes the design around that (§4: two ~320 B entries per
+//! connection), so the table can be *bounded*: [`FlowTable::bounded`]
+//! sets a hard `max_flows` cap enforced by a global atomic reservation
+//! counter (the count is reserved *before* the shard insert, so `len()`
+//! can never exceed the cap, not even transiently). What happens at the
+//! cap is the [`AdmissionPolicy`]: turn the new flow away (it is then
+//! forwarded untouched — the §3.3 fail-safe) or deterministically evict
+//! the entry idle the longest, smallest key breaking ties. Every create
+//! path reports an [`Admission`] outcome so the datapath can account
+//! evictions and drive its degradation ladder.
 
+use std::collections::btree_map::Entry as MapEntry;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, MutexGuard};
 
 use acdc_packet::FlowKey;
@@ -32,6 +47,50 @@ use crate::entry::FlowEntry;
 /// is then one FNV hash, one uncontended read lock, and a one-or-two
 /// comparison tree descent, instead of a deep BTreeMap walk.
 const SHARDS: usize = 1024;
+
+/// Bound on evict→reserve retries when racing other inserters; the
+/// deterministic single-threaded simulation always succeeds on the first
+/// attempt.
+const MAX_EVICT_ATTEMPTS: usize = 8;
+
+/// What a bounded table does when a new flow arrives at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse the new flow; the caller forwards it untracked (the §3.3
+    /// fail-safe: the guest's own congestion control still runs).
+    RejectNew,
+    /// Evict the entry with the oldest `last_activity` (smallest key on
+    /// ties) to make room. Deterministic: same state ⇒ same victim.
+    EvictOldestIdle,
+}
+
+/// Outcome of a create-capable table operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The key was already tracked; no capacity was consumed.
+    Existing,
+    /// A fresh entry was inserted within capacity.
+    Created,
+    /// A fresh entry was inserted after evicting this many idle entries.
+    CreatedAfterEviction(usize),
+    /// The table is full and the policy refused the flow.
+    Rejected,
+}
+
+impl Admission {
+    /// Did this call insert a fresh entry?
+    pub fn created(self) -> bool {
+        matches!(
+            self,
+            Admission::Created | Admission::CreatedAfterEviction(_)
+        )
+    }
+
+    /// Was the flow turned away at the capacity gate?
+    pub fn rejected(self) -> bool {
+        matches!(self, Admission::Rejected)
+    }
+}
 
 /// A table slot: the per-flow entry behind its lock, plus the one flag
 /// the egress fast path reads without taking that lock.
@@ -74,6 +133,13 @@ impl FlowSlot {
 /// A sharded flow table: `FlowKey → Arc<FlowSlot>`.
 pub struct FlowTable {
     shards: Vec<RwLock<BTreeMap<FlowKey, Arc<FlowSlot>>>>,
+    /// Tracked-entry count, maintained by reservation: incremented before
+    /// a shard insert, decremented on remove/gc/clear. Upper-bounds the
+    /// sum of shard lengths at all times, so a capacity check against it
+    /// can never let the table overshoot `max_flows`.
+    count: AtomicUsize,
+    max_flows: Option<usize>,
+    admission: AdmissionPolicy,
 }
 
 impl Default for FlowTable {
@@ -83,11 +149,29 @@ impl Default for FlowTable {
 }
 
 impl FlowTable {
-    /// An empty table.
+    /// An empty, unbounded table.
     pub fn new() -> FlowTable {
         FlowTable {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            count: AtomicUsize::new(0),
+            max_flows: None,
+            admission: AdmissionPolicy::EvictOldestIdle,
         }
+    }
+
+    /// An empty table holding at most `max_flows` entries, applying
+    /// `admission` when a new flow arrives at capacity.
+    pub fn bounded(max_flows: usize, admission: AdmissionPolicy) -> FlowTable {
+        FlowTable {
+            max_flows: Some(max_flows),
+            admission,
+            ..FlowTable::new()
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn max_flows(&self) -> Option<usize> {
+        self.max_flows
     }
 
     fn shard(&self, key: &FlowKey) -> &RwLock<BTreeMap<FlowKey, Arc<FlowSlot>>> {
@@ -108,52 +192,184 @@ impl FlowTable {
         self.shard(key).read().get(key).map(|slot| f(slot))
     }
 
+    /// Reserve one slot in `count`, respecting the cap.
+    fn try_reserve(&self) -> bool {
+        match self.max_flows {
+            None => {
+                self.count.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(cap) => self
+                .count
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                    (c < cap).then_some(c + 1)
+                })
+                .is_ok(),
+        }
+    }
+
+    fn release(&self) {
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Evict the entry idle the longest (smallest key on ties), never the
+    /// key about to be inserted. Returns `false` when nothing is
+    /// evictable.
+    fn evict_one(&self, avoid: &FlowKey) -> bool {
+        let mut victim: Option<(Nanos, FlowKey)> = None;
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (k, slot) in shard.iter() {
+                if k == avoid {
+                    continue;
+                }
+                let cand = (slot.entry.lock().last_activity, *k);
+                if victim.is_none_or(|v| cand < v) {
+                    victim = Some(cand);
+                }
+            }
+        }
+        match victim {
+            Some((_, k)) => self.remove(&k),
+            None => false,
+        }
+    }
+
+    /// Reserve capacity for a new entry per the admission policy.
+    /// Returns `(reserved, entries evicted to make room)`.
+    fn admit(&self, key: &FlowKey) -> (bool, usize) {
+        if self.try_reserve() {
+            return (true, 0);
+        }
+        match self.admission {
+            AdmissionPolicy::RejectNew => (false, 0),
+            AdmissionPolicy::EvictOldestIdle => {
+                let mut evicted = 0;
+                for _ in 0..MAX_EVICT_ATTEMPTS {
+                    if !self.evict_one(key) {
+                        return (false, evicted);
+                    }
+                    evicted += 1;
+                    if self.try_reserve() {
+                        return (true, evicted);
+                    }
+                }
+                (false, evicted)
+            }
+        }
+    }
+
     /// [`FlowTable::with_entry`], creating the slot with `init` when
-    /// absent. Same rule: `f` must not call back into the table.
+    /// absent — subject to the capacity/admission gate. Same rule: `f`
+    /// must not call back into the table. Returns `None` (with
+    /// [`Admission::Rejected`]) when the table is full and the policy
+    /// refused the flow; `f` is not called in that case.
     pub fn with_entry_or_create<R>(
         &self,
         key: FlowKey,
         init: impl FnOnce() -> FlowEntry,
         f: impl FnOnce(&FlowSlot) -> R,
-    ) -> R {
+    ) -> (Option<R>, Admission) {
         {
             let shard = self.shard(&key).read();
             if let Some(slot) = shard.get(&key) {
-                return f(slot);
+                return (Some(f(slot)), Admission::Existing);
             }
         }
-        let mut shard = self.shard(&key).write();
-        let slot = shard
-            .entry(key)
-            .or_insert_with(|| Arc::new(FlowSlot::new(init())));
-        f(slot)
-    }
-
-    /// Look up or create an entry with `init`.
-    pub fn get_or_create(&self, key: FlowKey, init: impl FnOnce() -> FlowEntry) -> Arc<FlowSlot> {
-        if let Some(e) = self.get(&key) {
-            return e;
+        // Admission (and any eviction it entails) happens before the
+        // target shard's write lock is taken: the victim may live in the
+        // same shard, and parking_lot locks are not re-entrant.
+        let (reserved, evicted) = self.admit(&key);
+        if !reserved {
+            return (None, Admission::Rejected);
         }
         let mut shard = self.shard(&key).write();
-        shard
-            .entry(key)
-            .or_insert_with(|| Arc::new(FlowSlot::new(init())))
-            .clone()
+        match shard.entry(key) {
+            MapEntry::Occupied(o) => {
+                // Lost a create race: hand the reservation back.
+                self.release();
+                (Some(f(o.get())), Admission::Existing)
+            }
+            MapEntry::Vacant(v) => {
+                let slot = v.insert(Arc::new(FlowSlot::new(init())));
+                let adm = if evicted > 0 {
+                    Admission::CreatedAfterEviction(evicted)
+                } else {
+                    Admission::Created
+                };
+                (Some(f(slot)), adm)
+            }
+        }
+    }
+
+    /// Look up or create an entry with `init`, subject to the
+    /// capacity/admission gate. `None` with [`Admission::Rejected`] when
+    /// the table is full and the policy refused the flow.
+    pub fn get_or_create(
+        &self,
+        key: FlowKey,
+        init: impl FnOnce() -> FlowEntry,
+    ) -> (Option<Arc<FlowSlot>>, Admission) {
+        {
+            let shard = self.shard(&key).read();
+            if let Some(slot) = shard.get(&key) {
+                return (Some(Arc::clone(slot)), Admission::Existing);
+            }
+        }
+        // Same ordering rule as `with_entry_or_create`: admit (which may
+        // evict, possibly from this very shard) before the write lock.
+        let (reserved, evicted) = self.admit(&key);
+        if !reserved {
+            return (None, Admission::Rejected);
+        }
+        let mut shard = self.shard(&key).write();
+        match shard.entry(key) {
+            MapEntry::Occupied(o) => {
+                self.release();
+                (Some(Arc::clone(o.get())), Admission::Existing)
+            }
+            MapEntry::Vacant(v) => {
+                let slot = Arc::new(FlowSlot::new(init()));
+                v.insert(Arc::clone(&slot));
+                let adm = if evicted > 0 {
+                    Admission::CreatedAfterEviction(evicted)
+                } else {
+                    Admission::Created
+                };
+                (Some(slot), adm)
+            }
+        }
     }
 
     /// Remove an entry (FIN teardown).
     pub fn remove(&self, key: &FlowKey) -> bool {
-        self.shard(key).write().remove(key).is_some()
+        let removed = self.shard(key).write().remove(key).is_some();
+        if removed {
+            self.release();
+        }
+        removed
     }
 
-    /// Number of tracked flows.
+    /// Number of tracked flows (O(1): the reservation counter).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Is the table empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drop every entry (vSwitch restart). Returns the number removed.
+    pub fn clear(&self) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            removed += shard.len();
+            shard.clear();
+        }
+        self.count.fetch_sub(removed, Ordering::Relaxed);
+        removed
     }
 
     /// Coarse-grained garbage collection (paired with FIN handling in the
@@ -172,6 +388,12 @@ impl FlowTable {
                 !dead
             });
         }
+        self.count.fetch_sub(collected, Ordering::Relaxed);
+        crate::strict_invariant!(
+            self.count.load(Ordering::Relaxed)
+                == self.shards.iter().map(|s| s.read().len()).sum::<usize>(),
+            "flow-table count drifted from shard contents after gc"
+        );
         collected
     }
 
@@ -204,11 +426,17 @@ mod tests {
         FlowEntry::new(CcKind::Dctcp, CcConfig::vswitch(1448), now)
     }
 
+    fn create(t: &FlowTable, p: u16, now: Nanos) -> (Arc<FlowSlot>, Admission) {
+        let (slot, adm) = t.get_or_create(key(p), || entry(now));
+        (slot.expect("admitted"), adm)
+    }
+
     #[test]
     fn create_lookup_remove() {
         let t = FlowTable::new();
         assert!(t.get(&key(1)).is_none());
-        let e = t.get_or_create(key(1), || entry(0));
+        let (e, adm) = create(&t, 1, 0);
+        assert_eq!(adm, Admission::Created);
         e.lock().last_activity = 42;
         let e2 = t.get(&key(1)).unwrap();
         assert_eq!(e2.lock().last_activity, 42);
@@ -221,9 +449,10 @@ mod tests {
     #[test]
     fn get_or_create_is_idempotent() {
         let t = FlowTable::new();
-        let a = t.get_or_create(key(7), || entry(0));
-        let b = t.get_or_create(key(7), || entry(99));
+        let (a, _) = create(&t, 7, 0);
+        let (b, adm) = create(&t, 7, 99);
         assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(adm, Admission::Existing);
         assert_eq!(t.len(), 1);
     }
 
@@ -231,7 +460,7 @@ mod tests {
     fn many_flows_distribute_across_shards() {
         let t = FlowTable::new();
         for p in 0..1000 {
-            t.get_or_create(key(p), || entry(0));
+            create(&t, p, 0);
         }
         assert_eq!(t.len(), 1000);
         let nonempty = t.shards.iter().filter(|s| !s.read().is_empty()).count();
@@ -241,17 +470,81 @@ mod tests {
     #[test]
     fn gc_collects_idle_and_closed() {
         let t = FlowTable::new();
-        t.get_or_create(key(1), || entry(0)); // idle since t=0
-        let fresh = t.get_or_create(key(2), || entry(0));
+        create(&t, 1, 0); // idle since t=0
+        let (fresh, _) = create(&t, 2, 0);
         fresh.lock().last_activity = 1_000_000_000;
-        let closed = t.get_or_create(key(3), || entry(0));
+        let (closed, _) = create(&t, 3, 0);
         closed.lock().last_activity = 1_000_000_000;
         closed.lock().closing = true;
         let n = t.gc(1_000_000_001, 500_000_000);
         assert_eq!(n, 2);
+        assert_eq!(t.len(), 1);
         assert!(t.get(&key(1)).is_none());
         assert!(t.get(&key(2)).is_some());
         assert!(t.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn bounded_reject_new_refuses_at_capacity() {
+        let t = FlowTable::bounded(2, AdmissionPolicy::RejectNew);
+        assert_eq!(create(&t, 1, 0).1, Admission::Created);
+        assert_eq!(create(&t, 2, 0).1, Admission::Created);
+        let (slot, adm) = t.get_or_create(key(3), || entry(0));
+        assert!(slot.is_none());
+        assert_eq!(adm, Admission::Rejected);
+        assert_eq!(t.len(), 2);
+        // Existing keys still resolve at capacity.
+        assert_eq!(create(&t, 1, 0).1, Admission::Existing);
+        // Freeing a slot re-opens admission.
+        assert!(t.remove(&key(1)));
+        assert_eq!(create(&t, 3, 0).1, Admission::Created);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bounded_evict_oldest_idle_is_deterministic() {
+        let t = FlowTable::bounded(2, AdmissionPolicy::EvictOldestIdle);
+        let (a, _) = create(&t, 1, 0);
+        a.lock().last_activity = 100;
+        let (b, _) = create(&t, 2, 0);
+        b.lock().last_activity = 50; // oldest → the victim
+        let (_, adm) = create(&t, 3, 0);
+        assert_eq!(adm, Admission::CreatedAfterEviction(1));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&key(2)).is_none(), "oldest-idle entry evicted");
+        assert!(t.get(&key(1)).is_some());
+        assert!(t.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn eviction_ties_break_on_smallest_key() {
+        let t = FlowTable::bounded(2, AdmissionPolicy::EvictOldestIdle);
+        create(&t, 9, 0);
+        create(&t, 4, 0); // same last_activity; smaller port loses
+        create(&t, 7, 0);
+        assert!(t.get(&key(4)).is_none(), "smallest key evicted on tie");
+        assert!(t.get(&key(9)).is_some());
+        assert!(t.get(&key(7)).is_some());
+    }
+
+    #[test]
+    fn with_entry_or_create_respects_capacity() {
+        let t = FlowTable::bounded(1, AdmissionPolicy::RejectNew);
+        let (r, adm) = t.with_entry_or_create(key(1), || entry(0), |_| 1u32);
+        assert_eq!((r, adm), (Some(1), Admission::Created));
+        let (r, adm) = t.with_entry_or_create(key(2), || entry(0), |_| 2u32);
+        assert_eq!((r, adm), (None, Admission::Rejected));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_and_reopens_admission() {
+        let t = FlowTable::bounded(2, AdmissionPolicy::RejectNew);
+        create(&t, 1, 0);
+        create(&t, 2, 0);
+        assert_eq!(t.clear(), 2);
+        assert!(t.is_empty());
+        assert_eq!(create(&t, 3, 0).1, Admission::Created);
     }
 
     #[test]
@@ -263,8 +556,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..250u16 {
                     let k = key(tid * 250 + i);
-                    let e = t.get_or_create(k, || entry(0));
-                    e.lock().last_activity = u64::from(i);
+                    let (e, _) = t.get_or_create(k, || entry(0));
+                    e.unwrap().lock().last_activity = u64::from(i);
                     assert!(t.get(&k).is_some());
                 }
             }));

@@ -6,7 +6,9 @@ use acdc_cc::CcKind;
 use acdc_packet::{
     Ecn, FlowKey, Ipv4Repr, PackOption, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP,
 };
-use acdc_vswitch::{AcdcConfig, AcdcDatapath, CcPolicy, DropReason, Verdict};
+use acdc_vswitch::{
+    AcdcConfig, AcdcDatapath, AdmissionPolicy, CcPolicy, DropReason, HealthState, Verdict,
+};
 
 const A: [u8; 4] = [10, 0, 0, 1];
 const B: [u8; 4] = [10, 0, 0, 2];
@@ -665,4 +667,181 @@ fn flow_stats_snapshot_reflects_activity() {
         .expect("tracked flow at receiver");
     assert_eq!(rx.rx_total, 5 * MSS as u64);
     assert_eq!(rx.rx_marked, 3 * MSS as u64);
+}
+
+// ----------------------------------------------------------------------
+// Overload safety: bounded admission, degradation ladder, restart
+// ----------------------------------------------------------------------
+
+fn counter(dp: &AcdcDatapath, name: &str) -> u64 {
+    dp.counters()
+        .snapshot()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap()
+        .1
+}
+
+/// A SYN from a guest at `sport` (distinct flows for capacity tests).
+fn syn_on(sport: u16, wscale: u8) -> Segment {
+    let mut t = TcpRepr::new(sport, BP);
+    t.seq = SeqNumber(ISS_A);
+    t.flags = TcpFlags::SYN;
+    t.window = 65_000;
+    t.options = vec![
+        TcpOption::MaxSegmentSize(MSS as u16),
+        TcpOption::WindowScale(wscale),
+    ];
+    Segment::new_tcp(ip(A, B, Ecn::NotEct), t, 0)
+}
+
+/// Data from the guest at `sport`.
+fn data_on(sport: u16, off: u32, len: usize) -> Segment {
+    let mut t = TcpRepr::new(sport, BP);
+    t.seq = SeqNumber(ISS_A + 1 + off);
+    t.ack = SeqNumber(ISS_B + 1);
+    t.flags = TcpFlags::ACK;
+    t.window = 127;
+    Segment::new_tcp(ip(A, B, Ecn::NotEct), t, len)
+}
+
+#[test]
+fn adopted_flow_stays_log_only_until_handshake() {
+    let dpa = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    // No SYN observed: the entry is adopted from a data packet.
+    dpa.egress(1_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
+    {
+        let e = dpa.table().get(&key_ab()).unwrap();
+        let e = e.lock();
+        assert!(e.seq_valid);
+        assert!(!e.wscale_learned, "no handshake → scale unlearned");
+    }
+    // This ACK would be rewritten (the initial DCTCP window is far below
+    // 65 000 B) had the scale been learned; adopted flows are left alone.
+    let a = dpa
+        .ingress(2_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
+    assert_eq!(a.tcp().window(), 65_000, "no rewrite with unlearned scale");
+    assert!(counter(&dpa, "unscaled_rwnd_skips") >= 1);
+    assert_eq!(counter(&dpa, "rwnd_rewrites"), 0);
+
+    // A (retransmitted) handshake teaches the scale, restoring
+    // enforcement for the same flow.
+    dpa.egress(3_000, syn(false, 9)).forwarded().unwrap();
+    dpa.ingress(4_000, synack(false, 9)).forwarded().unwrap();
+    let a = dpa
+        .ingress(5_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
+    assert!(
+        a.tcp().window() < 65_000,
+        "rewrite active after handshake, got {}",
+        a.tcp().window()
+    );
+    assert!(counter(&dpa, "rwnd_rewrites") >= 1);
+}
+
+#[test]
+fn reset_drops_state_and_readopts_conservatively() {
+    let (dpa, _dpb) = rig(false);
+    assert!(dpa.flows() >= 2);
+    let dropped = dpa.reset(50_000);
+    assert!(dropped >= 2);
+    assert_eq!(dpa.flows(), 0);
+    assert_eq!(counter(&dpa, "datapath_resets"), 1);
+    assert_eq!(dpa.health(), HealthState::Enforcing);
+    assert_eq!(dpa.health_trace().len(), 1, "restart epoch recorded");
+
+    // Mid-stream re-adoption from the next data packet...
+    dpa.egress(60_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
+    assert!(dpa.flows() >= 1);
+    // ...but the adopted flow is never enforced with the lost scale.
+    let a = dpa
+        .ingress(70_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
+    assert_eq!(a.tcp().window(), 65_000);
+    assert!(counter(&dpa, "unscaled_rwnd_skips") >= 1);
+    assert_eq!(counter(&dpa, "rwnd_rewrites"), 0);
+}
+
+#[test]
+fn capacity_exhaustion_walks_the_degradation_ladder() {
+    let cfg = AcdcConfig {
+        max_flows: Some(4),
+        admission: AdmissionPolicy::RejectNew,
+        ..AcdcConfig::dctcp(MTU)
+    };
+    let dpa = AcdcDatapath::new(cfg);
+    // Flow 1 handshake: 2 entries, 50 % occupancy → still enforcing.
+    dpa.egress(0, syn_on(41_000, 9)).forwarded().unwrap();
+    assert_eq!(dpa.health(), HealthState::Enforcing);
+    // Flow 2: 4 entries, 100 % ≥ the 90 % watermark → log-only.
+    dpa.egress(1_000, syn_on(41_001, 9)).forwarded().unwrap();
+    assert_eq!(dpa.flows(), 4);
+    assert_eq!(dpa.health(), HealthState::LogOnly);
+    // Flow 3: the table is full — rejected; drop to pass-through.
+    dpa.egress(2_000, syn_on(41_002, 9)).forwarded().unwrap();
+    assert_eq!(dpa.flows(), 4);
+    assert_eq!(dpa.health(), HealthState::PassThrough);
+    assert!(counter(&dpa, "admission_rejects") >= 1);
+    assert_eq!(counter(&dpa, "health_demotions"), 2);
+    // Unadmitted traffic is forwarded untouched — no forced ECT.
+    let d = dpa
+        .egress(3_000, data_on(41_002, 0, MSS))
+        .forwarded()
+        .unwrap();
+    assert_eq!(d.ecn(), Ecn::NotEct, "pass-through leaves the wire alone");
+    assert!(counter(&dpa, "overload_passthrough") >= 1);
+}
+
+#[test]
+fn evict_oldest_idle_admits_new_flows_at_capacity() {
+    let cfg = AcdcConfig {
+        max_flows: Some(2),
+        admission: AdmissionPolicy::EvictOldestIdle,
+        ..AcdcConfig::dctcp(MTU)
+    };
+    let dpa = AcdcDatapath::new(cfg);
+    dpa.egress(0, syn_on(41_000, 9)).forwarded().unwrap();
+    dpa.egress(1_000, syn_on(41_001, 9)).forwarded().unwrap();
+    assert_eq!(dpa.flows(), 2, "capacity never exceeded");
+    assert!(counter(&dpa, "capacity_evictions") >= 2);
+    assert_eq!(counter(&dpa, "admission_rejects"), 0);
+    assert_ne!(dpa.health(), HealthState::PassThrough);
+}
+
+#[test]
+fn ladder_recovers_with_hysteresis_after_gc() {
+    let cfg = AcdcConfig {
+        max_flows: Some(4),
+        admission: AdmissionPolicy::RejectNew,
+        ..AcdcConfig::dctcp(MTU)
+    };
+    let dpa = AcdcDatapath::new(cfg);
+    for p in 0..3u16 {
+        dpa.egress(u64::from(p), syn_on(41_000 + p, 9))
+            .forwarded()
+            .unwrap();
+    }
+    assert_eq!(dpa.health(), HealthState::PassThrough);
+    // All guests close; the entries become collectable.
+    dpa.table().for_each(|_, e| e.closing = true);
+    // First gc: occupancy drops to zero, but the reject is still
+    // "recent" — the overload flag covers the interval up to this check.
+    dpa.gc(10_000, 1);
+    assert_eq!(dpa.flows(), 0);
+    assert_eq!(dpa.health(), HealthState::PassThrough);
+    // Clean intervals then promote one rung at a time, never two.
+    dpa.gc(20_000, 1);
+    assert_eq!(dpa.health(), HealthState::LogOnly);
+    dpa.gc(30_000, 1);
+    assert_eq!(dpa.health(), HealthState::Enforcing);
+    assert_eq!(counter(&dpa, "health_promotions"), 2);
+    assert!(counter(&dpa, "gc_evictions") >= 4);
 }

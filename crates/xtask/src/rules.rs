@@ -100,6 +100,14 @@ pub static P004: Rule = Rule {
               Segment::try_meta and the maintained accessors instead)",
 };
 
+pub static P005: Rule = Rule {
+    id: "P005",
+    name: "flow-admission",
+    summary: "no FlowTable::get_or_create/with_entry_or_create outside \
+              vswitch table.rs/datapath.rs (every flow entry must pass the \
+              bounded-admission gate so capacity and health accounting hold)",
+};
+
 pub static H001: Rule = Rule {
     id: "H001",
     name: "forbid-unsafe",
@@ -114,8 +122,8 @@ pub static H002: Rule = Rule {
 };
 
 /// All rules, in diagnostic order.
-pub static CATALOG: [&Rule; 9] = [
-    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &H001, &H002,
+pub static CATALOG: [&Rule; 10] = [
+    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &H001, &H002,
 ];
 
 pub fn catalog() -> &'static [&'static Rule] {
@@ -188,6 +196,15 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
     ]
     .iter()
     .any(|p| path.starts_with(p));
+    // P005 guards the bounded flow table: only the vswitch's own table and
+    // datapath may mint flow entries, so the capacity/admission gate and
+    // the health ladder's occupancy accounting cannot be bypassed. Tests
+    // and benches (no /src/ component) may drive the table directly.
+    let p005_scope = !in_bench
+        && !in_xtask
+        && path.contains("/src/")
+        && path != "crates/vswitch/src/table.rs"
+        && path != "crates/vswitch/src/datapath.rs";
 
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -256,6 +273,18 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
                     hits.push((
                         &P004,
                         format!("`{tok}` re-parses header bytes the segment's PacketMeta cache already holds; use Segment::try_meta and the maintained accessors"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if p005_scope {
+            for tok in ["get_or_create", "with_entry_or_create"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &P005,
+                        format!("`{tok}` mints flow entries outside the vswitch admission path; route flow creation through AcdcDatapath so capacity bounds and health accounting hold"),
                     ));
                     break;
                 }
@@ -462,6 +491,22 @@ mod tests {
         );
         // Identifier boundaries: `my_tcp_repr` must not fire.
         assert!(run("crates/tcp/src/x.rs", "let r = my_tcp_repr();\n").is_empty());
+    }
+
+    #[test]
+    fn p005_confines_flow_creation_to_the_admission_path() {
+        let create = "let (slot, adm) = self.table.get_or_create(key, mk);\n";
+        let with = "let (r, adm) = table.with_entry_or_create(key, now, f);\n";
+        assert_eq!(run("crates/core/src/x.rs", create), vec!["P005"]);
+        assert_eq!(run("crates/netsim/src/x.rs", with), vec!["P005"]);
+        // The table and the datapath *are* the admission path.
+        assert!(run("crates/vswitch/src/table.rs", create).is_empty());
+        assert!(run("crates/vswitch/src/datapath.rs", with).is_empty());
+        // Tests and benches may drive the table directly.
+        assert!(run("crates/vswitch/tests/x.rs", create).is_empty());
+        assert!(run("crates/bench/benches/flowtable.rs", create).is_empty());
+        // Identifier boundaries: a longer name must not fire.
+        assert!(run("crates/core/src/x.rs", "let x = slot_get_or_created();\n").is_empty());
     }
 
     #[test]

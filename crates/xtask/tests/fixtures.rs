@@ -90,6 +90,11 @@ fn p004_reparse_fixture() {
 }
 
 #[test]
+fn p005_flow_admission_fixture() {
+    assert_single("p005_flow_admission", "P005", "crates/core/src/bad.rs");
+}
+
+#[test]
 fn h001_missing_forbid_fixture() {
     assert_single("h001_no_forbid", "H001", "crates/foo/src/lib.rs");
 }

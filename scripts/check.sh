@@ -32,12 +32,12 @@ scripts/bench.sh --smoke --json /tmp/acdc-bench-smoke.json >/dev/null
 
 echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
 cargo test -q -p acdc-faults
-cargo test -q --test chaos --test rto_backoff
+cargo test -q --test chaos --test rto_backoff --test overload
 
 echo "==> cargo test --features strict-invariants"
 cargo test -q --features strict-invariants
 
 echo "==> chaos suite under strict-invariants"
-cargo test -q --features strict-invariants --test chaos --test rto_backoff
+cargo test -q --features strict-invariants --test chaos --test rto_backoff --test overload
 
 echo "All checks passed."
