@@ -85,6 +85,10 @@ struct SideResult {
     construct: f64,
     baseline: f64,
     acdc: f64,
+    /// The AC/DC datapath's unified registry snapshot after the run —
+    /// the same `snapshot_all()` schema tests and `check.sh` read, so
+    /// bench output doubles as a telemetry-coverage check.
+    telemetry_json: String,
 }
 
 fn run_side(flows: usize, iters: usize, reps: usize, egress: bool) -> SideResult {
@@ -103,10 +107,15 @@ fn run_side(flows: usize, iters: usize, reps: usize, egress: bool) -> SideResult
         baseline.push(measure(&base_dp, flows, iters, egress, Phase::Full));
         acdc.push(measure(&acdc_dp, flows, iters, egress, Phase::Full));
     }
+    let telemetry_json = acdc_dp
+        .telemetry()
+        .registry()
+        .snapshot_json(1_000 + iters as u64);
     SideResult {
         construct: median(&mut construct),
         baseline: median(&mut baseline),
         acdc: median(&mut acdc),
+        telemetry_json,
     }
 }
 
@@ -199,13 +208,16 @@ fn main() {
             "{{\n  \"bench\": \"pr3_single_parse_datapath\",\n",
             "  \"flows\": {},\n  \"iters\": {},\n  \"reps\": {},\n",
             "  \"unit\": \"ns_per_packet_median\",\n",
-            "  \"egress\": {},\n  \"ingress\": {}\n}}\n"
+            "  \"egress\": {},\n  \"ingress\": {},\n",
+            "  \"telemetry\": {{\"egress\": {}, \"ingress\": {}}}\n}}\n"
         ),
         flows,
         iters,
         reps,
         json_side(&egress, ref_egress),
         json_side(&ingress, ref_ingress),
+        egress.telemetry_json.trim_end(),
+        ingress.telemetry_json.trim_end(),
     );
     match json_path {
         Some(p) => {

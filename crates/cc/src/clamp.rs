@@ -68,6 +68,10 @@ impl<C: CongestionControl> CongestionControl for Clamped<C> {
         self.inner.wants_ecn()
     }
 
+    fn alpha_micros(&self) -> Option<u64> {
+        self.inner.alpha_micros()
+    }
+
     fn reset(&mut self, now: Nanos) {
         self.inner.reset(now);
     }

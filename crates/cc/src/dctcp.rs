@@ -174,6 +174,10 @@ impl CongestionControl for Dctcp {
         true
     }
 
+    fn alpha_micros(&self) -> Option<u64> {
+        Some((self.alpha * 1e6) as u64)
+    }
+
     fn reset(&mut self, _now: Nanos) {
         *self = Dctcp::with_priority(self.cfg, self.beta);
     }

@@ -166,6 +166,14 @@ pub trait CongestionControl: Send + core::fmt::Debug {
         self.cwnd() < self.ssthresh()
     }
 
+    /// DCTCP-style marked-byte-fraction estimate quantized to units of
+    /// 1e-6, if the algorithm maintains one. Integer units keep the value
+    /// `Eq`-comparable for telemetry (`alpha-update` events) without
+    /// floating-point equality.
+    fn alpha_micros(&self) -> Option<u64> {
+        None
+    }
+
     /// Reset to initial state (new connection reusing the object).
     fn reset(&mut self, now: Nanos);
 }
@@ -194,6 +202,9 @@ impl CongestionControl for Box<dyn CongestionControl> {
     }
     fn in_slow_start(&self) -> bool {
         self.as_ref().in_slow_start()
+    }
+    fn alpha_micros(&self) -> Option<u64> {
+        self.as_ref().alpha_micros()
     }
     fn reset(&mut self, now: Nanos) {
         self.as_mut().reset(now)

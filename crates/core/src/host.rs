@@ -29,6 +29,7 @@ use acdc_packet::{FlowKey, Segment};
 use acdc_stats::time::Nanos;
 use acdc_stats::TimeSeries;
 use acdc_tcp::{Endpoint, TcpConfig};
+use acdc_telemetry::{Counter, EventKind, Telemetry, NO_FLOW};
 use acdc_vswitch::{AcdcConfig, AcdcDatapath, Verdict};
 use acdc_workloads::apps::App;
 
@@ -174,7 +175,9 @@ pub struct HostNode {
     armed: Option<Nanos>,
     /// Packets discarded at the NIC because checksum verification failed
     /// (the FCS model for injected corruption; see `acdc-faults`).
-    corrupt_drops: u64,
+    /// Registered as `"host.corrupt_drops"` in the datapath's telemetry
+    /// registry.
+    corrupt_drops: Counter,
     /// Next scheduled vSwitch maintenance tick.
     next_dp_tick: Nanos,
 }
@@ -183,16 +186,21 @@ impl HostNode {
     /// Create a host with address `ip`, NIC port `nic`, and a fresh
     /// datapath configured by `acdc`.
     pub fn new(ip: [u8; 4], nic: PortId, acdc: AcdcConfig) -> HostNode {
+        let datapath = Arc::new(AcdcDatapath::new(acdc));
+        let corrupt_drops = datapath
+            .telemetry()
+            .registry()
+            .counter("host.corrupt_drops");
         HostNode {
             ip,
             nic,
-            datapath: Arc::new(AcdcDatapath::new(acdc)),
+            datapath,
             conns: Vec::new(),
             by_key: BTreeMap::new(),
             multi_apps: Vec::new(),
             rl: None,
             armed: None,
-            corrupt_drops: 0,
+            corrupt_drops,
             next_dp_tick: DP_TICK_PERIOD,
         }
     }
@@ -200,7 +208,13 @@ impl HostNode {
     /// Packets dropped at the NIC for failing checksum verification
     /// (corrupted in flight by a fault injector).
     pub fn corrupt_drops(&self) -> u64 {
-        self.corrupt_drops
+        self.corrupt_drops.get()
+    }
+
+    /// The host's telemetry hub (shared with its datapath): NIC-level
+    /// drops and all vSwitch events land here.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.datapath.telemetry()
     }
 
     /// The host's IP.
@@ -514,13 +528,25 @@ impl Node for HostNode {
         // even parse are counted at the port and dropped.
         let Ok(meta) = seg.try_meta() else {
             ctx.count_drop(self.nic, acdc_netsim::PortDropClass::Malformed);
+            self.datapath.telemetry().record(
+                now,
+                NO_FLOW,
+                EventKind::PacketDropped { cause: "malformed" },
+            );
             return;
         };
         // NIC FCS check: damaged frames never reach the vSwitch (loss, as
         // on real hardware). Only injected corruption produces these — the
         // datapath's own rewrites all maintain checksums.
         if !seg.verify_checksums() {
-            self.corrupt_drops += 1;
+            self.corrupt_drops.inc();
+            self.datapath.telemetry().record(
+                now,
+                meta.flow,
+                EventKind::PacketDropped {
+                    cause: "corrupt-fcs",
+                },
+            );
             return;
         }
         let key = meta.flow.reverse();

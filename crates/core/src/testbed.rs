@@ -2,6 +2,7 @@
 //! 17-server, 10 GbE testbed.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use acdc_cc::CcKind;
 use acdc_faults::{FaultPlan, FaultyLink, LinkFaultStats};
@@ -9,6 +10,7 @@ use acdc_netsim::{LinkSpec, Network, NodeId, SwitchCounters, SwitchNode};
 use acdc_packet::FlowKey;
 use acdc_stats::time::Nanos;
 use acdc_tcp::Endpoint;
+use acdc_telemetry::Telemetry;
 use acdc_workloads::apps::{
     App, BulkSender, EchoServer, MessageSender, PingPong, SequentialSender,
 };
@@ -48,6 +50,10 @@ pub struct Testbed {
     /// Installed fault-injector taps, by host index.
     host_fault_taps: BTreeMap<usize, NodeId>,
     trunk_fault_tap: Option<NodeId>,
+    /// Network-level telemetry hub: port counters and switch/trunk drop
+    /// events land here. Each host additionally owns a per-datapath hub
+    /// (reachable via [`HostNode::telemetry`]).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Testbed {
@@ -61,8 +67,12 @@ impl Testbed {
     }
 
     fn empty(scheme: Scheme, mtu: usize) -> Testbed {
+        let telemetry = Telemetry::with_default_capacity();
+        let mut net = Network::new();
+        // Attach before any `connect`, so every port's counters register.
+        net.set_telemetry(Arc::clone(&telemetry));
         Testbed {
-            net: Network::new(),
+            net,
             scheme,
             mtu,
             hosts: Vec::new(),
@@ -76,7 +86,15 @@ impl Testbed {
             trunk_fault_plan: None,
             host_fault_taps: BTreeMap::new(),
             trunk_fault_tap: None,
+            telemetry,
         }
+    }
+
+    /// The network-level telemetry hub (port counters, trunk fault
+    /// events). Per-host vSwitch events live on each host's own hub:
+    /// `testbed.host_mut(i).telemetry()`.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// An empty testbed for custom construction: set options (marking
@@ -146,7 +164,15 @@ impl Testbed {
             tweak(&mut acdc_cfg);
         }
         let host = HostNode::new(ip, host_port, acdc_cfg);
+        let host_hub = Arc::clone(host.telemetry());
         self.net.install(node, Box::new(host));
+        // A faulted access link reports onto its host's hub, so one dump
+        // interleaves the injected faults with the resulting NIC drops.
+        if let Some(&tap) = self.host_fault_taps.get(&idx) {
+            if let Some(link) = self.net.node_mut::<FaultyLink>(tap) {
+                link.set_telemetry(host_hub, "fault");
+            }
+        }
         // Route the host's address at its switch.
         if let Some(sw) = self.net.node_mut::<SwitchNode>(switch) {
             sw.add_route(ip, switch_port);
@@ -226,6 +252,9 @@ impl Testbed {
                             Box::new(FaultyLink::new(&plan, ta, tb_port))
                         });
                 tb.trunk_fault_tap = Some(tap);
+                if let Some(link) = tb.net.node_mut::<FaultyLink>(tap) {
+                    link.set_telemetry(Arc::clone(&tb.telemetry), "fault.trunk");
+                }
                 (p1, p2)
             }
             None => tb.net.connect(sw1, sw2, default_link()),

@@ -19,13 +19,15 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use acdc_netsim::{Ctx, Node, PortDropClass, PortId};
 use acdc_packet::Segment;
 use acdc_stats::time::Nanos;
+use acdc_telemetry::{EventKind, Telemetry, NO_FLOW};
 
 use crate::plan::FaultPlan;
-use crate::process::{Fate, FaultProcess, FaultStats};
+use crate::process::{DropCause, Fate, FaultProcess, FaultStats};
 
 /// Per-direction counters of a [`FaultyLink`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +60,9 @@ pub struct FaultyLink {
     /// Held packets (reorder/jitter), keyed by timer token.
     pending: BTreeMap<u64, (PortId, Segment)>,
     next_token: u64,
+    /// Event sink for `fault-injected` events (and the registry the
+    /// per-direction counters are adopted into).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl FaultyLink {
@@ -71,6 +76,27 @@ impl FaultyLink {
             ba: FaultProcess::new(plan, plan.seed ^ B_TO_A_SALT, false),
             pending: BTreeMap::new(),
             next_token: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry hub (typically the one shared with the network
+    /// and the endpoints under test): every fault the link applies is
+    /// recorded as a `fault-injected` event carrying the victim packet's
+    /// flow key, and both directions' counters are adopted into the
+    /// registry under `"{prefix}.ab.*"` / `"{prefix}.ba.*"` names.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>, prefix: &str) {
+        self.ab
+            .register_metrics(&telemetry, &format!("{prefix}.ab"));
+        self.ba
+            .register_metrics(&telemetry, &format!("{prefix}.ba"));
+        self.telemetry = Some(telemetry);
+    }
+
+    fn trace(&self, now: Nanos, seg: &Segment, effect: &'static str) {
+        if let Some(t) = &self.telemetry {
+            let flow = seg.try_meta().map(|m| m.flow).unwrap_or(NO_FLOW);
+            t.record(now, flow, EventKind::FaultInjected { effect });
         }
     }
 
@@ -121,20 +147,37 @@ impl Node for FaultyLink {
         };
         let is_data = seg.payload_len() > 0;
         match proc_.decide(now, is_data) {
-            Fate::Drop(_) => ctx.count_drop(out, PortDropClass::FaultInjected),
+            Fate::Drop(cause) => {
+                let effect = match cause {
+                    DropCause::Random => "drop-random",
+                    DropCause::Scripted => "drop-scripted",
+                    DropCause::LinkDown => "drop-link-down",
+                };
+                self.trace(now, &seg, effect);
+                let flow = seg.try_meta().map(|m| m.flow).unwrap_or(NO_FLOW);
+                ctx.count_drop_for(out, PortDropClass::FaultInjected, flow);
+            }
             Fate::Deliver(d) => {
                 if d.corrupt {
                     // Damage the header so the receiver's checksum check
                     // fails while the packet still parses: one raw window
                     // bit, checksum left stale, cached meta kept in step.
+                    self.trace(now, &seg, "corrupt");
                     seg.corrupt_window_bit();
                 }
                 if d.mark_ce && seg.ecn().is_ect() {
+                    self.trace(now, &seg, "ce-mark");
                     seg.mark_ce();
+                }
+                if d.reordered {
+                    self.trace(now, &seg, "reorder");
+                } else if d.delay > 0 {
+                    self.trace(now, &seg, "jitter");
                 }
                 if d.duplicate {
                     // The copy goes out immediately, ahead of a held
                     // original.
+                    self.trace(now, &seg, "duplicate");
                     self.send(ctx, out, seg.clone(), 0);
                 }
                 self.send(ctx, out, seg, d.delay);

@@ -28,9 +28,11 @@
 
 use std::any::Any;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-use acdc_packet::Segment;
+use acdc_packet::{FlowKey, Segment};
 use acdc_stats::time::Nanos;
+use acdc_telemetry::{Counter, EventKind as TraceEvent, Telemetry, NO_FLOW};
 
 use crate::link::LinkSpec;
 
@@ -60,7 +62,10 @@ pub trait Node: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-/// Byte/packet counters kept per port by the engine.
+/// Byte/packet counters kept per port by the engine — the compatibility
+/// *view* of [`PortMetrics`], loaded on demand by
+/// [`Network::port_counters`].
+// acdc-lint: allow(O001) -- snapshot view of registry-backed PortMetrics
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PortCounters {
     /// Packets transmitted (fully serialized).
@@ -81,6 +86,63 @@ pub struct PortCounters {
     /// Packets whose headers failed to parse (malformed wire input). The
     /// receiving node drops and counts these instead of panicking.
     pub malformed_drops: u64,
+}
+
+/// The engine's live per-port counter cells. Ports start with standalone
+/// cells; attaching a [`Telemetry`] hub to the [`Network`] adopts every
+/// cell into its registry under `"portN.<field>"` names, preserving
+/// already-accumulated values.
+#[derive(Debug)]
+struct PortMetrics {
+    tx_pkts: Counter,
+    tx_bytes: Counter,
+    rx_pkts: Counter,
+    rx_bytes: Counter,
+    queue_full_drops: Counter,
+    fault_drops: Counter,
+    malformed_drops: Counter,
+}
+
+impl PortMetrics {
+    fn standalone() -> PortMetrics {
+        PortMetrics {
+            tx_pkts: Counter::standalone(),
+            tx_bytes: Counter::standalone(),
+            rx_pkts: Counter::standalone(),
+            rx_bytes: Counter::standalone(),
+            queue_full_drops: Counter::standalone(),
+            fault_drops: Counter::standalone(),
+            malformed_drops: Counter::standalone(),
+        }
+    }
+
+    fn register(&self, telemetry: &Telemetry, port: usize) {
+        let reg = telemetry.registry();
+        let each: [(&str, &Counter); 7] = [
+            ("tx_pkts", &self.tx_pkts),
+            ("tx_bytes", &self.tx_bytes),
+            ("rx_pkts", &self.rx_pkts),
+            ("rx_bytes", &self.rx_bytes),
+            ("queue_full_drops", &self.queue_full_drops),
+            ("fault_drops", &self.fault_drops),
+            ("malformed_drops", &self.malformed_drops),
+        ];
+        for (field, cell) in each {
+            reg.adopt_counter(format!("port{port}.{field}"), cell);
+        }
+    }
+
+    fn snapshot(&self) -> PortCounters {
+        PortCounters {
+            tx_pkts: self.tx_pkts.get(),
+            tx_bytes: self.tx_bytes.get(),
+            rx_pkts: self.rx_pkts.get(),
+            rx_bytes: self.rx_bytes.get(),
+            queue_full_drops: self.queue_full_drops.get(),
+            fault_drops: self.fault_drops.get(),
+            malformed_drops: self.malformed_drops.get(),
+        }
+    }
 }
 
 /// Why a node dropped a packet it was about to forward out of a port.
@@ -105,7 +167,7 @@ struct Port {
     link: LinkSpec,
     queue: VecDeque<Segment>,
     busy: bool,
-    counters: PortCounters,
+    counters: PortMetrics,
 }
 
 enum EventKind {
@@ -146,6 +208,7 @@ pub struct Network {
     now: Nanos,
     seq: u64,
     events_processed: u64,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for Network {
@@ -164,7 +227,25 @@ impl Network {
             now: 0,
             seq: 0,
             events_processed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry hub: every existing port's counter cells are
+    /// adopted into its registry as `"portN.<field>"` metrics (values
+    /// carry over), ports created later register at
+    /// [`Network::connect`] time, and node drops reported through
+    /// [`Ctx::count_drop`] additionally land in the flight recorder.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        for (i, p) in self.ports.iter().enumerate() {
+            p.counters.register(&telemetry, i);
+        }
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Current virtual time.
@@ -207,7 +288,7 @@ impl Network {
             link,
             queue: VecDeque::new(),
             busy: false,
-            counters: PortCounters::default(),
+            counters: PortMetrics::standalone(),
         });
         let pb = PortId(self.ports.len());
         self.ports.push(Port {
@@ -216,9 +297,13 @@ impl Network {
             link,
             queue: VecDeque::new(),
             busy: false,
-            counters: PortCounters::default(),
+            counters: PortMetrics::standalone(),
         });
         self.ports[pa.0].peer = Some(pb);
+        if let Some(t) = &self.telemetry {
+            self.ports[pa.0].counters.register(t, pa.0);
+            self.ports[pb.0].counters.register(t, pb.0);
+        }
         (pa, pb)
     }
 
@@ -259,9 +344,9 @@ impl Network {
         self.ports[port.0].owner
     }
 
-    /// Counters for a port.
+    /// Counters for a port (a point-in-time snapshot of the live cells).
     pub fn port_counters(&self, port: PortId) -> PortCounters {
-        self.ports[port.0].counters
+        self.ports[port.0].counters.snapshot()
     }
 
     /// Current queue depth of a port, in bytes (excluding the packet being
@@ -331,9 +416,9 @@ impl Network {
             EventKind::Deliver { port, seg } => {
                 let owner = self.ports[port.0].owner;
                 {
-                    let c = &mut self.ports[port.0].counters;
-                    c.rx_pkts += 1;
-                    c.rx_bytes += seg.wire_len() as u64;
+                    let c = &self.ports[port.0].counters;
+                    c.rx_pkts.inc();
+                    c.rx_bytes.add(seg.wire_len() as u64);
                 }
                 self.with_node(owner, |node, ctx| node.on_packet(ctx, port, seg));
             }
@@ -368,8 +453,8 @@ impl Network {
         let ser = p.link.serialization_delay(seg.wire_len());
         let prop = p.link.propagation;
         let peer = p.peer.expect("transmit on unconnected port");
-        p.counters.tx_pkts += 1;
-        p.counters.tx_bytes += seg.wire_len() as u64;
+        p.counters.tx_pkts.inc();
+        p.counters.tx_bytes.add(seg.wire_len() as u64);
         let at_done = self.now + ser;
         let seq = self.next_seq();
         self.events.push(Event {
@@ -447,18 +532,44 @@ impl Ctx<'_> {
 
     /// Record that this node dropped a packet it would otherwise have
     /// forwarded out `port` (must be owned by this node). The drop shows up
-    /// in the port's [`PortCounters`] under the matching reason field.
+    /// in the port's [`PortCounters`] under the matching reason field, and
+    /// — when a telemetry hub is attached — as an anonymous `drop` event
+    /// in the flight recorder. Callers that know which flow the packet
+    /// belonged to should use [`Ctx::count_drop_for`] instead so the event
+    /// carries the key.
     pub fn count_drop(&mut self, port: PortId, class: PortDropClass) {
+        self.count_drop_inner(port, class, NO_FLOW);
+    }
+
+    /// [`Ctx::count_drop`], attributing the dropped packet to `flow` in
+    /// the recorded telemetry event (the counters are identical).
+    pub fn count_drop_for(&mut self, port: PortId, class: PortDropClass, flow: FlowKey) {
+        self.count_drop_inner(port, class, flow);
+    }
+
+    fn count_drop_inner(&mut self, port: PortId, class: PortDropClass, flow: FlowKey) {
         assert_eq!(
             self.net.ports[port.0].owner, self.node,
             "node {:?} counting drop on foreign port {port:?}",
             self.node
         );
-        let c = &mut self.net.ports[port.0].counters;
-        match class {
-            PortDropClass::QueueFull => c.queue_full_drops += 1,
-            PortDropClass::FaultInjected => c.fault_drops += 1,
-            PortDropClass::Malformed => c.malformed_drops += 1,
+        let c = &self.net.ports[port.0].counters;
+        let cause = match class {
+            PortDropClass::QueueFull => {
+                c.queue_full_drops.inc();
+                "queue-full"
+            }
+            PortDropClass::FaultInjected => {
+                c.fault_drops.inc();
+                "fault-injected"
+            }
+            PortDropClass::Malformed => {
+                c.malformed_drops.inc();
+                "malformed"
+            }
+        };
+        if let Some(t) = &self.net.telemetry {
+            t.record(self.net.now, flow, TraceEvent::PacketDropped { cause });
         }
     }
 

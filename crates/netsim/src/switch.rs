@@ -120,6 +120,9 @@ impl SwitchConfig {
 }
 
 /// Drop/marking counters (the paper reads drop rates off switch counters).
+// acdc-lint: allow(O001) -- grandfathered: per-switch snapshot struct read
+// whole via SwitchNode::counters(); port-level drops already flow through
+// the registry-backed PortMetrics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SwitchCounters {
     /// Packets forwarded (admitted to an output queue or transmitter).

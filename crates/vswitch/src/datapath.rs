@@ -11,11 +11,13 @@
 //! plays the paper's *sender module* (for flows this host originates) and
 //! *receiver module* (for flows it terminates).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use acdc_cc::{AckEvent, CcConfig};
+use acdc_cc::{AckEvent, CcConfig, CongestionControl};
 use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, Segment, TcpFlags, TcpRepr};
 use acdc_stats::time::{Nanos, MILLISECOND, SECOND};
+use acdc_telemetry::{Counter, EventKind, Gauge, MetricsRegistry, Telemetry, NO_FLOW};
 
 use crate::entry::FlowEntry;
 use crate::health::{HealthCell, HealthState, Watermarks};
@@ -137,59 +139,89 @@ pub enum DropReason {
     Malformed,
 }
 
-/// Datapath event counters (atomic: the table is shared across threads in
-/// the CPU benchmarks).
-#[derive(Debug, Default)]
+/// Datapath event counters. Every field is a [`Counter`] handle into the
+/// datapath's [`MetricsRegistry`] (registered under `acdc.<name>`), so
+/// the same cells are readable through `snapshot_all()`; the handles
+/// deref to `AtomicU64` (the table is shared across threads in the CPU
+/// benchmarks), keeping pre-registry call sites source-compatible.
+#[derive(Debug)]
 pub struct AcdcCounters {
     /// PACK options piggy-backed onto ACKs.
-    pub packs_sent: AtomicU64,
+    pub packs_sent: Counter,
     /// Dedicated FACK packets generated.
-    pub facks_sent: AtomicU64,
+    pub facks_sent: Counter,
     /// PACK options consumed and stripped at the sender module.
-    pub packs_received: AtomicU64,
+    pub packs_received: Counter,
     /// Receive windows rewritten on ACKs.
-    pub rwnd_rewrites: AtomicU64,
+    pub rwnd_rewrites: Counter,
     /// Packets dropped by the policer.
-    pub policed_drops: AtomicU64,
+    pub policed_drops: Counter,
     /// Timeouts inferred from inactivity.
-    pub inferred_timeouts: AtomicU64,
+    pub inferred_timeouts: Counter,
     /// Fast retransmits inferred from duplicate ACKs.
-    pub inferred_fast_rtx: AtomicU64,
+    pub inferred_fast_rtx: Counter,
     /// Feedback lost because FACKs were disabled (ablation only).
-    pub feedback_dropped: AtomicU64,
+    pub feedback_dropped: Counter,
     /// Non-TCP (UDP) packets forwarded untouched.
-    pub non_tcp_passthrough: AtomicU64,
+    pub non_tcp_passthrough: Counter,
     /// Malformed frames dropped by the fallible parse.
-    pub malformed_drops: AtomicU64,
+    pub malformed_drops: Counter,
     /// Entries collected by the periodic idle/closed garbage collection.
-    pub gc_evictions: AtomicU64,
+    pub gc_evictions: Counter,
     /// Entries evicted to admit new flows at capacity (evict-oldest-idle).
-    pub capacity_evictions: AtomicU64,
+    pub capacity_evictions: Counter,
     /// New flows refused at the capacity gate (reject-new, or eviction
     /// found no victim); their packets are forwarded untouched.
-    pub admission_rejects: AtomicU64,
+    pub admission_rejects: Counter,
     /// Packets forwarded untouched because the datapath was in the
     /// `PassThrough` health state.
-    pub overload_passthrough: AtomicU64,
+    pub overload_passthrough: Counter,
     /// RWND rewrites skipped because the flow's window scale was never
     /// learned from a handshake (mid-stream adoption stays log-only).
-    pub unscaled_rwnd_skips: AtomicU64,
+    pub unscaled_rwnd_skips: Counter,
     /// Health-ladder demotions (toward less intervention).
-    pub health_demotions: AtomicU64,
+    pub health_demotions: Counter,
     /// Health-ladder promotions (recovery toward enforcement).
-    pub health_promotions: AtomicU64,
+    pub health_promotions: Counter,
     /// Datapath restarts (`AcdcDatapath::reset`).
-    pub datapath_resets: AtomicU64,
+    pub datapath_resets: Counter,
 }
 
 impl AcdcCounters {
-    fn bump(c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
+    /// Register every counter in `reg` under the `acdc.` prefix.
+    fn register(reg: &MetricsRegistry) -> AcdcCounters {
+        let c = |name: &str| reg.counter(format!("acdc.{name}"));
+        AcdcCounters {
+            packs_sent: c("packs_sent"),
+            facks_sent: c("facks_sent"),
+            packs_received: c("packs_received"),
+            rwnd_rewrites: c("rwnd_rewrites"),
+            policed_drops: c("policed_drops"),
+            inferred_timeouts: c("inferred_timeouts"),
+            inferred_fast_rtx: c("inferred_fast_rtx"),
+            feedback_dropped: c("feedback_dropped"),
+            non_tcp_passthrough: c("non_tcp_passthrough"),
+            malformed_drops: c("malformed_drops"),
+            gc_evictions: c("gc_evictions"),
+            capacity_evictions: c("capacity_evictions"),
+            admission_rejects: c("admission_rejects"),
+            overload_passthrough: c("overload_passthrough"),
+            unscaled_rwnd_skips: c("unscaled_rwnd_skips"),
+            health_demotions: c("health_demotions"),
+            health_promotions: c("health_promotions"),
+            datapath_resets: c("datapath_resets"),
+        }
     }
 
-    /// Load all counters (relaxed).
+    fn bump(c: &Counter) {
+        c.inc();
+    }
+
+    /// Load all counters (relaxed). Compatibility accessor: the same
+    /// values, under `acdc.`-prefixed names, come out of the registry's
+    /// `snapshot_all()`.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let ld = |c: &Counter| c.get();
         vec![
             ("packs_sent", ld(&self.packs_sent)),
             ("facks_sent", ld(&self.facks_sent)),
@@ -245,21 +277,35 @@ pub struct AcdcDatapath {
     /// Any admission reject since the last maintenance check? Promotion
     /// requires a clean interval, not just receded occupancy.
     overload_seen: AtomicBool,
+    /// This datapath's observability domain: flight recorder + registry.
+    telemetry: Arc<Telemetry>,
+    /// Gauge `acdc.flows`: table occupancy, sampled on the tick.
+    flows_gauge: Gauge,
+    /// Gauge `acdc.health`: current rung (0 = enforcing … 2 = pass-through).
+    health_gauge: Gauge,
 }
 
 impl AcdcDatapath {
     /// Create a datapath with the given configuration.
     pub fn new(cfg: AcdcConfig) -> AcdcDatapath {
-        let table = match cfg.max_flows {
+        let telemetry = Telemetry::with_default_capacity();
+        let mut table = match cfg.max_flows {
             Some(cap) => FlowTable::bounded(cap, cfg.admission),
             None => FlowTable::new(),
         };
+        table.set_telemetry(Arc::clone(&telemetry));
+        let counters = AcdcCounters::register(telemetry.registry());
+        let flows_gauge = telemetry.registry().gauge("acdc.flows");
+        let health_gauge = telemetry.registry().gauge("acdc.health");
         AcdcDatapath {
             cfg,
             table,
-            counters: AcdcCounters::default(),
+            counters,
             health: HealthCell::new(),
             overload_seen: AtomicBool::new(false),
+            telemetry,
+            flows_gauge,
+            health_gauge,
         }
     }
 
@@ -271,6 +317,13 @@ impl AcdcDatapath {
     /// Event counters.
     pub fn counters(&self) -> &AcdcCounters {
         &self.counters
+    }
+
+    /// This datapath's telemetry hub (event recorder + metrics registry).
+    /// The owning host shares it for NIC-level events and drives the
+    /// registry's time-series sampling from its maintenance tick.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The flow table (inspection; used by experiment probes).
@@ -300,6 +353,15 @@ impl AcdcDatapath {
             } else {
                 AcdcCounters::bump(&self.counters.health_promotions);
             }
+            self.health_gauge.set(to as u64);
+            self.telemetry.record(
+                now,
+                NO_FLOW,
+                EventKind::HealthTransition {
+                    from: from.name(),
+                    to: to.name(),
+                },
+            );
         }
     }
 
@@ -307,20 +369,27 @@ impl AcdcDatapath {
     /// overload for the promotion logic, and drop to pass-through — if
     /// admission is failing, per-flow work is no longer trustworthy, and
     /// forwarding untouched is always safe (§3.3 fail-safe).
-    fn on_admission_reject(&self, now: Nanos) {
+    fn on_admission_reject(&self, now: Nanos, key: &acdc_packet::FlowKey) {
         AcdcCounters::bump(&self.counters.admission_rejects);
+        self.telemetry
+            .record(now, *key, EventKind::AdmissionRejected);
         self.overload_seen.store(true, Ordering::Relaxed);
         self.set_health(now, HealthState::PassThrough);
     }
 
     /// Bookkeeping after a create-capable table op that was admitted.
-    fn note_admission(&self, now: Nanos, adm: Admission) {
+    fn note_admission(&self, now: Nanos, key: &acdc_packet::FlowKey, adm: Admission) {
         if let Admission::CreatedAfterEviction(n) = adm {
             self.counters
                 .capacity_evictions
                 .fetch_add(n as u64, Ordering::Relaxed);
+            // Stamped with the admitted flow: the table does not surface
+            // the victims' keys, only how many made room.
+            self.telemetry
+                .record(now, *key, EventKind::FlowEvicted { reason: "capacity" });
         }
         if adm.created() {
+            self.telemetry.record(now, *key, EventKind::FlowCreated);
             if let Some(cap) = self.cfg.max_flows {
                 // Eager demotion on the way up; recovery is left to the
                 // maintenance tick (hysteresis lives in `update_health`).
@@ -373,6 +442,14 @@ impl AcdcDatapath {
         AcdcCounters::bump(&self.counters.datapath_resets);
         self.overload_seen.store(false, Ordering::Relaxed);
         self.health.force(now, HealthState::Enforcing);
+        self.health_gauge.set(HealthState::Enforcing as u64);
+        self.telemetry.record(
+            now,
+            NO_FLOW,
+            EventKind::DatapathReset {
+                flows_cleared: dropped as u64,
+            },
+        );
         dropped
     }
 
@@ -416,6 +493,11 @@ impl AcdcDatapath {
         // dropped and counted — wire input never panics the datapath.
         let Ok(meta) = seg.try_meta() else {
             AcdcCounters::bump(&self.counters.malformed_drops);
+            self.telemetry.record(
+                now,
+                NO_FLOW,
+                EventKind::PacketDropped { cause: "malformed" },
+            );
             return Verdict::Drop(DropReason::Malformed);
         };
         let key = meta.flow;
@@ -492,15 +574,17 @@ impl AcdcDatapath {
                 // Table full, flow refused: forward untouched (fail-safe)
                 // and let the ladder drop to pass-through.
                 None => {
-                    self.on_admission_reject(now);
+                    self.on_admission_reject(now, &key);
                     return Verdict::Forward(seg);
                 }
                 Some(Ok(v)) => {
-                    self.note_admission(now, admission);
+                    self.note_admission(now, &key, admission);
                     v
                 }
                 Some(Err(())) => {
                     AcdcCounters::bump(&self.counters.policed_drops);
+                    self.telemetry
+                        .record(now, key, EventKind::PacketDropped { cause: "policed" });
                     return Verdict::Drop(DropReason::Policed);
                 }
             };
@@ -586,6 +670,11 @@ impl AcdcDatapath {
         // already parsed and cached the metadata.
         let Ok(meta) = seg.try_meta() else {
             AcdcCounters::bump(&self.counters.malformed_drops);
+            self.telemetry.record(
+                now,
+                NO_FLOW,
+                EventKind::PacketDropped { cause: "malformed" },
+            );
             return Verdict::Drop(DropReason::Malformed);
         };
         let key = meta.flow;
@@ -671,7 +760,7 @@ impl AcdcDatapath {
                 },
             );
             if tracked.is_some() {
-                self.note_admission(now, admission);
+                self.note_admission(now, &key, admission);
                 // Restore what the sender VM originally put on the wire:
                 // ECT if its stack spoke ECN (hiding the CE mark from it
                 // is the point — DCTCP in the vSwitch reacts instead),
@@ -688,7 +777,7 @@ impl AcdcDatapath {
                 // Untracked at capacity: leave the wire untouched — an
                 // unlaundered CE mark is at worst ignored by a guest that
                 // never negotiated ECN.
-                self.on_admission_reject(now);
+                self.on_admission_reject(now, &key);
             }
         }
 
@@ -746,7 +835,10 @@ impl AcdcDatapath {
         rewrite: bool,
     ) {
         let (ack, window) = (meta.ack, meta.window);
-        let enforced = self.table.with_entry(&key.reverse(), |slot| {
+        // CC events are stamped with the *data* direction's key (the flow
+        // whose window is being enforced), not the arriving ACK's key.
+        let data_key = key.reverse();
+        let enforced = self.table.with_entry(&data_key, |slot| {
             let mut e = slot.entry.lock();
             e.last_activity = now;
             let mut newly_acked = 0u64;
@@ -771,6 +863,14 @@ impl AcdcDatapath {
                     if e.dupacks == 3 {
                         e.cc.on_fast_retransmit(now);
                         AcdcCounters::bump(&self.counters.inferred_fast_rtx);
+                        self.telemetry.record(
+                            now,
+                            data_key,
+                            EventKind::CwndCut {
+                                cause: "fast-retransmit",
+                                cwnd: e.cc.cwnd(),
+                            },
+                        );
                     }
                 }
 
@@ -781,6 +881,11 @@ impl AcdcDatapath {
                         e.cc.on_retransmit_timeout(now);
                         e.last_ack_activity = now;
                         AcdcCounters::bump(&self.counters.inferred_timeouts);
+                        self.telemetry.record(
+                            now,
+                            data_key,
+                            EventKind::RtoFired { cwnd: e.cc.cwnd() },
+                        );
                     }
                 }
             }
@@ -800,6 +905,17 @@ impl AcdcDatapath {
                     in_flight,
                     ece: marked > 0,
                 });
+                // Publish alpha movements (quantized; DCTCP-family only).
+                if let Some(am) = e.cc.alpha_micros() {
+                    if e.last_alpha_micros != Some(am) {
+                        e.last_alpha_micros = Some(am);
+                        self.telemetry.record(
+                            now,
+                            data_key,
+                            EventKind::AlphaUpdate { alpha_micros: am },
+                        );
+                    }
+                }
             }
 
             // Enforcement target: the computed window, bounded by the
@@ -848,10 +964,10 @@ impl AcdcDatapath {
             FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now)
         });
         let Some(rentry) = rentry else {
-            self.on_admission_reject(now);
+            self.on_admission_reject(now, &rev);
             return;
         };
-        self.note_admission(now, radm);
+        self.note_admission(now, &rev, radm);
         {
             let mut re = rentry.lock();
             re.last_activity = now;
@@ -874,10 +990,10 @@ impl AcdcDatapath {
                 FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
             });
             let Some(entry) = entry else {
-                self.on_admission_reject(now);
+                self.on_admission_reject(now, &key);
                 return;
             };
-            self.note_admission(now, adm);
+            self.note_admission(now, &key, adm);
             let mut e = entry.lock();
             e.last_activity = now;
             e.vm_ecn = vm_ecn;
@@ -904,13 +1020,15 @@ impl AcdcDatapath {
     pub fn tick(&self, now: Nanos) {
         let floor = self.cfg.inactivity_floor;
         let mut timeouts = 0;
-        self.table.for_each(|_, e| {
+        self.table.for_each(|key, e| {
             if e.seq_valid && e.snd_una < e.snd_nxt {
                 let thresh = e.inactivity_threshold(floor);
                 if now.saturating_sub(e.last_ack_activity) > thresh {
                     e.cc.on_retransmit_timeout(now);
                     e.last_ack_activity = now;
                     timeouts += 1;
+                    self.telemetry
+                        .record(now, *key, EventKind::RtoFired { cwnd: e.cc.cwnd() });
                 }
             }
         });
@@ -918,6 +1036,11 @@ impl AcdcDatapath {
             AcdcCounters::bump(&self.counters.inferred_timeouts);
         }
         self.update_health(now);
+        // The tick is also the registry's sampling edge: refresh gauges,
+        // then push every metric onto its time series.
+        self.flows_gauge.set(self.table.len() as u64);
+        self.health_gauge.set(self.health.get() as u64);
+        self.telemetry.registry().sample(now);
     }
 
     /// Garbage-collect closed/idle entries (paired with FIN tracking).

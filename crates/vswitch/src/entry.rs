@@ -64,6 +64,9 @@ pub struct FlowEntry {
     pub computed_rwnd: u64,
     /// Optional `(time, computed window)` trace for Figures 9/10.
     pub window_trace: Option<Vec<(Nanos, u64)>>,
+    /// Last DCTCP `alpha` (in 1e-6 units) published as an `alpha-update`
+    /// telemetry event; events fire only when the estimate moves.
+    pub last_alpha_micros: Option<u64>,
 
     // ------------------------------------------------------------------
     // Receiver role (lives at the host of the data receiver)
@@ -106,6 +109,7 @@ impl FlowEntry {
             policed: 0,
             computed_rwnd: 0,
             window_trace: None,
+            last_alpha_micros: None,
             rx_total: 0,
             rx_marked: 0,
             rx_total_lifetime: 0,

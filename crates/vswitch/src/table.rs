@@ -38,6 +38,7 @@ use std::sync::{Arc, MutexGuard};
 
 use acdc_packet::FlowKey;
 use acdc_stats::time::Nanos;
+use acdc_telemetry::{EventKind, Telemetry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::entry::FlowEntry;
@@ -140,6 +141,10 @@ pub struct FlowTable {
     count: AtomicUsize,
     max_flows: Option<usize>,
     admission: AdmissionPolicy,
+    /// Event sink for per-key lifecycle events the table itself observes
+    /// (today: idle/closed garbage collection). `None` until the owning
+    /// datapath attaches its hub.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for FlowTable {
@@ -156,6 +161,7 @@ impl FlowTable {
             count: AtomicUsize::new(0),
             max_flows: None,
             admission: AdmissionPolicy::EvictOldestIdle,
+            telemetry: None,
         }
     }
 
@@ -172,6 +178,12 @@ impl FlowTable {
     /// The configured capacity (`None` = unbounded).
     pub fn max_flows(&self) -> Option<usize> {
         self.max_flows
+    }
+
+    /// Attach the telemetry hub that receives the table's own lifecycle
+    /// events (gc evictions carry the collected flow's key).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     fn shard(&self, key: &FlowKey) -> &RwLock<BTreeMap<FlowKey, Arc<FlowSlot>>> {
@@ -379,11 +391,14 @@ impl FlowTable {
         let mut collected = 0;
         for shard in &self.shards {
             let mut shard = shard.write();
-            shard.retain(|_, v| {
+            shard.retain(|key, v| {
                 let e = v.entry.lock();
                 let dead = e.closing || now.saturating_sub(e.last_activity) > idle_timeout;
                 if dead {
                     collected += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.record(now, *key, EventKind::FlowEvicted { reason: "gc" });
+                    }
                 }
                 !dead
             });

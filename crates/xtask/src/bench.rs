@@ -1,0 +1,185 @@
+//! `bench-diff`: the CI performance gate.
+//!
+//! Compares two `BENCH_pr3.json` files (the committed baseline vs a
+//! fresh `scripts/bench.sh --smoke` run) and fails when the AC/DC
+//! datapath's median ns/packet regressed by more than the threshold.
+//! Pure Rust on purpose — the gate must run in CI without python, jq or
+//! network access, and its arithmetic must match what the repo's own
+//! bench writer produced.
+//!
+//! Gating policy: only the `acdc_ns_pkt` medians (the quantity the paper
+//! optimizes, Figures 11/12) can fail the gate. The `construct` and
+//! `baseline` columns ride along in the table for context — they mostly
+//! measure the harness and the host machine, and alerting on them would
+//! make the gate flaky for free.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// One compared metric.
+#[derive(Debug)]
+pub struct DiffRow {
+    /// Dotted path into the bench JSON, e.g. `egress.acdc_ns_pkt`.
+    pub metric: String,
+    pub old: f64,
+    pub new: f64,
+    /// Relative change in percent; positive = slower.
+    pub delta_pct: f64,
+    /// Whether this row participates in the pass/fail decision.
+    pub gated: bool,
+}
+
+impl DiffRow {
+    fn regressed(&self, threshold_pct: f64) -> bool {
+        self.gated && self.delta_pct > threshold_pct
+    }
+}
+
+/// Result of a bench comparison.
+#[derive(Debug)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// True when any gated metric regressed past the threshold.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed(self.threshold_pct))
+    }
+
+    /// GitHub-flavoured markdown table, suitable for
+    /// `$GITHUB_STEP_SUMMARY` and terminal output alike.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### Datapath bench diff (ns/packet medians)\n");
+        let _ = writeln!(
+            out,
+            "| metric | old | new | change | gate (>{:.0}%) |",
+            self.threshold_pct
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|---|");
+        for r in &self.rows {
+            let verdict = if !r.gated {
+                "info only"
+            } else if r.regressed(self.threshold_pct) {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {:.1} | {:.1} | {:+.1}% | {} |",
+                r.metric, r.old, r.new, r.delta_pct, verdict
+            );
+        }
+        out
+    }
+}
+
+/// The metric paths compared, and whether each one gates the result.
+const METRICS: &[(&str, bool)] = &[
+    ("egress.construct_ns_pkt", false),
+    ("egress.baseline_ns_pkt", false),
+    ("egress.acdc_ns_pkt", true),
+    ("ingress.construct_ns_pkt", false),
+    ("ingress.baseline_ns_pkt", false),
+    ("ingress.acdc_ns_pkt", true),
+];
+
+/// Compare two parsed bench documents. Gated metrics must exist in both
+/// documents; ungated ones are skipped when absent (older baselines may
+/// predate them, and newer files may carry extra keys — e.g. the
+/// embedded `telemetry` snapshot — which are simply ignored).
+pub fn diff(old: &Json, new: &Json, threshold_pct: f64) -> Result<DiffReport, String> {
+    let mut rows = Vec::new();
+    for &(metric, gated) in METRICS {
+        let o = old.get_path(metric).and_then(Json::as_num);
+        let n = new.get_path(metric).and_then(Json::as_num);
+        let (o, n) = match (o, n, gated) {
+            (Some(o), Some(n), _) => (o, n),
+            (_, _, false) => continue,
+            (None, _, true) => return Err(format!("baseline file is missing `{metric}`")),
+            (_, None, true) => return Err(format!("new file is missing `{metric}`")),
+        };
+        if o <= 0.0 {
+            return Err(format!("baseline `{metric}` is non-positive ({o})"));
+        }
+        rows.push(DiffRow {
+            metric: metric.to_string(),
+            old: o,
+            new: n,
+            delta_pct: (n - o) / o * 100.0,
+            gated,
+        });
+    }
+    Ok(DiffReport {
+        rows,
+        threshold_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn bench_doc(egress_acdc: f64, ingress_acdc: f64) -> Json {
+        parse(&format!(
+            r#"{{
+                "egress": {{"construct_ns_pkt": 66.0, "baseline_ns_pkt": 83.0,
+                            "acdc_ns_pkt": {egress_acdc}}},
+                "ingress": {{"construct_ns_pkt": 65.0, "baseline_ns_pkt": 82.0,
+                             "acdc_ns_pkt": {ingress_acdc}}}
+            }}"#
+        ))
+        .expect("valid doc")
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let old = bench_doc(240.0, 200.0);
+        let new = bench_doc(250.0, 205.0); // +4.2% / +2.5%
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert!(!report.regressed());
+        assert_eq!(report.rows.len(), 6);
+    }
+
+    #[test]
+    fn past_threshold_regresses() {
+        let old = bench_doc(240.0, 200.0);
+        let new = bench_doc(270.0, 200.0); // egress +12.5%
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert!(report.regressed());
+        let table = report.render_markdown();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("egress.acdc_ns_pkt"), "{table}");
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let old = bench_doc(240.0, 200.0);
+        let new = bench_doc(100.0, 90.0);
+        assert!(!diff(&old, &new, 10.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn ungated_noise_does_not_fail() {
+        let old = parse(r#"{"egress": {"acdc_ns_pkt": 240.0}, "ingress": {"acdc_ns_pkt": 200.0}}"#)
+            .unwrap();
+        let new = bench_doc(241.0, 201.0);
+        // Old file lacks construct/baseline: those rows are skipped, the
+        // gate still evaluates.
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn missing_gated_metric_is_an_error() {
+        let old = bench_doc(240.0, 200.0);
+        let new = parse(r#"{"egress": {"acdc_ns_pkt": 240.0}}"#).unwrap();
+        assert!(diff(&old, &new, 10.0).is_err());
+    }
+}

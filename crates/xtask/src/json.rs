@@ -1,0 +1,304 @@
+//! A minimal JSON reader for `bench-diff`.
+//!
+//! The workspace deliberately hand-rolls all JSON it *writes* (no serde;
+//! see `DESIGN.md`), so the xtask side hand-rolls the read path too: a
+//! small recursive-descent parser covering exactly the JSON the repo
+//! produces (`BENCH_pr3.json`, registry snapshots, flight-recorder
+//! lines). It is strict enough for well-formed input and reports the
+//! byte offset on errors; it is not a general-purpose validator.
+
+/// A parsed JSON value. Object keys keep source order (the repo's
+/// writers emit deterministic key order, and diffs read nicer that way).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `get` through a dotted path, e.g. `"egress.acdc_ns_pkt"`.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for part in path.split('.') {
+            cur = cur.get(part)?;
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error: message plus byte offset into the input.
+#[derive(Debug)]
+pub struct ParseError {
+    pub msg: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+/// Parse one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            // The repo's writers never emit \u escapes;
+                            // accept and pass the 4 hex digits through.
+                            for _ in 0..4 {
+                                if let Some(c) = self.peek() {
+                                    out.push(c as char);
+                                    self.pos += 1;
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // input came from a &str so it is valid UTF-8.
+                    let start = self.pos;
+                    let mut end = self.pos + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0b1100_0000 == 0b1000_0000 {
+                        end += 1;
+                    }
+                    let _ = c;
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                        ParseError {
+                            msg: "invalid utf-8 in string".to_string(),
+                            offset: start,
+                        }
+                    })?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+            msg: format!("invalid number `{text}`"),
+            offset: start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_json_shape() {
+        let doc = r#"{
+            "bench": "pr3",
+            "flows": 1000,
+            "egress": {"acdc_ns_pkt": 243.5, "improvement_pct": -15.9},
+            "telemetry": {"metrics": [{"name": "acdc.flows", "value": 0}]}
+        }"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(
+            v.get_path("egress.acdc_ns_pkt").unwrap().as_num(),
+            Some(243.5)
+        );
+        assert_eq!(
+            v.get_path("egress.improvement_pct").unwrap().as_num(),
+            Some(-15.9)
+        );
+        assert_eq!(v.get("bench"), Some(&Json::Str("pr3".to_string())));
+        assert!(v.get_path("telemetry.metrics").is_some());
+        assert!(v.get_path("ingress.acdc_ns_pkt").is_none());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_numbers() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("{\"a\": 1.2.3}").is_err());
+        assert!(parse("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let v = parse(r#"{"k": "a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(v.get("k"), Some(&Json::Str("a\"b\\c\nd".to_string())));
+    }
+
+    #[test]
+    fn arrays_and_nested_objects() {
+        let v = parse(r#"[{"a": [1, 2]}, null, true]"#).unwrap();
+        match &v {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1], Json::Null);
+                assert_eq!(items[2], Json::Bool(true));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -108,6 +108,14 @@ pub static P005: Rule = Rule {
               bounded-admission gate so capacity and health accounting hold)",
 };
 
+pub static O001: Rule = Rule {
+    id: "O001",
+    name: "ad-hoc-counter",
+    summary: "no new raw *_drops/*_count integer fields in runtime crates \
+              (register an acdc_telemetry Counter/Gauge — or adopt the cell \
+              — so the metric appears in the unified snapshot_all())",
+};
+
 pub static H001: Rule = Rule {
     id: "H001",
     name: "forbid-unsafe",
@@ -122,8 +130,8 @@ pub static H002: Rule = Rule {
 };
 
 /// All rules, in diagnostic order.
-pub static CATALOG: [&Rule; 10] = [
-    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &H001, &H002,
+pub static CATALOG: [&Rule; 11] = [
+    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &H001, &H002,
 ];
 
 pub fn catalog() -> &'static [&'static Rule] {
@@ -162,6 +170,72 @@ pub fn contains_token_suffix(code: &str, suffix: &str) -> bool {
         start = start + pos + 1;
     }
     false
+}
+
+/// Raw integer/atomic types that make a counter field "ad-hoc" for O001.
+/// `Counter`/`Gauge` fields (registry-backed cells) are the blessed path.
+const O001_RAW_TYPES: &[&str] = &["u64", "u32", "usize", "AtomicU64", "AtomicUsize"];
+
+/// True when `code` declares something named `…_drops` or `…_count`
+/// immediately followed by a `:` type annotation — the shape of a struct
+/// counter field (`pub rto_count: u64`).
+fn has_counter_field_name(code: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    for suffix in ["_drops", "_count"] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(suffix) {
+            let at = start + pos;
+            let after = at + suffix.len();
+            let rest = &code[after..];
+            let boundary_ok = rest.chars().next().is_none_or(|c| !is_ident(c));
+            let annotated = {
+                let t = rest.trim_start();
+                t.starts_with(':') && !t.starts_with("::")
+            };
+            if boundary_ok && annotated {
+                return true;
+            }
+            start = at + 1;
+        }
+    }
+    false
+}
+
+/// Rule IDs allowed on the *struct* a field at `field_idx` belongs to: an
+/// `acdc-lint: allow(...)` comment in the attribute/comment block sitting
+/// directly above the struct header covers every field line, so one
+/// directive grandfathers a whole snapshot struct (the stock
+/// [`SourceFile::allows_on`] walk stops at attribute lines and would need
+/// a directive per field).
+fn enclosing_struct_allows(file: &SourceFile, field_idx: usize) -> Vec<String> {
+    let mut l = field_idx;
+    while l > 0 {
+        l -= 1;
+        let line = &file.lines[l];
+        let code = line.code.trim();
+        if contains_token(code, "struct") && code.contains('{') {
+            let mut out = Vec::new();
+            let mut a = l;
+            while a > 0 {
+                a -= 1;
+                let above = &file.lines[a];
+                let c = above.code.trim();
+                let comment_only = c.is_empty() && !above.comment.trim().is_empty();
+                if comment_only || c.starts_with("#[") {
+                    out.extend(crate::scan::parse_allow(&above.comment));
+                } else {
+                    break;
+                }
+            }
+            return out;
+        }
+        // A closing brace ends the previous item: the field can't belong
+        // to any struct declared above it.
+        if code == "}" {
+            break;
+        }
+    }
+    Vec::new()
 }
 
 /// Per-line rules applied to one file. `path` is repo-relative with
@@ -205,6 +279,21 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
         && path.contains("/src/")
         && path != "crates/vswitch/src/table.rs"
         && path != "crates/vswitch/src/datapath.rs";
+    // O001 guards the unified metrics registry: runtime crates must not
+    // grow new raw counter fields on the side. The telemetry crate (which
+    // *implements* the registry) and non-src code (tests/benches build
+    // expectation structs) are exempt.
+    let o001_scope = [
+        "crates/netsim/src/",
+        "crates/vswitch/src/",
+        "crates/tcp/src/",
+        "crates/core/src/",
+        "crates/faults/src/",
+        "crates/cc/src/",
+        "crates/workloads/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p));
 
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -302,6 +391,18 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
             ));
         }
 
+        if o001_scope
+            && contains_token(code, "pub")
+            && has_counter_field_name(code)
+            && O001_RAW_TYPES.iter().any(|t| contains_token(code, t))
+        {
+            hits.push((
+                &O001,
+                "raw counter field bypasses the metrics registry; hold an acdc_telemetry::Counter/Gauge (adopt_counter keeps snapshot-struct compat) so the value shows up in snapshot_all()"
+                    .to_string(),
+            ));
+        }
+
         if !in_xtask
             && contains_token(code, "alpha")
             && (code.contains("==")
@@ -322,6 +423,16 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
         let allows = file.allows_on(idx);
         for (rule, message) in hits {
             if allows.iter().any(|a| a == rule.id) {
+                continue;
+            }
+            // O001 additionally honors a struct-level allow, so one
+            // directive above a grandfathered snapshot struct's derive
+            // covers all of its field lines.
+            if rule.id == "O001"
+                && enclosing_struct_allows(file, idx)
+                    .iter()
+                    .any(|a| a == "O001")
+            {
                 continue;
             }
             findings.push(Finding {
@@ -520,6 +631,52 @@ mod tests {
             "assert!((d.alpha() - 1.0).abs() < 1e-9);\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn o001_bans_new_raw_counter_fields() {
+        let src = "pub struct S {\n    pub rto_count: u64,\n}\n";
+        assert_eq!(run("crates/vswitch/src/x.rs", src), vec!["O001"]);
+        assert_eq!(run("crates/netsim/src/x.rs", src), vec!["O001"]);
+        // Atomics are still raw counters.
+        assert_eq!(
+            run(
+                "crates/core/src/x.rs",
+                "pub struct S {\n    pub corrupt_drops: AtomicU64,\n}\n"
+            ),
+            vec!["O001"]
+        );
+        // The blessed path: a registry-backed Counter field.
+        assert!(run(
+            "crates/core/src/x.rs",
+            "pub struct S {\n    pub corrupt_drops: Counter,\n}\n"
+        )
+        .is_empty());
+        // The telemetry crate implements the registry; tests build
+        // expectation structs freely.
+        assert!(run("crates/telemetry/src/x.rs", src).is_empty());
+        assert!(run("crates/vswitch/tests/x.rs", src).is_empty());
+        // Non-counter names and non-field uses don't fire.
+        assert!(run(
+            "crates/core/src/x.rs",
+            "pub struct S {\n    pub discounts: u64,\n}\n"
+        )
+        .is_empty());
+        assert!(run("crates/core/src/x.rs", "let byte_count: usize = 0;\n").is_empty());
+    }
+
+    #[test]
+    fn o001_struct_level_allow_covers_all_fields() {
+        let src = "// acdc-lint: allow(O001) -- snapshot view\n\
+                   #[derive(Debug, Clone, Copy)]\n\
+                   pub struct Stats {\n\
+                   \x20   pub random_drops: u64,\n\
+                   \x20   pub flap_drops: u64,\n\
+                   }\n";
+        assert!(run("crates/faults/src/x.rs", src).is_empty());
+        // The allow is scoped: a *following* struct is not covered.
+        let two = format!("{src}pub struct Other {{\n    pub wred_drops: u64,\n}}\n");
+        assert_eq!(run("crates/faults/src/x.rs", &two), vec!["O001"]);
     }
 
     #[test]

@@ -202,7 +202,7 @@ impl SourceFile {
 }
 
 /// Parse `acdc-lint: allow(A, B)` out of comment text.
-fn parse_allow(comment: &str) -> Vec<String> {
+pub(crate) fn parse_allow(comment: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = comment;
     while let Some(pos) = rest.find("acdc-lint:") {

@@ -95,6 +95,13 @@ fn p005_flow_admission_fixture() {
 }
 
 #[test]
+fn o001_adhoc_counter_fixture() {
+    // The fixture holds one grandfathered struct (struct-level allow) and
+    // one fresh raw counter: exactly the fresh one must fire.
+    assert_single("o001_adhoc_counter", "O001", "crates/vswitch/src/bad.rs");
+}
+
+#[test]
 fn h001_missing_forbid_fixture() {
     assert_single("h001_no_forbid", "H001", "crates/foo/src/lib.rs");
 }
@@ -131,6 +138,53 @@ fn lint_binary_exit_codes() {
         .output()
         .expect("run binary");
     assert_eq!(missing.status.code(), Some(2), "bad root must exit 2");
+}
+
+#[test]
+fn bench_diff_exit_codes_and_table() {
+    let bin = env!("CARGO_BIN_EXE_acdc-xtask");
+    let fx = fixture("bench_diff");
+    let run = |new: &str, extra: &[&str]| {
+        std::process::Command::new(bin)
+            .arg("bench-diff")
+            .arg(fx.join("old.json"))
+            .arg(fx.join(new))
+            .args(extra)
+            .output()
+            .expect("run binary")
+    };
+
+    // Within threshold (and the new file's extra `telemetry` key is
+    // tolerated): exit 0.
+    let ok = run("new_ok.json", &[]);
+    assert!(ok.status.success(), "ok diff must exit 0: {ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("| egress.acdc_ns_pkt |"), "{stdout}");
+    assert!(!stdout.contains("REGRESSED"), "{stdout}");
+
+    // Synthetic ~15% egress regression: exit 1 and the table says so.
+    let bad = run("new_regressed.json", &[]);
+    assert_eq!(bad.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A generous threshold lets the same pair pass...
+    let loose = run("new_regressed.json", &["--threshold", "20"]);
+    assert!(loose.status.success(), "20% threshold must pass: {loose:?}");
+
+    // ...and --summary appends the markdown table to the given file.
+    let dir = std::env::temp_dir().join(format!("acdc-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let summary = dir.join("summary.md");
+    let with_summary = run("new_ok.json", &["--summary", summary.to_str().unwrap()]);
+    assert!(with_summary.status.success());
+    let text = std::fs::read_to_string(&summary).expect("summary written");
+    assert!(text.contains("Datapath bench diff"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Unparseable / missing input: exit 2.
+    let missing = run("no_such.json", &[]);
+    assert_eq!(missing.status.code(), Some(2), "missing file must exit 2");
 }
 
 #[test]

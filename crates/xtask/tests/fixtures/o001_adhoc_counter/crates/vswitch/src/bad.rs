@@ -1,0 +1,14 @@
+// A new raw counter field smuggled past the telemetry registry: O001.
+// The allowed struct above it shows the grandfather escape hatch working
+// in the same file.
+
+// acdc-lint: allow(O001) -- snapshot view of registry-backed counters
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrandfatheredStats {
+    pub random_drops: u64,
+    pub scripted_drops: u64,
+}
+
+pub struct FreshCounters {
+    pub rto_count: u64,
+}

@@ -1,43 +1,99 @@
 #!/usr/bin/env bash
 # The full pre-push gate: formatting, clippy, the workspace lint pass,
-# and the test suite (once plain, once with the strict-invariants
-# runtime hooks). Run from anywhere inside the repo.
+# benchmark smoke + regression diff, and the test suite (once plain,
+# once with the strict-invariants runtime hooks).
+#
+# Each stage is a function so CI can run them as separate jobs with the
+# exact same commands developers run locally:
+#
+#   scripts/check.sh            # run every stage, in order
+#   scripts/check.sh lint       # formatting + clippy + acdc-xtask lint
+#   scripts/check.sh test       # workspace tests + packet proptests
+#   scripts/check.sh strict     # tests under --features strict-invariants
+#   scripts/check.sh chaos      # fault-injection suite (plain features)
+#   scripts/check.sh bench      # bench smoke + bench-diff vs BENCH_pr3.json
+#
+# Multiple stage names may be given and run in the order listed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+stage_lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo clippy (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy (-D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> acdc-xtask lint"
-cargo run -q -p acdc-xtask -- lint
+    echo "==> acdc-xtask lint"
+    cargo run -q -p acdc-xtask -- lint
 
-echo "==> no expect/unwrap on wire-input parse paths (vswitch, core, tcp)"
-if grep -rnE '(try_meta|::parse)\([^)]*\)[[:space:]]*\.[[:space:]]*(unwrap|expect)\(' \
-    crates/vswitch/src crates/core/src crates/tcp/src; then
-    echo "error: wire-input parses must be fallible (drop + count), not unwrap/expect" >&2
-    exit 1
+    echo "==> no expect/unwrap on wire-input parse paths (vswitch, core, tcp)"
+    if grep -rnE '(try_meta|::parse)\([^)]*\)[[:space:]]*\.[[:space:]]*(unwrap|expect)\(' \
+        crates/vswitch/src crates/core/src crates/tcp/src; then
+        echo "error: wire-input parses must be fallible (drop + count), not unwrap/expect" >&2
+        return 1
+    fi
+}
+
+stage_test() {
+    echo "==> cargo test"
+    cargo test -q
+
+    echo "==> packet pipeline proptests (meta/checksum coherence)"
+    cargo test -q -p acdc-packet --test meta_coherence --test props
+}
+
+stage_bench() {
+    echo "==> datapath benchmark smoke (scripts/bench.sh --smoke)"
+    scripts/bench.sh --smoke --json /tmp/acdc-bench-smoke.json >/dev/null
+
+    # Compare against the committed baseline. Smoke runs are short and
+    # cross-machine numbers are noisy, so the gate here is looser than
+    # bench-diff's 10% default (override with BENCH_DIFF_THRESHOLD).
+    # Full-length runs on the baseline machine should use the default.
+    echo "==> acdc-xtask bench-diff (vs committed BENCH_pr3.json)"
+    local diff_args=(bench-diff BENCH_pr3.json /tmp/acdc-bench-smoke.json
+        --threshold "${BENCH_DIFF_THRESHOLD:-25}")
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        diff_args+=(--summary "$GITHUB_STEP_SUMMARY")
+    fi
+    cargo run -q -p acdc-xtask -- "${diff_args[@]}"
+}
+
+stage_chaos() {
+    echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
+    cargo test -q -p acdc-faults
+    cargo test -q --test chaos --test rto_backoff --test overload
+}
+
+stage_strict() {
+    echo "==> cargo test --features strict-invariants"
+    cargo test -q --features strict-invariants
+
+    echo "==> chaos suite under strict-invariants"
+    cargo test -q --features strict-invariants --test chaos --test rto_backoff --test overload
+}
+
+ALL_STAGES=(lint test bench chaos strict)
+
+run_stage() {
+    case "$1" in
+        lint | test | bench | chaos | strict) "stage_$1" ;;
+        *)
+            echo "error: unknown stage '$1' (expected: ${ALL_STAGES[*]})" >&2
+            exit 2
+            ;;
+    esac
+}
+
+if [[ $# -eq 0 ]]; then
+    for stage in "${ALL_STAGES[@]}"; do
+        run_stage "$stage"
+    done
+    echo "All checks passed."
+else
+    for stage in "$@"; do
+        run_stage "$stage"
+    done
+    echo "Stage(s) passed: $*"
 fi
-
-echo "==> cargo test"
-cargo test -q
-
-echo "==> packet pipeline proptests (meta/checksum coherence)"
-cargo test -q -p acdc-packet --test meta_coherence --test props
-
-echo "==> datapath benchmark smoke (scripts/bench.sh --smoke)"
-scripts/bench.sh --smoke --json /tmp/acdc-bench-smoke.json >/dev/null
-
-echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
-cargo test -q -p acdc-faults
-cargo test -q --test chaos --test rto_backoff --test overload
-
-echo "==> cargo test --features strict-invariants"
-cargo test -q --features strict-invariants
-
-echo "==> chaos suite under strict-invariants"
-cargo test -q --features strict-invariants --test chaos --test rto_backoff --test overload
-
-echo "All checks passed."

@@ -8,10 +8,12 @@
 //! after recovery.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use acdc_core::{FlowHandle, Scheme, Testbed};
 use acdc_faults::FaultPlan;
 use acdc_stats::time::{MILLISECOND, SECOND};
+use acdc_telemetry::{EventKind, TraceGuard};
 use acdc_workloads::{BulkSender, FctKind};
 
 /// After quiescence, the client-side vSwitch's reconstructed
@@ -132,21 +134,82 @@ fn duplication_does_not_overcount_delivered_bytes() {
 #[test]
 fn corruption_is_dropped_at_the_nic_and_repaired_by_retransmission() {
     const BYTES: u64 = 300_000;
-    let mut tb = Testbed::custom(Scheme::acdc(), 1500);
-    tb.set_trunk_fault(FaultPlan::new(0xACDC_0005).with_corruption(0.02));
-    tb.build_dumbbell(1);
-    let h = tb.add_bulk(0, 1, Some(BYTES), 0);
-    tb.run_until(3 * SECOND);
-    assert_eq!(tb.acked_bytes(h), BYTES);
-    let stats = tb.trunk_fault_stats().unwrap();
-    assert!(stats.total().corrupted > 0, "{stats:?}");
-    let fcs_drops = tb.host_mut(0).corrupt_drops() + tb.host_mut(1).corrupt_drops();
+
+    // One run; returns the flight-recorder dumps so the caller can check
+    // seed-replay byte-identity. The trunk's fault tap reports onto the
+    // testbed's network hub; the resulting NIC drops land on each host's
+    // own hub — together they tell the full story of every corrupted
+    // frame: injected on the wire, then dead at a checksum check.
+    fn run() -> (String, String, String) {
+        let mut tb = Testbed::custom(Scheme::acdc(), 1500);
+        tb.set_trunk_fault(FaultPlan::new(0xACDC_0005).with_corruption(0.02));
+        tb.build_dumbbell(1);
+        let _guard = TraceGuard::new("chaos_corruption")
+            .watch("trunk", Arc::clone(tb.telemetry()))
+            .watch("host0", Arc::clone(tb.host_mut(0).telemetry()))
+            .watch("host1", Arc::clone(tb.host_mut(1).telemetry()));
+        let h = tb.add_bulk(0, 1, Some(BYTES), 0);
+        tb.run_until(3 * SECOND);
+        assert_eq!(tb.acked_bytes(h), BYTES);
+        let stats = tb.trunk_fault_stats().unwrap();
+        assert!(stats.total().corrupted > 0, "{stats:?}");
+        let fcs_drops = tb.host_mut(0).corrupt_drops() + tb.host_mut(1).corrupt_drops();
+        assert_eq!(
+            fcs_drops,
+            stats.total().corrupted,
+            "every corrupted frame must die at a NIC checksum check"
+        );
+
+        // Event-level attribution: each `fault-injected(corrupt)` event on
+        // the trunk must pair with exactly one `drop(corrupt-fcs)` event
+        // at a NIC, carrying the *same flow key* — not just equal totals.
+        let mut injected: Vec<_> = tb
+            .telemetry()
+            .recorder()
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultInjected { effect: "corrupt" }))
+            .map(|e| e.flow)
+            .collect();
+        let mut dropped: Vec<_> = (0..2)
+            .flat_map(|i| tb.host_mut(i).telemetry().recorder().events())
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::PacketDropped {
+                        cause: "corrupt-fcs"
+                    }
+                )
+            })
+            .map(|e| e.flow)
+            .collect();
+        assert_eq!(injected.len() as u64, stats.total().corrupted);
+        injected.sort();
+        dropped.sort();
+        assert_eq!(
+            injected, dropped,
+            "every injected corruption must surface as a NIC drop on the same flow"
+        );
+        for flow in &dropped {
+            assert!(
+                *flow == h.key || *flow == h.key.reverse(),
+                "drops must belong to the one flow under test, got {flow:?}"
+            );
+        }
+
+        assert_state_agreement(&mut tb, h);
+        let trunk = tb.telemetry().recorder().dump_jsonl();
+        let host0 = tb.host_mut(0).telemetry().recorder().dump_jsonl();
+        let host1 = tb.host_mut(1).telemetry().recorder().dump_jsonl();
+        (trunk, host0, host1)
+    }
+
+    let a = run();
+    let b = run();
     assert_eq!(
-        fcs_drops,
-        stats.total().corrupted,
-        "every corrupted frame must die at a NIC checksum check"
+        a, b,
+        "same plan + seed must replay a byte-identical event history"
     );
-    assert_state_agreement(&mut tb, h);
 }
 
 #[test]

@@ -1,0 +1,3 @@
+//! Offline stub of `crossbeam` (declared but unused by the workspace).
+
+pub mod scope {}

@@ -1,0 +1,11 @@
+//! Offline stub of `serde`: marker traits satisfied by everything, plus
+//! no-op derives re-exported from the stub `serde_derive`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
