@@ -52,7 +52,7 @@ pub fn run(opts: &Opts) -> Report {
         let dp = tb.host_mut(h.client_host).datapath();
         let entry = dp.table().get(&key).expect("flow entry");
         let e = entry.lock();
-        e.window_trace.clone().expect("window trace enabled")
+        e.rwnd.trace().expect("window trace enabled").to_vec()
     };
 
     rep.line(format!(

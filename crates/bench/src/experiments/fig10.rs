@@ -46,7 +46,7 @@ pub fn run(opts: &Opts) -> Report {
         let dp = tb.host_mut(h.client_host).datapath();
         let entry = dp.table().get(&key).expect("flow entry");
         let e = entry.lock();
-        e.window_trace.clone().expect("window trace")
+        e.rwnd.trace().expect("window trace").to_vec()
     };
 
     // How often is the AC/DC window the smaller (binding) one?

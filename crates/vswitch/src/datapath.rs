@@ -22,6 +22,7 @@ use acdc_telemetry::{Counter, EventKind, Gauge, MetricsRegistry, Telemetry, NO_F
 use crate::entry::FlowEntry;
 use crate::health::{HealthCell, HealthState, Watermarks};
 use crate::policy::CcPolicy;
+use crate::rwnd::RwndAction;
 use crate::table::{Admission, AdmissionPolicy, FlowTable};
 
 /// Datapath configuration.
@@ -542,7 +543,7 @@ impl AcdcDatapath {
                     // does (§3.3). A window we never rewrote (unlearned
                     // scale) was never enforced, so it is not policed.
                     if let Some(slack) = self.cfg.police_slack_bytes {
-                        if !log_only && e.wscale_learned && payload_len > 0 {
+                        if !log_only && e.rwnd.learned() && payload_len > 0 {
                             let allowed_end = e.snd_una + (e.cc.cwnd() + slack) as usize;
                             if seq_end > allowed_end {
                                 e.policed += 1;
@@ -838,11 +839,17 @@ impl AcdcDatapath {
         // CC events are stamped with the *data* direction's key (the flow
         // whose window is being enforced), not the arriving ACK's key.
         let data_key = key.reverse();
+        // CC events observed under the entry lock, published only after
+        // the guard drops (W002: the event bus must not be entered while
+        // a flow-entry lock is held). Fixed-size, in firing order.
         let enforced = self.table.with_entry(&data_key, |slot| {
             let mut e = slot.entry.lock();
             e.last_activity = now;
             let mut newly_acked = 0u64;
             let mut rtt_sample = None;
+            let mut cut_event = None;
+            let mut rto_event = None;
+            let mut alpha_event = None;
 
             if e.seq_valid {
                 if ack > e.snd_una && ack <= e.snd_nxt {
@@ -863,14 +870,10 @@ impl AcdcDatapath {
                     if e.dupacks == 3 {
                         e.cc.on_fast_retransmit(now);
                         AcdcCounters::bump(&self.counters.inferred_fast_rtx);
-                        self.telemetry.record(
-                            now,
-                            data_key,
-                            EventKind::CwndCut {
-                                cause: "fast-retransmit",
-                                cwnd: e.cc.cwnd(),
-                            },
-                        );
+                        cut_event = Some(EventKind::CwndCut {
+                            cause: "fast-retransmit",
+                            cwnd: e.cc.cwnd(),
+                        });
                     }
                 }
 
@@ -881,11 +884,7 @@ impl AcdcDatapath {
                         e.cc.on_retransmit_timeout(now);
                         e.last_ack_activity = now;
                         AcdcCounters::bump(&self.counters.inferred_timeouts);
-                        self.telemetry.record(
-                            now,
-                            data_key,
-                            EventKind::RtoFired { cwnd: e.cc.cwnd() },
-                        );
+                        rto_event = Some(EventKind::RtoFired { cwnd: e.cc.cwnd() });
                     }
                 }
             }
@@ -909,11 +908,7 @@ impl AcdcDatapath {
                 if let Some(am) = e.cc.alpha_micros() {
                     if e.last_alpha_micros != Some(am) {
                         e.last_alpha_micros = Some(am);
-                        self.telemetry.record(
-                            now,
-                            data_key,
-                            EventKind::AlphaUpdate { alpha_micros: am },
-                        );
+                        alpha_event = Some(EventKind::AlphaUpdate { alpha_micros: am });
                     }
                 }
             }
@@ -921,13 +916,8 @@ impl AcdcDatapath {
             // Enforcement target: the computed window, bounded by the
             // administrative cap (§3.4).
             let cwnd = e.cc.cwnd().min(self.cfg.max_rwnd_bytes.unwrap_or(u64::MAX));
-            e.computed_rwnd = cwnd;
-            if self.cfg.trace_windows {
-                e.window_trace
-                    .get_or_insert_with(Vec::new)
-                    .push((now, cwnd));
-            }
-            (cwnd, e.ack_wscale, e.wscale_learned)
+            e.rwnd.set_target(now, cwnd, self.cfg.trace_windows);
+            (e.rwnd.action(window), [cut_event, rto_event, alpha_event])
         });
 
         // Enforcement: overwrite RWND with the computed window, only when
@@ -935,17 +925,22 @@ impl AcdcDatapath {
         // with an unlearned scale: an entry adopted mid-stream (restart,
         // migration) stays log-only until a handshake teaches the shift —
         // a raw write interpreted through the guest's real scale could be
-        // off by 2^14 in either direction.
-        if let Some((cwnd, wscale, learned)) = enforced {
+        // off by 2^14 in either direction. The decision comes from the
+        // RWND-rewrite component (`entry.rwnd`, see crate::rwnd).
+        if let Some((action, events)) = enforced {
+            for ev in events.into_iter().flatten() {
+                self.telemetry.record(now, data_key, ev);
+            }
             if rewrite {
-                if learned {
-                    let raw_target = acdc_packet::scale_rwnd_nonzero(cwnd, wscale);
-                    if raw_target < window {
+                match action {
+                    RwndAction::Rewrite(raw_target) => {
                         seg.rewrite_window(raw_target);
                         AcdcCounters::bump(&self.counters.rwnd_rewrites);
                     }
-                } else {
-                    AcdcCounters::bump(&self.counters.unscaled_rwnd_skips);
+                    RwndAction::KeepGuest => {}
+                    RwndAction::ScaleUnlearned => {
+                        AcdcCounters::bump(&self.counters.unscaled_rwnd_skips);
+                    }
                 }
             }
         }
@@ -971,10 +966,7 @@ impl AcdcDatapath {
         {
             let mut re = rentry.lock();
             re.last_activity = now;
-            // A SYN without the option means "scale 0" — that is a
-            // *learned* fact, unlike the default an adopted entry gets.
-            re.ack_wscale = wscale.unwrap_or(0);
-            re.wscale_learned = true;
+            re.rwnd.learn(wscale.unwrap_or(0));
         }
 
         // The VM originating this SYN is the data sender of `key`; its ECN
@@ -1019,21 +1011,24 @@ impl AcdcDatapath {
     /// entirely (no ingress packet will trigger the check).
     pub fn tick(&self, now: Nanos) {
         let floor = self.cfg.inactivity_floor;
-        let mut timeouts = 0;
+        // Timeouts are collected during the sweep and published after it:
+        // the event bus must not be entered while the table's per-entry
+        // locks are held (W002). Same per-flow order as before.
+        let mut fired: Vec<(acdc_packet::FlowKey, u64)> = Vec::new();
         self.table.for_each(|key, e| {
             if e.seq_valid && e.snd_una < e.snd_nxt {
                 let thresh = e.inactivity_threshold(floor);
                 if now.saturating_sub(e.last_ack_activity) > thresh {
                     e.cc.on_retransmit_timeout(now);
                     e.last_ack_activity = now;
-                    timeouts += 1;
-                    self.telemetry
-                        .record(now, *key, EventKind::RtoFired { cwnd: e.cc.cwnd() });
+                    fired.push((*key, e.cc.cwnd()));
                 }
             }
         });
-        for _ in 0..timeouts {
+        for (key, cwnd) in &fired {
             AcdcCounters::bump(&self.counters.inferred_timeouts);
+            self.telemetry
+                .record(now, *key, EventKind::RtoFired { cwnd: *cwnd });
         }
         self.update_health(now);
         // The tick is also the registry's sampling edge: refresh gauges,
@@ -1109,7 +1104,7 @@ impl AcdcDatapath {
             return None;
         }
         let cwnd = e.cc.cwnd().max(1);
-        let raw = acdc_packet::scale_rwnd_nonzero(cwnd, e.ack_wscale);
+        let raw = e.rwnd.raw_window(cwnd);
         let mut t = TcpRepr::new(key.dst_port, key.src_port);
         t.flags = TcpFlags::ACK;
         t.ack = e.snd_una;
@@ -1143,7 +1138,7 @@ impl AcdcDatapath {
             t.flags = TcpFlags::ACK;
             t.ack = e.snd_una;
             t.seq = acdc_packet::SeqNumber::ZERO;
-            t.window = acdc_packet::scale_rwnd_nonzero(e.cc.cwnd(), e.ack_wscale);
+            t.window = e.rwnd.raw_window(e.cc.cwnd());
             let ip = Ipv4Repr {
                 src_addr: key.dst_ip,
                 dst_addr: key.src_ip,

@@ -10,6 +10,8 @@ use acdc_cc::{CcConfig, CcKind, Clamped, CongestionControl};
 use acdc_packet::SeqNumber;
 use acdc_stats::time::Nanos;
 
+use crate::rwnd::RwndRewriter;
+
 /// Ceiling on the enforced window. The vSwitch CC cannot tell when a
 /// guest is application- or NIC-limited (it sees only ACK progress), so
 /// on an uncongested path its window would otherwise grow without bound
@@ -33,16 +35,11 @@ pub struct FlowEntry {
     pub dupacks: u32,
     /// The enforced congestion-control algorithm.
     pub cc: Box<dyn CongestionControl>,
-    /// Window-scale shift used to interpret/rewrite RWND in the ACKs
-    /// arriving for this flow (advertised by the data *receiver* in its
-    /// SYN; captured by monitoring the handshake, §3.3).
-    pub ack_wscale: u8,
-    /// Was `ack_wscale` actually learned from an observed handshake? An
-    /// entry adopted mid-stream (vSwitch restart, VM migration) never saw
-    /// the SYN, so rewriting RWND with its default shift of 0 would
-    /// silently mis-scale the window; such flows stay log-only until a
-    /// handshake teaches the scale.
-    pub wscale_learned: bool,
+    /// The RWND-rewrite component (window scale + enforcement target,
+    /// §3.3). Its fields are private — mutation goes through its API, the
+    /// write-scope contract `scopes.toml` declares for
+    /// `vswitch.rwnd-rewrite`.
+    pub rwnd: RwndRewriter,
     /// The guest's own stack negotiated ECN (from its SYN); drives the
     /// per-packet reserved-bit marker of §3.2.
     pub vm_ecn: bool,
@@ -59,11 +56,6 @@ pub struct FlowEntry {
     pub fb_marked: u64,
     /// Packets dropped from this flow by the policer.
     pub policed: u64,
-    /// Most recently computed enforcement window, bytes (log-only mode
-    /// records it here without rewriting; Figure 9).
-    pub computed_rwnd: u64,
-    /// Optional `(time, computed window)` trace for Figures 9/10.
-    pub window_trace: Option<Vec<(Nanos, u64)>>,
     /// Last DCTCP `alpha` (in 1e-6 units) published as an `alpha-update`
     /// telemetry event; events fire only when the estimate moves.
     pub last_alpha_micros: Option<u64>,
@@ -98,8 +90,7 @@ impl FlowEntry {
             seq_valid: false,
             dupacks: 0,
             cc: Box::new(Clamped::new(kind.build(cc_cfg), MAX_ENFORCED_WINDOW)),
-            ack_wscale: 0,
-            wscale_learned: false,
+            rwnd: RwndRewriter::new(),
             vm_ecn: false,
             rtt_probe: None,
             srtt: None,
@@ -107,8 +98,6 @@ impl FlowEntry {
             fb_total: 0,
             fb_marked: 0,
             policed: 0,
-            computed_rwnd: 0,
-            window_trace: None,
             last_alpha_micros: None,
             rx_total: 0,
             rx_marked: 0,

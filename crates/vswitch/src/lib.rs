@@ -42,10 +42,12 @@ pub mod datapath;
 pub mod entry;
 pub mod health;
 pub mod policy;
+pub mod rwnd;
 pub mod table;
 
 pub use datapath::{AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict};
 pub use entry::FlowEntry;
 pub use health::{HealthState, Watermarks};
 pub use policy::CcPolicy;
+pub use rwnd::{RwndAction, RwndRewriter};
 pub use table::{Admission, AdmissionPolicy, FlowTable};

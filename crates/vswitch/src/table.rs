@@ -388,28 +388,34 @@ impl FlowTable {
     /// paper): drop entries idle for longer than `idle_timeout`, plus any
     /// entry already marked closed. Returns the number collected.
     pub fn gc(&self, now: Nanos, idle_timeout: Nanos) -> usize {
-        let mut collected = 0;
+        // Evicted keys are collected during the sweep and their events
+        // published only after every shard/entry lock is released (W002:
+        // no event-bus entry while table locks are held). Shard order is
+        // the iteration order, so the event sequence is unchanged.
+        let mut evicted: Vec<FlowKey> = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.write();
             shard.retain(|key, v| {
                 let e = v.entry.lock();
                 let dead = e.closing || now.saturating_sub(e.last_activity) > idle_timeout;
                 if dead {
-                    collected += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.record(now, *key, EventKind::FlowEvicted { reason: "gc" });
-                    }
+                    evicted.push(*key);
                 }
                 !dead
             });
         }
-        self.count.fetch_sub(collected, Ordering::Relaxed);
+        self.count.fetch_sub(evicted.len(), Ordering::Relaxed);
         crate::strict_invariant!(
             self.count.load(Ordering::Relaxed)
                 == self.shards.iter().map(|s| s.read().len()).sum::<usize>(),
             "flow-table count drifted from shard contents after gc"
         );
-        collected
+        if let Some(t) = &self.telemetry {
+            for key in &evicted {
+                t.record(now, *key, EventKind::FlowEvicted { reason: "gc" });
+            }
+        }
+        evicted.len()
     }
 
     /// Visit every entry (diagnostics, inactivity scans).

@@ -117,7 +117,7 @@ fn handshake_creates_entries_and_records_wscale() {
     let e = dpa.table().get(&key_ab()).unwrap();
     let e = e.lock();
     // ACKs for A→B data come from B, which advertised wscale 9.
-    assert_eq!(e.ack_wscale, 9);
+    assert_eq!(e.rwnd.wscale(), 9);
     assert!(e.seq_valid);
     assert_eq!(e.snd_una, SeqNumber(ISS_A + 1));
 }
@@ -369,8 +369,8 @@ fn log_only_mode_computes_but_does_not_rewrite() {
 
     let e = dpa.table().get(&key_ab()).unwrap();
     let e = e.lock();
-    assert!(e.computed_rwnd > 0);
-    assert!(e.window_trace.as_ref().unwrap().len() == 1);
+    assert!(e.rwnd.target() > 0);
+    assert!(e.rwnd.trace().unwrap().len() == 1);
 }
 
 #[test]
@@ -716,7 +716,7 @@ fn adopted_flow_stays_log_only_until_handshake() {
         let e = dpa.table().get(&key_ab()).unwrap();
         let e = e.lock();
         assert!(e.seq_valid);
-        assert!(!e.wscale_learned, "no handshake → scale unlearned");
+        assert!(!e.rwnd.learned(), "no handshake → scale unlearned");
     }
     // This ACK would be rewritten (the initial DCTCP window is far below
     // 65 000 B) had the scale been learned; adopted flows are left alone.

@@ -129,9 +129,36 @@ pub static H002: Rule = Rule {
               the lint catalog",
 };
 
-/// All rules, in diagnostic order.
-pub static CATALOG: [&Rule; 11] = [
-    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &H001, &H002,
+pub static W001: Rule = Rule {
+    id: "W001",
+    name: "write-scope",
+    summary: "writes to fields claimed by a scopes.toml component must come \
+              from the component's owning files (analyze; the contract the \
+              parallel-datapath decomposition is checked against)",
+};
+
+pub static W002: Rule = Rule {
+    id: "W002",
+    name: "lock-order",
+    summary: "no nested flow-entry lock acquisitions, no table re-entry and \
+              no event-bus publish while a FlowSlot/shard guard is live \
+              (analyze; crates/vswitch — the deadlock shapes the worker \
+              model must never ship)",
+};
+
+pub static W003: Rule = Rule {
+    id: "W003",
+    name: "thread-readiness",
+    summary: "no Rc/RefCell/Cell/thread_local in crates slated to go \
+              multicore (analyze; vswitch, packet hot path, netsim engine \
+              must hold only Send + Sync state)",
+};
+
+/// All rules, in diagnostic order. The W-series runs under `analyze`, the
+/// rest under `lint`.
+pub static CATALOG: [&Rule; 14] = [
+    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &H001, &H002, &W001, &W002,
+    &W003,
 ];
 
 pub fn catalog() -> &'static [&'static Rule] {
@@ -503,6 +530,63 @@ pub fn lint_clippy_sync(clippy_toml: Option<&str>, findings: &mut Vec<Finding>) 
     }
 }
 
+// ----------------------------------------------------------------------
+// analyze-pass rules (W-series)
+// ----------------------------------------------------------------------
+
+/// Crates slated for the multicore datapath: state they hold must be
+/// `Send + Sync`, so single-thread-only cells are banned now rather than
+/// discovered during the parallelism PR.
+const W003_SCOPE: &[&str] = &[
+    "crates/vswitch/src/",
+    "crates/packet/src/",
+    "crates/netsim/src/",
+];
+
+const W003_TOKENS: &[&str] = &["Rc", "RefCell", "Cell", "thread_local"];
+
+/// Per-file analyze rules: W002 (lock order, vswitch only) and W003
+/// (thread readiness). W001 needs the cross-file manifest and runs from
+/// `scopes::check_write_scopes`.
+pub fn analyze_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
+    if W003_SCOPE.iter().any(|p| path.starts_with(p)) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            let code = line.code.as_str();
+            if code.trim().is_empty() {
+                continue;
+            }
+            for tok in W003_TOKENS {
+                if contains_token(code, tok) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        rule: &W003,
+                        message: format!(
+                            "`{tok}` is single-thread-only state in a crate slated \
+                             to go multicore; use Send + Sync primitives \
+                             (Atomic*, Mutex, or move the state to the owner)"
+                        ),
+                        severity: Severity::Error,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    if path.starts_with("crates/vswitch/src/") {
+        for (line, message) in crate::model::lock_order(file) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: &W002,
+                message,
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +597,49 @@ mod tests {
         let mut out = Vec::new();
         lint_lines(path, &f, &mut out);
         out.iter().map(|f| f.rule.id.to_string()).collect()
+    }
+
+    fn analyze(path: &str, src: &str) -> Vec<String> {
+        let f = SourceFile::scan(src);
+        let mut out = Vec::new();
+        analyze_lines(path, &f, &mut out);
+        out.iter().map(|f| f.rule.id.to_string()).collect()
+    }
+
+    #[test]
+    fn w003_scoped_to_multicore_crates() {
+        let src = "use std::cell::RefCell;\n";
+        assert_eq!(analyze("crates/vswitch/src/x.rs", src), vec!["W003"]);
+        assert_eq!(analyze("crates/packet/src/x.rs", src), vec!["W003"]);
+        assert_eq!(analyze("crates/netsim/src/x.rs", src), vec!["W003"]);
+        assert!(analyze("crates/tcp/src/x.rs", src).is_empty());
+        assert!(analyze("crates/vswitch/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn w003_token_boundaries_spare_health_cell() {
+        assert!(analyze("crates/vswitch/src/x.rs", "let h = HealthCell::new();\n").is_empty());
+        assert_eq!(
+            analyze(
+                "crates/vswitch/src/x.rs",
+                "let c: Cell<u8> = Cell::new(0);\n"
+            ),
+            vec!["W003"]
+        );
+        assert_eq!(
+            analyze(
+                "crates/netsim/src/x.rs",
+                "thread_local! { static X: u8 = 0; }\n"
+            ),
+            vec!["W003"]
+        );
+    }
+
+    #[test]
+    fn w002_scoped_to_vswitch_src() {
+        let src = "fn f(a: &FlowSlot, b: &FlowSlot) {\n    let ga = a.entry.lock();\n    let gb = b.entry.lock();\n}\n";
+        assert_eq!(analyze("crates/vswitch/src/x.rs", src), vec!["W002"]);
+        assert!(analyze("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

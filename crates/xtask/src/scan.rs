@@ -97,6 +97,15 @@ impl SourceFile {
                             // Escaped char literal: consume to closing quote.
                             cur.code.push('\'');
                             i += 2;
+                            // The escaped character itself may be a quote
+                            // ('\''): consume it before scanning for the
+                            // closing quote, or the escaped quote reads as
+                            // the terminator and the real one leaks into
+                            // the code channel.
+                            if i < bytes.len() && bytes[i] != '\n' {
+                                cur.code.push(' ');
+                                i += 1;
+                            }
                             while i < bytes.len() && bytes[i] != '\'' && bytes[i] != '\n' {
                                 cur.code.push(' ');
                                 i += 1;
@@ -308,5 +317,89 @@ mod tests {
     fn lifetimes_survive() {
         let f = SourceFile::scan("fn f<'a>(x: &'a str) {}\n");
         assert!(f.lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak() {
+        // Regression: '\'' used to leave a stray quote in the code
+        // channel, which then opened a phantom literal and swallowed the
+        // rest of the line.
+        let f = SourceFile::scan("let q = '\\''; let h = HashMap::new();\n");
+        assert!(
+            f.lines[0].code.contains("HashMap"),
+            "code after an escaped-quote char literal must stay visible: {:?}",
+            f.lines[0].code
+        );
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal() {
+        let f = SourceFile::scan("let b = '\\\\'; let h = HashMap::new();\n");
+        assert!(f.lines[0].code.contains("HashMap"), "{:?}", f.lines[0].code);
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let f = SourceFile::scan("let u = '\\u{1F600}'; let h = HashMap::new();\n");
+        assert!(f.lines[0].code.contains("HashMap"), "{:?}", f.lines[0].code);
+    }
+
+    #[test]
+    fn multi_line_string_blanks_every_line() {
+        let f = SourceFile::scan(
+            "let s = \"first HashMap\nsecond Instant::now\nend\";\nlet h = HashMap::new();\n",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("Instant"));
+        // Comment markers inside the string must not open comments.
+        let f2 = SourceFile::scan("let s = \"a // b\n/* c */ HashMap\";\nHashMap::new();\n");
+        assert!(!f2.lines[0].code.contains("b"));
+        assert!(!f2.lines[1].code.contains("HashMap"));
+        assert!(f2.lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_inner_quotes() {
+        let f = SourceFile::scan(
+            "let s = r##\"quote \"# inside HashMap\"##; let h = HashMap::new();\n",
+        );
+        let code = &f.lines[0].code;
+        let pos = code.rfind("HashMap").expect("code after literal visible");
+        assert!(!code[..pos].contains("HashMap"), "{code:?}");
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let f = SourceFile::scan("let s = b\"HashMap\"; let r = br#\"Instant::now\"#;\nok\n");
+        assert!(
+            !f.lines[0].code.contains("HashMap"),
+            "{:?}",
+            f.lines[0].code
+        );
+        assert!(
+            !f.lines[0].code.contains("Instant"),
+            "{:?}",
+            f.lines[0].code
+        );
+        assert_eq!(f.lines[1].code, "ok");
+    }
+
+    #[test]
+    fn nested_block_comment_across_lines() {
+        let f = SourceFile::scan("a /* one\n/* two */ still comment HashMap\n*/ b\n");
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].comment.contains("HashMap"));
+        assert_eq!(f.lines[2].code.trim(), "b");
+    }
+
+    #[test]
+    fn string_line_continuation_escape() {
+        let f = SourceFile::scan("let s = \"start \\\n  continued HashMap\";\nHashMap::new();\n");
+        assert!(
+            !f.lines[1].code.contains("HashMap"),
+            "{:?}",
+            f.lines[1].code
+        );
+        assert!(f.lines[2].code.contains("HashMap"));
     }
 }

@@ -1,0 +1,482 @@
+//! The write-scope manifest (`crates/xtask/scopes.toml`) and rule W001.
+//!
+//! A *component* is a named (struct, field-set, owning-files) triple: the
+//! declaration that, say, `vswitch.rwnd-rewrite` owns the `RwndRewriter`
+//! fields and only `crates/vswitch/src/rwnd.rs` may mutate them. The
+//! manifest is the contract the parallel-datapath decomposition will be
+//! checked against: a write to a claimed field from outside its owning
+//! component is a W001 finding, a field claimed twice is a manifest
+//! error, and an `acdc-scope:` annotation naming an undeclared component
+//! is a manifest error too (so deleting a component entry while its code
+//! still claims membership fails loudly).
+//!
+//! The file is parsed with a deliberately small TOML-subset reader — the
+//! engine stays dependency-free. Supported syntax:
+//!
+//! ```toml
+//! [component."vswitch.rwnd-rewrite"]
+//! struct = "RwndRewriter"
+//! fields = ["ack_wscale", "wscale_learned"]
+//! owns = ["crates/vswitch/src/rwnd.rs"]
+//! ```
+//!
+//! Arrays may span lines; `#` starts a comment.
+
+use std::collections::BTreeMap;
+
+use crate::model::{FileModel, Receiver};
+use crate::rules::{Finding, Rule, Severity, W001};
+
+/// Repo-relative manifest path (diagnostics anchor here).
+pub const MANIFEST_PATH: &str = "crates/xtask/scopes.toml";
+
+/// One declared component.
+#[derive(Debug)]
+pub struct Component {
+    pub name: String,
+    pub struct_name: String,
+    pub fields: Vec<String>,
+    /// Repo-relative paths allowed to mutate the claimed fields.
+    pub owns: Vec<String>,
+    /// 1-based line of the `[component."…"]` header.
+    pub line: usize,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct ScopeManifest {
+    pub components: Vec<Component>,
+}
+
+impl ScopeManifest {
+    /// Parse the manifest text. Hard syntax errors (not semantic ones)
+    /// come back as `Err` and abort the run with exit code 2 — a broken
+    /// manifest must not silently disable write-scope checking.
+    pub fn parse(text: &str) -> Result<ScopeManifest, String> {
+        let mut components: Vec<Component> = Vec::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?;
+                let name = section
+                    .strip_prefix("component.")
+                    .ok_or_else(|| {
+                        format!("line {lineno}: unknown section `[{section}]` (expected `[component.\"name\"]`)")
+                    })?
+                    .trim_matches('"')
+                    .to_string();
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: empty component name"));
+                }
+                components.push(Component {
+                    name,
+                    struct_name: String::new(),
+                    fields: Vec::new(),
+                    owns: Vec::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let comp = components
+                .last_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside a [component] section"))?;
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line array: consume until the closing bracket.
+            if value.starts_with('[') && !value.contains(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont);
+                    value.push(' ');
+                    value.push_str(cont.trim());
+                    if cont.contains(']') {
+                        break;
+                    }
+                }
+                if !value.contains(']') {
+                    return Err(format!("line {lineno}: unterminated array for `{key}`"));
+                }
+            }
+            match key {
+                "struct" => comp.struct_name = unquote(&value, lineno)?,
+                "fields" => comp.fields = parse_array(&value, lineno)?,
+                "owns" => comp.owns = parse_array(&value, lineno)?,
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        Ok(ScopeManifest { components })
+    }
+
+    /// Components claiming a field by name (any struct).
+    pub fn claimants(&self, field: &str) -> Vec<&Component> {
+        self.components
+            .iter()
+            .filter(|c| c.fields.iter().any(|f| f == field))
+            .collect()
+    }
+
+    /// The component claiming `(struct, field)` exactly, if any.
+    pub fn claimant_for(&self, struct_name: &str, field: &str) -> Option<&Component> {
+        self.components
+            .iter()
+            .find(|c| c.struct_name == struct_name && c.fields.iter().any(|f| f == field))
+    }
+
+    /// Semantic manifest validation against the scanned source models
+    /// (`rel path → FileModel`). Reports, as W001 findings anchored at the
+    /// manifest: duplicate (struct, field) claims, incomplete components,
+    /// owning files that do not exist, claimed structs/fields no owning
+    /// file declares, and dangling `acdc-scope:` annotations.
+    pub fn validate(&self, models: &BTreeMap<String, FileModel>, findings: &mut Vec<Finding>) {
+        let mut err = |line: usize, message: String| {
+            findings.push(Finding {
+                path: MANIFEST_PATH.to_string(),
+                line,
+                rule: &W001,
+                message,
+                severity: Severity::Error,
+            });
+        };
+
+        let mut claimed: BTreeMap<(String, String), &str> = BTreeMap::new();
+        for c in &self.components {
+            if c.struct_name.is_empty() || c.fields.is_empty() || c.owns.is_empty() {
+                err(
+                    c.line,
+                    format!(
+                        "component `{}` must declare `struct`, `fields`, and `owns`",
+                        c.name
+                    ),
+                );
+                continue;
+            }
+            for f in &c.fields {
+                let key = (c.struct_name.clone(), f.clone());
+                if let Some(prev) = claimed.get(&key) {
+                    err(
+                        c.line,
+                        format!(
+                            "field `{}.{}` is claimed by both `{}` and `{}`; \
+                             write scopes must be disjoint",
+                            c.struct_name, f, prev, c.name
+                        ),
+                    );
+                } else {
+                    claimed.insert(key, &c.name);
+                }
+            }
+            for o in &c.owns {
+                if !models.contains_key(o) {
+                    err(
+                        c.line,
+                        format!("component `{}` owns `{o}`, which does not exist", c.name),
+                    );
+                }
+            }
+            let declared = c
+                .owns
+                .iter()
+                .filter_map(|o| models.get(o))
+                .any(|m| m.declares_struct(&c.struct_name, &c.fields));
+            if !declared && c.owns.iter().any(|o| models.contains_key(o)) {
+                err(
+                    c.line,
+                    format!(
+                        "no file owned by `{}` declares struct `{}` with all of its \
+                         claimed fields",
+                        c.name, c.struct_name
+                    ),
+                );
+            }
+        }
+
+        // Dangling annotations: source claiming membership in a component
+        // the manifest no longer declares.
+        for (path, model) in models {
+            for (line, name) in &model.scopes {
+                if !self.components.iter().any(|c| &c.name == name) {
+                    findings.push(Finding {
+                        path: path.clone(),
+                        line: *line,
+                        rule: &W001,
+                        message: format!(
+                            "`acdc-scope: {name}` names a component that is not \
+                             declared in {MANIFEST_PATH}; declare it or remove \
+                             the annotation"
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    line.split('#').next().unwrap_or("")
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "line {lineno}: expected a quoted string, got `{v}`"
+        ))
+    }
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected an array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(unquote(item, lineno)?);
+    }
+    Ok(out)
+}
+
+/// Rule W001 proper: check one file's write sites against the manifest.
+///
+/// Resolution is two-tier. A `self.field` write (the head segment of the
+/// chain) resolves *precisely* through the enclosing `impl` block, so a
+/// field name shared by `Endpoint` and `FlowEntry` never cross-fires.
+/// Writes through any other receiver (locals, guards, call results) are
+/// attributed by field *name*: if any component claims that name and this
+/// file is in none of the claimants' `owns` lists, it is a finding. That
+/// is deliberately strict — the manifest claims names that are unique
+/// enough to act as component boundaries.
+pub fn check_write_scopes(
+    path: &str,
+    model: &FileModel,
+    manifest: &ScopeManifest,
+    findings: &mut Vec<Finding>,
+) {
+    let mut push = |line: usize, rule: &'static Rule, message: String| {
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+            severity: Severity::Error,
+        });
+    };
+    for w in &model.writes {
+        if w.head && w.receiver == Receiver::SelfRecv {
+            // Precise: `self.field` inside `impl S`.
+            let Some(target) = model.impl_target_at(w.line) else {
+                continue;
+            };
+            if let Some(c) = manifest.claimant_for(target, &w.field) {
+                if !c.owns.iter().any(|o| o == path) {
+                    push(
+                        w.line,
+                        &W001,
+                        format!(
+                            "write to `{}.{}` owned by component `{}`; only {} may \
+                             mutate it — route this through the component's API",
+                            target,
+                            w.field,
+                            c.name,
+                            c.owns.join(", ")
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
+        // By-name: receiver type unknown.
+        let claimants = manifest.claimants(&w.field);
+        if claimants.is_empty() {
+            continue;
+        }
+        if claimants.iter().any(|c| c.owns.iter().any(|o| o == path)) {
+            continue;
+        }
+        let names: Vec<&str> = claimants.iter().map(|c| c.name.as_str()).collect();
+        let owns: Vec<&str> = claimants
+            .iter()
+            .flat_map(|c| c.owns.iter().map(String::as_str))
+            .collect();
+        push(
+            w.line,
+            &W001,
+            format!(
+                "write to field `{}` claimed by component `{}`; only {} may \
+                 mutate it — route this through the component's API",
+                w.field,
+                names.join("`, `"),
+                owns.join(", ")
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use crate::scan::SourceFile;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(&SourceFile::scan(src))
+    }
+
+    const MANIFEST: &str = r#"
+# comment
+[component."demo.rwnd"]
+struct = "Rewriter"
+fields = ["wscale", "learned"]
+owns = ["crates/v/src/rwnd.rs"]
+
+[component."demo.rto"]
+struct = "Endpoint"
+fields = [
+    "rto",
+    "backoff",
+]
+owns = ["crates/t/src/endpoint.rs"]
+"#;
+
+    #[test]
+    fn manifest_parses_including_multiline_arrays() {
+        let m = ScopeManifest::parse(MANIFEST).expect("parses");
+        assert_eq!(m.components.len(), 2);
+        assert_eq!(m.components[0].name, "demo.rwnd");
+        assert_eq!(m.components[0].struct_name, "Rewriter");
+        assert_eq!(m.components[1].fields, vec!["rto", "backoff"]);
+        assert_eq!(m.components[1].owns, vec!["crates/t/src/endpoint.rs"]);
+    }
+
+    #[test]
+    fn syntax_errors_are_hard_errors() {
+        assert!(ScopeManifest::parse("[wrong.\"x\"]\n").is_err());
+        assert!(ScopeManifest::parse("struct = \"S\"\n").is_err());
+        assert!(ScopeManifest::parse("[component.\"c\"]\nstruct = unquoted\n").is_err());
+    }
+
+    #[test]
+    fn self_write_outside_owner_fires_and_inside_does_not() {
+        let m = ScopeManifest::parse(MANIFEST).unwrap();
+        let outside =
+            model("impl Rewriter {\n    fn f(&mut self) {\n        self.wscale = 3;\n    }\n}\n");
+        let mut findings = Vec::new();
+        check_write_scopes("crates/v/src/other.rs", &outside, &m, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+
+        let mut clean = Vec::new();
+        check_write_scopes("crates/v/src/rwnd.rs", &outside, &m, &mut clean);
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn self_write_resolves_struct_precisely() {
+        // `wscale` on an unrelated struct must not cross-fire.
+        let m = ScopeManifest::parse(MANIFEST).unwrap();
+        let other =
+            model("impl Probe {\n    fn f(&mut self) {\n        self.wscale = 3;\n    }\n}\n");
+        let mut findings = Vec::new();
+        check_write_scopes("crates/v/src/probe.rs", &other, &m, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn non_self_write_is_checked_by_name() {
+        let m = ScopeManifest::parse(MANIFEST).unwrap();
+        let f = model("fn f(r: &mut Rewriter) {\n    r.learned = true;\n}\n");
+        let mut findings = Vec::new();
+        check_write_scopes("crates/v/src/other.rs", &f, &m, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+
+        let mut clean = Vec::new();
+        check_write_scopes("crates/v/src/rwnd.rs", &f, &m, &mut clean);
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn duplicate_claim_is_a_manifest_error() {
+        let text = r#"
+[component."a"]
+struct = "S"
+fields = ["x"]
+owns = ["f.rs"]
+[component."b"]
+struct = "S"
+fields = ["x"]
+owns = ["f.rs"]
+"#;
+        let m = ScopeManifest::parse(text).unwrap();
+        let mut models = BTreeMap::new();
+        models.insert(
+            "f.rs".to_string(),
+            model("pub struct S {\n    pub x: u32,\n}\n"),
+        );
+        let mut findings = Vec::new();
+        m.validate(&models, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("claimed by both")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_annotation_is_a_manifest_error() {
+        let m = ScopeManifest::parse(MANIFEST).unwrap();
+        let mut models = BTreeMap::new();
+        models.insert(
+            "crates/v/src/rwnd.rs".to_string(),
+            model("//! acdc-scope: demo.rwnd\npub struct Rewriter {\n    pub wscale: u8,\n    pub learned: bool,\n}\n"),
+        );
+        models.insert(
+            "crates/t/src/endpoint.rs".to_string(),
+            model("pub struct Endpoint {\n    rto: u64,\n    backoff: u32,\n}\n"),
+        );
+        let mut findings = Vec::new();
+        m.validate(&models, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        models.insert(
+            "crates/v/src/stray.rs".to_string(),
+            model("// acdc-scope: demo.deleted\nfn f() {}\n"),
+        );
+        let mut findings = Vec::new();
+        m.validate(&models, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("demo.deleted"));
+    }
+
+    #[test]
+    fn missing_struct_in_owner_is_a_manifest_error() {
+        let m = ScopeManifest::parse(MANIFEST).unwrap();
+        let mut models = BTreeMap::new();
+        models.insert("crates/v/src/rwnd.rs".to_string(), model("fn f() {}\n"));
+        models.insert(
+            "crates/t/src/endpoint.rs".to_string(),
+            model("pub struct Endpoint {\n    rto: u64,\n    backoff: u32,\n}\n"),
+        );
+        let mut findings = Vec::new();
+        m.validate(&models, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Rewriter"));
+    }
+}

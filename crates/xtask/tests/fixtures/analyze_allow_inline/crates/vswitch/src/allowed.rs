@@ -1,0 +1,7 @@
+//! The inline escape hatch works for analyze rules exactly like lint
+//! ones: the RefCell below is W003, suppressed by the directive.
+
+pub struct Cache {
+    // acdc-lint: allow(W003) -- fixture: sanctioned single-thread cache
+    pub inner: std::cell::RefCell<Option<u64>>,
+}

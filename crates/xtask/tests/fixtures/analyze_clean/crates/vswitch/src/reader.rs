@@ -1,0 +1,13 @@
+//! Reading claimed state (and sequential, properly scoped locking) is
+//! fine anywhere; only writes cross the component boundary.
+
+use crate::rwnd::Rewriter;
+use crate::table::FlowSlot;
+
+pub fn observe(r: &Rewriter, a: &FlowSlot, b: &FlowSlot) -> bool {
+    {
+        let _ga = a.entry.lock();
+    }
+    let _gb = b.entry.lock();
+    r.is_learned()
+}

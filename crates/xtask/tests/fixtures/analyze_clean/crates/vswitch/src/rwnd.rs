@@ -1,0 +1,11 @@
+//! acdc-scope: demo.rwnd
+
+pub struct Rewriter {
+    wscale_learned: bool,
+}
+
+impl Rewriter {
+    pub fn learn(&mut self) {
+        self.wscale_learned = true;
+    }
+}

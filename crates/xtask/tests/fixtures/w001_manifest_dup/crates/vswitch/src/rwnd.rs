@@ -1,0 +1,12 @@
+//! The source itself is clean; the manifest's duplicate claim is the
+//! only finding.
+
+pub struct Rewriter {
+    pub wscale_learned: bool,
+}
+
+impl Rewriter {
+    pub fn learn(&mut self) {
+        self.wscale_learned = true;
+    }
+}

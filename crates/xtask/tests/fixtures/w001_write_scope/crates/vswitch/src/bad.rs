@@ -1,0 +1,8 @@
+//! A foreign module scribbling on the component's claimed state: the
+//! write to `wscale_learned` below is the single W001 finding.
+
+use crate::rwnd::Rewriter;
+
+pub fn adopt(r: &mut Rewriter) {
+    r.wscale_learned = true;
+}

@@ -1,0 +1,15 @@
+//! The owning module: writes to the claimed fields are sanctioned here.
+//!
+//! acdc-scope: demo.rwnd
+
+pub struct Rewriter {
+    pub wscale_learned: bool,
+    pub ack_wscale: u8,
+}
+
+impl Rewriter {
+    pub fn learn(&mut self, wscale: u8) {
+        self.ack_wscale = wscale;
+        self.wscale_learned = true;
+    }
+}

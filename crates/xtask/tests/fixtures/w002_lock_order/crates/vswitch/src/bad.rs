@@ -1,0 +1,10 @@
+//! Unordered entry→entry lock nesting: the second `.lock()` while the
+//! first guard is live is the single W002 finding.
+
+use crate::table::FlowSlot;
+
+pub fn transfer(a: &FlowSlot, b: &FlowSlot) {
+    let ga = a.entry.lock();
+    let gb = b.entry.lock();
+    let _ = (ga, gb);
+}

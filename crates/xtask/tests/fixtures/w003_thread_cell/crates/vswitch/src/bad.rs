@@ -1,0 +1,6 @@
+//! Single-thread-only interior mutability in a crate slated to go
+//! multicore: the `RefCell` below is the single W003 finding.
+
+pub struct Cache {
+    pub inner: std::cell::RefCell<Option<u64>>,
+}

@@ -8,6 +8,7 @@
 #
 #   scripts/check.sh            # run every stage, in order
 #   scripts/check.sh lint       # formatting + clippy + acdc-xtask lint
+#   scripts/check.sh analyze    # write-scope / lock-order / thread-readiness
 #   scripts/check.sh test       # workspace tests + packet proptests
 #   scripts/check.sh strict     # tests under --features strict-invariants
 #   scripts/check.sh chaos      # fault-injection suite (plain features)
@@ -33,6 +34,11 @@ stage_lint() {
         echo "error: wire-input parses must be fallible (drop + count), not unwrap/expect" >&2
         return 1
     fi
+}
+
+stage_analyze() {
+    echo "==> acdc-xtask analyze (W-series: write-scope, lock-order, thread-readiness)"
+    cargo run -q -p acdc-xtask -- analyze
 }
 
 stage_test() {
@@ -74,11 +80,11 @@ stage_strict() {
     cargo test -q --features strict-invariants --test chaos --test rto_backoff --test overload
 }
 
-ALL_STAGES=(lint test bench chaos strict)
+ALL_STAGES=(lint analyze test bench chaos strict)
 
 run_stage() {
     case "$1" in
-        lint | test | bench | chaos | strict) "stage_$1" ;;
+        lint | analyze | test | bench | chaos | strict) "stage_$1" ;;
         *)
             echo "error: unknown stage '$1' (expected: ${ALL_STAGES[*]})" >&2
             exit 2

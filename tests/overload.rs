@@ -160,12 +160,12 @@ fn run_reset() -> (Snap, Snap, LinkFaultStats, u64, u64) {
         let dp = tb.host_mut(0).datapath();
         let adopted = dp.table().get(&h.key).expect("flow re-adopted");
         assert!(
-            !adopted.lock().wscale_learned,
+            !adopted.lock().rwnd.learned(),
             "adopted entry must not claim a learned scale"
         );
         let fresh = dp.table().get(&h2.key).expect("post-reset flow tracked");
         assert!(
-            fresh.lock().wscale_learned,
+            fresh.lock().rwnd.learned(),
             "handshake observed → scale learned"
         );
         // The restart epoch is on the health trace.

@@ -105,7 +105,7 @@ fn computed_window_tracks_native_dctcp() {
         let dp = tb.host_mut(0).datapath();
         let e = dp.table().get(&h.key).unwrap();
         let guard = e.lock();
-        guard.window_trace.clone().unwrap()
+        guard.rwnd.trace().unwrap().to_vec()
     };
     assert!(rwnd.len() > 100, "enough samples: {}", rwnd.len());
 
