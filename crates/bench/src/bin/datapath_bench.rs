@@ -17,6 +17,13 @@
 //! `acdc - construct` is the per-packet datapath cost proper;
 //! `acdc - baseline` is the paper's "added cost" (Figures 11/12).
 //!
+//! `--workers N` additionally measures the multi-core datapath: batches
+//! of pre-built egress packets pushed through the run-to-completion
+//! worker engine (`acdc-workers`) at N = 1 and N workers, reporting
+//! per-worker and aggregate pkts/sec medians alongside the ns/pkt
+//! columns. Construction happens outside the timed region, so the
+//! quotient of the two tiers is datapath scaling, not harness scaling.
+//!
 //! `--json PATH` writes the machine-readable result (hand-rolled JSON,
 //! no serde) consumed by `scripts/bench.sh` as `BENCH_pr3.json`.
 
@@ -26,7 +33,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use acdc_bench::experiments::fig1112::{ack_packet, data_packet, populate};
+use acdc_packet::Segment;
 use acdc_vswitch::{AcdcConfig, AcdcDatapath};
+use acdc_workers::{Direction, WorkerEngine};
 
 /// Pre-refactor AC/DC medians (ns/pkt) measured with this same
 /// interleaved-median harness at the seed commit (`d1bf1d4`, before the
@@ -119,6 +128,115 @@ fn run_side(flows: usize, iters: usize, reps: usize, egress: bool) -> SideResult
     }
 }
 
+/// One worker tier of the multi-core measurement.
+struct WorkerTier {
+    n: usize,
+    /// Median aggregate throughput across reps (packets/second).
+    aggregate_pps: f64,
+    /// Per-worker throughput of the median rep, worker order.
+    per_worker_pps: Vec<f64>,
+}
+
+/// Batch size of the worker tiers: big enough that per-batch thread
+/// scope setup is noise against ~ms of datapath work per batch.
+const WORKER_BATCH: usize = 8_192;
+
+/// Push `iters` pre-built egress packets through `engine` in
+/// [`WORKER_BATCH`]-sized batches; returns (aggregate pps, per-worker
+/// pps). Segment construction and steering bookkeeping sit outside the
+/// timed region — only grouping, the batched flow-table pre-pass and
+/// run-to-completion processing are on the clock.
+#[allow(clippy::disallowed_methods)] // wall-clock is the measurement here
+fn measure_workers(
+    dp: &AcdcDatapath,
+    engine: &WorkerEngine,
+    flows: usize,
+    iters: usize,
+) -> (f64, Vec<f64>) {
+    let mut counts = vec![0u64; engine.workers()];
+    let mut spent = 0u128;
+    let mut k = 0usize;
+    let mut off = 0u32;
+    let mut now = 1_000u64;
+    while k < iters {
+        let m = WORKER_BATCH.min(iters - k);
+        let batch: Vec<Segment> = (0..m).map(|j| data_packet((k + j) % flows, off)).collect();
+        for seg in &batch {
+            counts[engine.steer(seg)] += 1;
+        }
+        now += 1;
+        let start = Instant::now();
+        black_box(engine.process_batch_parallel(dp, now, Direction::Egress, batch));
+        spent += start.elapsed().as_nanos();
+        k += m;
+        if k % flows < m {
+            off = off.wrapping_add(1_448);
+        }
+    }
+    let secs = spent as f64 / 1e9;
+    let aggregate = iters as f64 / secs;
+    let per_worker = counts.iter().map(|&c| c as f64 / secs).collect();
+    (aggregate, per_worker)
+}
+
+/// The multi-core tiers: N = 1 and N = `workers` over one shared,
+/// pre-populated AC/DC datapath. Reports the median-aggregate rep.
+fn run_workers(flows: usize, iters: usize, reps: usize, workers: usize) -> Vec<WorkerTier> {
+    let dp = AcdcDatapath::new(AcdcConfig::dctcp(1500));
+    populate(&dp, flows);
+    let mut ns: Vec<usize> = vec![1];
+    if workers > 1 {
+        ns.push(workers);
+    }
+    ns.iter()
+        .map(|&n| {
+            let engine = WorkerEngine::new(&dp, n);
+            let mut runs: Vec<(f64, Vec<f64>)> = (0..reps)
+                .map(|_| measure_workers(&dp, &engine, flows, iters))
+                .collect();
+            runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in timings"));
+            let (aggregate_pps, per_worker_pps) = runs.swap_remove(runs.len() / 2);
+            WorkerTier {
+                n,
+                aggregate_pps,
+                per_worker_pps,
+            }
+        })
+        .collect()
+}
+
+fn json_workers(flows: usize, iters: usize, tiers: &[WorkerTier]) -> String {
+    let speedup = match (tiers.first(), tiers.last()) {
+        (Some(one), Some(top)) if one.aggregate_pps > 0.0 => top.aggregate_pps / one.aggregate_pps,
+        _ => 1.0,
+    };
+    let tier_objs: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            let per: Vec<String> = t.per_worker_pps.iter().map(|p| format!("{p:.0}")).collect();
+            format!(
+                "{{\"n\": {}, \"aggregate_pps\": {:.0}, \"per_worker_pps\": [{}]}}",
+                t.n,
+                t.aggregate_pps,
+                per.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"flows\": {}, \"iters\": {}, \"batch\": {}, ",
+            "\"unit\": \"pkts_per_sec_median\", \"hardware_concurrency\": {}, ",
+            "\"tiers\": [{}], \"speedup_vs_1\": {:.2}}}"
+        ),
+        flows,
+        iters,
+        WORKER_BATCH,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        tier_objs.join(", "),
+        speedup
+    )
+}
+
 fn json_side(s: &SideResult, reference: f64) -> String {
     let datapath_only = s.acdc - s.construct;
     let added = s.acdc - s.baseline;
@@ -141,6 +259,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut ref_egress = REF_EGRESS_ACDC_NS;
     let mut ref_ingress = REF_INGRESS_ACDC_NS;
+    let mut workers = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -178,6 +297,10 @@ fn main() {
                 ref_ingress = need(i).parse().expect("--ref-ingress NS");
                 i += 1;
             }
+            "--workers" => {
+                workers = need(i).parse().expect("--workers N");
+                i += 1;
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -203,12 +326,47 @@ fn main() {
         );
     }
 
+    let workers_json = if workers > 0 {
+        let tiers = run_workers(flows, iters, reps, workers);
+        for t in &tiers {
+            let per: Vec<String> = t
+                .per_worker_pps
+                .iter()
+                .enumerate()
+                .map(|(w, p)| format!("w{w} {:.2}M", p / 1e6))
+                .collect();
+            eprintln!(
+                "workers n={}  aggregate {:>6.2} Mpps  [{}]",
+                t.n,
+                t.aggregate_pps / 1e6,
+                per.join("  ")
+            );
+        }
+        if let (Some(one), Some(top)) = (tiers.first(), tiers.last()) {
+            let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+            eprintln!(
+                "workers speedup: {:.2}x at n={} vs n=1 (hardware concurrency: {hw})",
+                top.aggregate_pps / one.aggregate_pps,
+                top.n
+            );
+            if hw < top.n {
+                eprintln!(
+                    "workers note: only {hw} hardware thread(s) — workers time-slice \
+                     one core, so no parallel speedup is expected on this machine"
+                );
+            }
+        }
+        Some(json_workers(flows, iters, &tiers))
+    } else {
+        None
+    };
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"pr3_single_parse_datapath\",\n",
             "  \"flows\": {},\n  \"iters\": {},\n  \"reps\": {},\n",
             "  \"unit\": \"ns_per_packet_median\",\n",
-            "  \"egress\": {},\n  \"ingress\": {},\n",
+            "  \"egress\": {},\n  \"ingress\": {},\n{}",
             "  \"telemetry\": {{\"egress\": {}, \"ingress\": {}}}\n}}\n"
         ),
         flows,
@@ -216,6 +374,9 @@ fn main() {
         reps,
         json_side(&egress, ref_egress),
         json_side(&ingress, ref_ingress),
+        workers_json
+            .map(|w| format!("  \"workers\": {w},\n"))
+            .unwrap_or_default(),
         egress.telemetry_json.trim_end(),
         ingress.telemetry_json.trim_end(),
     );

@@ -42,19 +42,27 @@ fn flow_ips(i: usize) -> ([u8; 4], [u8; 4]) {
     )
 }
 
+/// Source port of flow `i`. The IP pair encodes only 16 bits of `i`, so
+/// tiers past 65 536 flows (the `--workers` 100 k tier) disambiguate via
+/// the port; below that it stays the historical constant 40 000, keeping
+/// the committed ns/pkt baselines comparable.
+fn flow_port(i: usize) -> u16 {
+    40_000 + (i >> 16) as u16
+}
+
 /// Populate a datapath with `n` established flows (SYN handshakes seen on
 /// egress, SYN-ACKs on ingress), as on a busy sender.
 pub fn populate(dp: &AcdcDatapath, n: usize) {
     for i in 0..n {
         let (a, b) = flow_ips(i);
-        let mut syn = TcpRepr::new(40_000, 5_001);
+        let mut syn = TcpRepr::new(flow_port(i), 5_001);
         syn.seq = SeqNumber(1_000);
         syn.flags = TcpFlags::SYN;
         syn.options = vec![TcpOption::MaxSegmentSize(1448), TcpOption::WindowScale(9)];
         let syn = Segment::new_tcp(ip(a, b), syn, 0);
         let _ = dp.egress(0, syn);
 
-        let mut synack = TcpRepr::new(5_001, 40_000);
+        let mut synack = TcpRepr::new(5_001, flow_port(i));
         synack.seq = SeqNumber(9_000);
         synack.ack = SeqNumber(1_001);
         synack.flags = TcpFlags::SYN | TcpFlags::ACK;
@@ -67,7 +75,7 @@ pub fn populate(dp: &AcdcDatapath, n: usize) {
 /// A data segment of flow `i` (sender egress direction).
 pub fn data_packet(i: usize, off: u32) -> Segment {
     let (a, b) = flow_ips(i);
-    let mut t = TcpRepr::new(40_000, 5_001);
+    let mut t = TcpRepr::new(flow_port(i), 5_001);
     t.seq = SeqNumber(1_001 + off);
     t.ack = SeqNumber(9_001);
     t.flags = TcpFlags::ACK;
@@ -78,7 +86,7 @@ pub fn data_packet(i: usize, off: u32) -> Segment {
 /// An ACK of flow `i` arriving at the sender (ingress direction).
 pub fn ack_packet(i: usize, off: u32) -> Segment {
     let (a, b) = flow_ips(i);
-    let mut t = TcpRepr::new(5_001, 40_000);
+    let mut t = TcpRepr::new(5_001, flow_port(i));
     t.seq = SeqNumber(9_001);
     t.ack = SeqNumber(1_001 + off);
     t.flags = TcpFlags::ACK;

@@ -31,6 +31,7 @@ use acdc_stats::TimeSeries;
 use acdc_tcp::{Endpoint, TcpConfig};
 use acdc_telemetry::{Counter, EventKind, Telemetry, NO_FLOW};
 use acdc_vswitch::{AcdcConfig, AcdcDatapath, Verdict};
+use acdc_workers::{Direction, WorkerEngine};
 use acdc_workloads::apps::App;
 
 /// Identifies one flow end-to-end in a [`crate::Testbed`].
@@ -180,6 +181,10 @@ pub struct HostNode {
     corrupt_drops: Counter,
     /// Next scheduled vSwitch maintenance tick.
     next_dp_tick: Nanos,
+    /// RSS-style worker engine: when set, every packet goes through
+    /// [`WorkerEngine::dispatch`] (run-to-completion on the steered
+    /// worker's sink) instead of the single-threaded entry points.
+    workers: Option<WorkerEngine>,
 }
 
 impl HostNode {
@@ -202,6 +207,32 @@ impl HostNode {
             armed: None,
             corrupt_drops,
             next_dp_tick: DP_TICK_PERIOD,
+            workers: None,
+        }
+    }
+
+    /// Route this host's datapath through an `n`-worker engine
+    /// (dispatch mode: packets are steered by flow hash and processed
+    /// run-to-completion in delivery order, so enforcement semantics are
+    /// identical to the single-threaded path for any `n`; only the
+    /// observability routing changes). `n = 0` removes the engine.
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = (n > 0).then(|| WorkerEngine::new(&self.datapath, n));
+    }
+
+    /// The worker engine, if [`HostNode::set_workers`] installed one.
+    pub fn worker_engine(&self) -> Option<&WorkerEngine> {
+        self.workers.as_ref()
+    }
+
+    /// Run a segment through the datapath in the configured mode.
+    fn dp_process(&self, now: Nanos, dir: Direction, seg: Segment) -> Verdict {
+        match &self.workers {
+            Some(engine) => engine.dispatch(&self.datapath, now, dir, seg),
+            None => match dir {
+                Direction::Egress => self.datapath.egress(now, seg),
+                Direction::Ingress => self.datapath.ingress(now, seg),
+            },
         }
     }
 
@@ -344,7 +375,7 @@ impl HostNode {
     /// never wait, and the engine only reports queue departures).
     fn send_out(&mut self, ctx: &mut Ctx<'_>, seg: Segment) -> u64 {
         let now = ctx.now();
-        match self.datapath.egress(now, seg) {
+        match self.dp_process(now, Direction::Egress, seg) {
             Verdict::Forward(s) => self.rl_transmit(ctx, s),
             Verdict::ForwardWithExtra(s, extra) => {
                 self.rl_transmit(ctx, s) + self.rl_transmit(ctx, extra)
@@ -550,7 +581,7 @@ impl Node for HostNode {
             return;
         }
         let key = meta.flow.reverse();
-        match self.datapath.ingress(now, seg) {
+        match self.dp_process(now, Direction::Ingress, seg) {
             Verdict::Forward(s) => {
                 if let Some(&idx) = self.by_key.get(&key) {
                     self.conns[idx].ep.on_segment(now, &s);

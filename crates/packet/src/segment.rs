@@ -18,8 +18,19 @@
 //! packet. Only the raw escape hatches [`Segment::ip_mut`] and
 //! [`Segment::tcp_mut`] invalidate the cache, forcing a re-parse at the
 //! next access. See DESIGN.md §9.
+//!
+//! The cache is split for speed and `Send + Sync`: constructors and the
+//! coherent mutators — which all hold `&mut` or ownership — write a
+//! plain `Option<PacketMeta>` field at zero synchronization cost, while
+//! the rare lazy fill through `&self` (a re-parse after a raw mutable
+//! view invalidated the cache) lands in a [`OnceLock`] fallback slot.
+//! That makes `Segment` freely movable between the run-to-completion
+//! workers of `acdc-workers` (DESIGN.md §13) with no interior-mutability
+//! hazards — the `RefCell` this replaced was the last W003
+//! thread-readiness grandfather in the packet pipeline — without paying
+//! the `Once` synchronization path on every locally built packet.
 
-use std::cell::RefCell;
+use std::sync::OnceLock;
 
 use bytes::{Bytes, BytesMut};
 
@@ -105,9 +116,14 @@ impl core::fmt::Display for FlowKey {
 pub struct Segment {
     buf: BytesMut,
     payload_len: usize,
-    /// Parse-once cache. `None` until first access or after a raw mutable
-    /// view invalidated it; the maintained mutators keep it coherent.
-    meta: RefCell<Option<PacketMeta>>,
+    /// Eager parse cache: filled by constructors and kept coherent by the
+    /// maintained mutators (all of which hold `&mut`). Takes precedence
+    /// over [`Segment::lazy_meta`].
+    meta: Option<PacketMeta>,
+    /// Lazy `&self` fill for the cold path — a re-parse after a raw
+    /// mutable view cleared the eager cache. Both slots are reset
+    /// together on invalidation.
+    lazy_meta: OnceLock<PacketMeta>,
 }
 
 impl Segment {
@@ -140,7 +156,8 @@ impl Segment {
         Segment {
             buf,
             payload_len,
-            meta: RefCell::new(meta),
+            meta,
+            lazy_meta: OnceLock::new(),
         }
     }
 
@@ -189,7 +206,8 @@ impl Segment {
         Segment {
             buf,
             payload_len,
-            meta: RefCell::new(Some(meta)),
+            meta: Some(meta),
+            lazy_meta: OnceLock::new(),
         }
     }
 
@@ -200,8 +218,8 @@ impl Segment {
     /// and never pay a parse. Panic-free on truncated buffers.
     #[inline]
     pub fn is_tcp(&self) -> bool {
-        match *self.meta.borrow() {
-            Some(ref m) => m.protocol == PROTO_TCP,
+        match self.cached_meta() {
+            Some(m) => m.protocol == PROTO_TCP,
             None => self.buf.get(crate::ipv4::field::PROTOCOL) == Some(&PROTO_TCP),
         }
     }
@@ -214,7 +232,8 @@ impl Segment {
         Ok(Segment {
             buf,
             payload_len,
-            meta: RefCell::new(Some(meta)),
+            meta: Some(meta),
+            lazy_meta: OnceLock::new(),
         })
     }
 
@@ -226,28 +245,53 @@ impl Segment {
     /// return `Err` — callers drop and count, never panic.
     #[inline]
     pub fn try_meta(&self) -> Result<PacketMeta> {
-        let mut slot = self.meta.borrow_mut();
-        if let Some(m) = *slot {
-            return Ok(m);
+        if let Some(m) = self.cached_meta() {
+            return Ok(*m);
         }
         let m = PacketMeta::parse(&self.buf)?;
-        *slot = Some(m);
-        Ok(m)
+        // A racing filler parsed the same immutable bytes: either copy wins.
+        Ok(*self.lazy_meta.get_or_init(|| m))
+    }
+
+    /// Whichever cache slot currently holds a parse (eager wins).
+    #[inline]
+    fn cached_meta(&self) -> Option<&PacketMeta> {
+        self.meta.as_ref().or_else(|| self.lazy_meta.get())
     }
 
     /// Is the meta cache currently populated? (Test hook for the
     /// invalidation rules; not meaningful on the hot path.)
     #[inline]
     pub fn meta_is_cached(&self) -> bool {
-        self.meta.borrow().is_some()
+        self.cached_meta().is_some()
+    }
+
+    /// Reset both cache slots (raw mutable views: anything may change).
+    #[inline]
+    fn invalidate_meta(&mut self) {
+        self.meta = None;
+        self.lazy_meta = OnceLock::new();
+    }
+
+    /// Install a known-coherent parse in the eager slot, clearing any
+    /// stale lazy fill.
+    #[inline]
+    fn set_meta(&mut self, m: PacketMeta) {
+        self.meta = Some(m);
+        self.lazy_meta = OnceLock::new();
     }
 
     /// Apply `patch` to the cached meta, if one is cached. Mutators that
     /// keep the cache coherent use this: a cold cache stays cold (the
-    /// next `try_meta` re-parses the — already updated — bytes).
+    /// next `try_meta` re-parses the — already updated — bytes). A
+    /// lazily-filled cache is promoted into the eager slot first, so
+    /// every patched parse lives where later patches find it.
     #[inline]
-    fn patch_meta(&self, patch: impl FnOnce(&mut PacketMeta)) {
-        if let Some(m) = self.meta.borrow_mut().as_mut() {
+    fn patch_meta(&mut self, patch: impl FnOnce(&mut PacketMeta)) {
+        if self.meta.is_none() {
+            self.meta = self.lazy_meta.take();
+        }
+        if let Some(m) = &mut self.meta {
             patch(m);
         }
     }
@@ -285,7 +329,7 @@ impl Segment {
     /// change anything, so the next meta access re-parses. Datapath code
     /// uses the maintained mutators instead.
     pub fn ip_mut(&mut self) -> Ipv4Packet<&mut [u8]> {
-        self.meta.replace(None);
+        self.invalidate_meta();
         Ipv4Packet::new_unchecked(&mut self.buf[..])
     }
 
@@ -308,7 +352,7 @@ impl Segment {
     /// Mutable TCP header view. Invalidates the meta cache, like
     /// [`Segment::ip_mut`].
     pub fn tcp_mut(&mut self) -> TcpPacket<&mut [u8]> {
-        self.meta.replace(None);
+        self.invalidate_meta();
         let ihl = self.ip().header_len();
         TcpPacket::new_unchecked(&mut self.buf[ihl..])
     }
@@ -325,8 +369,8 @@ impl Segment {
     /// ECN codepoint from the IP header.
     #[inline]
     pub fn ecn(&self) -> Ecn {
-        match *self.meta.borrow() {
-            Some(ref m) => m.ecn,
+        match self.cached_meta() {
+            Some(m) => m.ecn,
             None => self.ip().ecn(),
         }
     }
@@ -349,8 +393,8 @@ impl Segment {
     /// TCP flags.
     #[inline]
     pub fn tcp_flags(&self) -> TcpFlags {
-        match *self.meta.borrow() {
-            Some(ref m) => m.flags,
+        match self.cached_meta() {
+            Some(m) => m.flags,
             None => self.tcp().flags(),
         }
     }
@@ -495,7 +539,7 @@ impl Segment {
         m.l4_header_len = new_thl as u8;
         m.pack_off = Some((ihl + thl) as u16);
         m.pack = Some(pack);
-        self.meta.replace(Some(m));
+        self.set_meta(m);
         true
     }
 
@@ -534,7 +578,7 @@ impl Segment {
         m.l4_header_len = new_thl as u8;
         m.pack_off = None;
         m.pack = None;
-        self.meta.replace(Some(m));
+        self.set_meta(m);
         true
     }
 
@@ -724,6 +768,21 @@ mod tests {
         r.flags = TcpFlags::ACK;
         r.window = 1234;
         r
+    }
+
+    #[test]
+    fn segment_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Segment>();
+    }
+
+    #[test]
+    fn meta_cache_survives_cross_thread_move() {
+        let seg = Segment::new_tcp(ip_repr(), tcp_repr(), 100);
+        let meta = seg.try_meta().unwrap();
+        let back = std::thread::spawn(move || seg).join().unwrap();
+        assert!(back.meta_is_cached());
+        assert_eq!(back.try_meta().unwrap(), meta);
     }
 
     #[test]

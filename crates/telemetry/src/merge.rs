@@ -1,0 +1,181 @@
+//! Deterministic merging of per-worker telemetry hubs (DESIGN.md §13).
+//!
+//! The run-to-completion worker engine gives every worker a private hub
+//! so recording never contends — or interleaves nondeterministically —
+//! across workers. The price is paid here, once, at snapshot time:
+//!
+//! * **Metrics** merge by name: counters *sum* (each worker counted a
+//!   disjoint share of the packets), gauges take the *max* (they sample
+//!   instantaneous state; the merged view reports the high-water rung).
+//!   The result is sorted by name, like `snapshot_all`, so the merged
+//!   JSON is byte-identical run-to-run for deterministic inputs.
+//! * **Events** merge k-way by `(at, hub index, seq)`: within one hub
+//!   the recorder's own sequence numbers order events; across hubs at
+//!   the same virtual instant the hub (worker) index breaks the tie.
+//!   Same seed + same hub list ⇒ the same byte-identical event stream,
+//!   regardless of OS thread scheduling during the run.
+
+use std::fmt::Write as _;
+
+use acdc_stats::time::Nanos;
+
+use crate::event::Event;
+use crate::metrics::{MetricKind, MetricValue};
+use crate::Telemetry;
+
+/// Merge point-in-time metric values from several hubs: counters sum,
+/// gauges max, result sorted by name. Panics if two hubs register the
+/// same name with different kinds — the worker sinks all share one
+/// registration schema, so that is a construction bug, not input noise.
+pub fn merge_snapshots(hubs: &[&Telemetry]) -> Vec<MetricValue> {
+    let mut merged: Vec<MetricValue> = Vec::new();
+    for hub in hubs {
+        for m in hub.registry().snapshot_all() {
+            match merged.iter_mut().find(|x| x.name == m.name) {
+                Some(x) => {
+                    assert!(
+                        x.kind == m.kind,
+                        "metric `{}` registered as {} in one hub and {} in another",
+                        m.name,
+                        x.kind.name(),
+                        m.kind.name()
+                    );
+                    x.value = match m.kind {
+                        MetricKind::Counter => x.value + m.value,
+                        MetricKind::Gauge => x.value.max(m.value),
+                    };
+                }
+                None => merged.push(m),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
+}
+
+/// [`merge_snapshots`] serialized in the standard `acdc-telemetry/v1`
+/// snapshot schema — a drop-in replacement for one registry's
+/// `snapshot_json` when the run was split across worker hubs.
+pub fn merged_snapshot_json(hubs: &[&Telemetry], at: Nanos) -> String {
+    let merged = merge_snapshots(hubs);
+    let mut out = String::with_capacity(64 + merged.len() * 56);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"acdc-telemetry/v1\",\"at\":{at},\"metrics\":["
+    );
+    for (i, m) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"value\":{}}}",
+            m.name,
+            m.kind.name(),
+            m.value
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// K-way merge of every hub's event ring into one deterministic stream,
+/// ordered by `(at, hub index, seq)`. Hub order in `hubs` is the
+/// tiebreak at equal timestamps, so pass workers in index order.
+pub fn merge_events(hubs: &[&Telemetry]) -> Vec<Event> {
+    let mut keyed: Vec<(Nanos, usize, u64, Event)> = Vec::new();
+    for (idx, hub) in hubs.iter().enumerate() {
+        for e in hub.recorder().events() {
+            keyed.push((e.at, idx, e.seq, e));
+        }
+    }
+    keyed.sort_by_key(|(at, idx, seq, _)| (*at, *idx, *seq));
+    keyed.into_iter().map(|(_, _, _, e)| e).collect()
+}
+
+/// [`merge_events`] as JSON Lines (one event per line, trailing newline
+/// after every line) — the merged-stream analogue of one recorder's
+/// `dump_jsonl`.
+pub fn merged_events_jsonl(hubs: &[&Telemetry]) -> String {
+    let events = merge_events(hubs);
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in &events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NO_FLOW};
+
+    #[test]
+    fn counters_sum_and_gauges_max() {
+        let a = Telemetry::new(8);
+        let b = Telemetry::new(8);
+        a.registry().counter("acdc.x").add(3);
+        b.registry().counter("acdc.x").add(4);
+        a.registry().gauge("acdc.depth").set(2);
+        b.registry().gauge("acdc.depth").set(7);
+        a.registry().counter("acdc.only_a").add(1);
+        let merged = merge_snapshots(&[&a, &b]);
+        let get = |n: &str| merged.iter().find(|m| m.name == n).unwrap().value;
+        assert_eq!(get("acdc.x"), 7);
+        assert_eq!(get("acdc.depth"), 7);
+        assert_eq!(get("acdc.only_a"), 1);
+        assert!(merged.windows(2).all(|w| w[0].name < w[1].name), "sorted");
+    }
+
+    #[test]
+    fn merged_json_matches_single_hub_for_one_input() {
+        let a = Telemetry::new(8);
+        a.registry().counter("acdc.x").add(5);
+        a.registry().gauge("acdc.g").set(2);
+        assert_eq!(
+            merged_snapshot_json(&[&a], 99),
+            a.registry().snapshot_json(99)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflicts_panic() {
+        let a = Telemetry::new(8);
+        let b = Telemetry::new(8);
+        a.registry().counter("dup").inc();
+        b.registry().gauge("dup").set(1);
+        merge_snapshots(&[&a, &b]);
+    }
+
+    #[test]
+    fn events_merge_by_time_then_hub_then_seq() {
+        let a = Telemetry::new(8);
+        let b = Telemetry::new(8);
+        a.record(10, NO_FLOW, EventKind::FlowCreated);
+        a.record(30, NO_FLOW, EventKind::FlowCreated);
+        b.record(10, NO_FLOW, EventKind::AdmissionRejected);
+        b.record(20, NO_FLOW, EventKind::AdmissionRejected);
+        let merged = merge_events(&[&a, &b]);
+        let shape: Vec<(Nanos, u64)> = merged.iter().map(|e| (e.at, e.seq)).collect();
+        // t=10: hub a before hub b; then b@20, a@30.
+        assert_eq!(shape, vec![(10, 0), (10, 0), (20, 1), (30, 1)]);
+        assert!(matches!(merged[0].kind, EventKind::FlowCreated));
+        assert!(matches!(merged[1].kind, EventKind::AdmissionRejected));
+    }
+
+    #[test]
+    fn merged_stream_is_stable_across_calls() {
+        let a = Telemetry::new(8);
+        let b = Telemetry::new(8);
+        for at in 0..5 {
+            a.record(at, NO_FLOW, EventKind::FlowCreated);
+            b.record(at, NO_FLOW, EventKind::AdmissionRejected);
+        }
+        assert_eq!(
+            merged_events_jsonl(&[&a, &b]),
+            merged_events_jsonl(&[&a, &b])
+        );
+    }
+}

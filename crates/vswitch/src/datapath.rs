@@ -269,6 +269,57 @@ pub struct FlowStat {
     pub closing: bool,
 }
 
+/// Where one processing context's observability goes: the counters to
+/// bump and the hub to record events on. The legacy single-threaded
+/// entry points pass the datapath's own counters/hub; the per-worker
+/// entry points pass a [`WorkerSink`]'s. Enforcement state (table,
+/// health, config) is never duplicated — only observability routes.
+struct Obs<'a> {
+    counters: &'a AcdcCounters,
+    telemetry: &'a Telemetry,
+}
+
+/// One worker's observability context: a private telemetry hub plus the
+/// full `acdc.*` counter set registered in that hub's registry.
+///
+/// The run-to-completion engine (`acdc-workers`) hands each worker its
+/// own sink, so per-packet counting and event recording never interleave
+/// nondeterministically across workers; at snapshot time the per-worker
+/// hubs merge deterministically (counters sum, events k-way merge — see
+/// `acdc-telemetry`'s merge helpers). Global concerns — the health
+/// ladder, gc, the occupancy gauges — stay on the datapath's main hub
+/// regardless of which sink processed the packet, so a merged view is
+/// always "main hub + every worker hub".
+pub struct WorkerSink {
+    index: usize,
+    telemetry: Arc<Telemetry>,
+    counters: AcdcCounters,
+}
+
+impl WorkerSink {
+    /// The worker index this sink was created for (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The worker's private telemetry hub.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// The worker's counters (same `acdc.*` names as the main hub's).
+    pub fn counters(&self) -> &AcdcCounters {
+        &self.counters
+    }
+
+    fn obs(&self) -> Obs<'_> {
+        Obs {
+            counters: &self.counters,
+            telemetry: &self.telemetry,
+        }
+    }
+}
+
 /// The AC/DC datapath instance of one host's vSwitch.
 pub struct AcdcDatapath {
     cfg: AcdcConfig,
@@ -313,6 +364,27 @@ impl AcdcDatapath {
     /// The configuration.
     pub fn config(&self) -> &AcdcConfig {
         &self.cfg
+    }
+
+    fn obs(&self) -> Obs<'_> {
+        Obs {
+            counters: &self.counters,
+            telemetry: &self.telemetry,
+        }
+    }
+
+    /// Build worker `index`'s observability sink: a fresh telemetry hub
+    /// with the full counter set registered under `acdc.*`. Sinks are
+    /// cheap and independent; the engine creates one per worker and
+    /// merges their snapshots after a run.
+    pub fn worker_sink(&self, index: usize) -> WorkerSink {
+        let telemetry = Telemetry::with_default_capacity();
+        let counters = AcdcCounters::register(telemetry.registry());
+        WorkerSink {
+            index,
+            telemetry,
+            counters,
+        }
     }
 
     /// Event counters.
@@ -370,27 +442,33 @@ impl AcdcDatapath {
     /// overload for the promotion logic, and drop to pass-through — if
     /// admission is failing, per-flow work is no longer trustworthy, and
     /// forwarding untouched is always safe (§3.3 fail-safe).
-    fn on_admission_reject(&self, now: Nanos, key: &acdc_packet::FlowKey) {
-        AcdcCounters::bump(&self.counters.admission_rejects);
-        self.telemetry
+    fn on_admission_reject(&self, obs: &Obs<'_>, now: Nanos, key: &acdc_packet::FlowKey) {
+        AcdcCounters::bump(&obs.counters.admission_rejects);
+        obs.telemetry
             .record(now, *key, EventKind::AdmissionRejected);
         self.overload_seen.store(true, Ordering::Relaxed);
         self.set_health(now, HealthState::PassThrough);
     }
 
     /// Bookkeeping after a create-capable table op that was admitted.
-    fn note_admission(&self, now: Nanos, key: &acdc_packet::FlowKey, adm: Admission) {
+    fn note_admission(
+        &self,
+        obs: &Obs<'_>,
+        now: Nanos,
+        key: &acdc_packet::FlowKey,
+        adm: Admission,
+    ) {
         if let Admission::CreatedAfterEviction(n) = adm {
-            self.counters
+            obs.counters
                 .capacity_evictions
                 .fetch_add(n as u64, Ordering::Relaxed);
             // Stamped with the admitted flow: the table does not surface
             // the victims' keys, only how many made room.
-            self.telemetry
+            obs.telemetry
                 .record(now, *key, EventKind::FlowEvicted { reason: "capacity" });
         }
         if adm.created() {
-            self.telemetry.record(now, *key, EventKind::FlowCreated);
+            obs.telemetry.record(now, *key, EventKind::FlowCreated);
             if let Some(cap) = self.cfg.max_flows {
                 // Eager demotion on the way up; recovery is left to the
                 // maintenance tick (hysteresis lives in `update_health`).
@@ -467,14 +545,27 @@ impl AcdcDatapath {
     // ------------------------------------------------------------------
 
     /// Process a packet leaving the guest toward the network.
-    pub fn egress(&self, now: Nanos, mut seg: Segment) -> Verdict {
+    pub fn egress(&self, now: Nanos, seg: Segment) -> Verdict {
+        self.egress_obs(&self.obs(), now, seg)
+    }
+
+    /// [`AcdcDatapath::egress`] with observability routed to a worker's
+    /// sink instead of the datapath's main hub. Same table, same health
+    /// ladder, same enforcement decisions — only where counters bump and
+    /// events record moves, so N workers produce the same packet
+    /// transformations as the single-threaded path.
+    pub fn egress_via(&self, sink: &WorkerSink, now: Nanos, seg: Segment) -> Verdict {
+        self.egress_obs(&sink.obs(), now, seg)
+    }
+
+    fn egress_obs(&self, obs: &Obs<'_>, now: Nanos, mut seg: Segment) -> Verdict {
         // The prototype only enforces TCP (the paper leaves UDP tunnels as
         // future work); other protocols pass through untouched (counted
         // even with AC/DC disabled — it is a visibility counter). The
         // protocol check is a single byte read: pass-through traffic and
         // the plain-OVS baseline never parse headers at all.
         if !seg.is_tcp() {
-            AcdcCounters::bump(&self.counters.non_tcp_passthrough);
+            AcdcCounters::bump(&obs.counters.non_tcp_passthrough);
             return Verdict::Forward(seg);
         }
         if !self.cfg.enabled {
@@ -485,7 +576,7 @@ impl AcdcDatapath {
         // guest's own congestion control still runs (§3.3 fail-safe).
         let health = self.health.get();
         if health == HealthState::PassThrough {
-            AcdcCounters::bump(&self.counters.overload_passthrough);
+            AcdcCounters::bump(&obs.counters.overload_passthrough);
             return Verdict::Forward(seg);
         }
         let log_only = self.cfg.log_only || health == HealthState::LogOnly;
@@ -493,8 +584,8 @@ impl AcdcDatapath {
         // the NIC already verified checksums). Malformed frames are
         // dropped and counted — wire input never panics the datapath.
         let Ok(meta) = seg.try_meta() else {
-            AcdcCounters::bump(&self.counters.malformed_drops);
-            self.telemetry.record(
+            AcdcCounters::bump(&obs.counters.malformed_drops);
+            obs.telemetry.record(
                 now,
                 NO_FLOW,
                 EventKind::PacketDropped { cause: "malformed" },
@@ -511,7 +602,7 @@ impl AcdcDatapath {
 
         // --- Handshake monitoring (§3.1, §3.3) ---
         if flags.contains(TcpFlags::SYN) {
-            self.on_handshake_packet(now, &meta, /*egress=*/ true);
+            self.on_handshake_packet(obs, now, &meta, /*egress=*/ true);
             return Verdict::Forward(seg); // SYNs are never mangled
         }
 
@@ -575,16 +666,16 @@ impl AcdcDatapath {
                 // Table full, flow refused: forward untouched (fail-safe)
                 // and let the ladder drop to pass-through.
                 None => {
-                    self.on_admission_reject(now, &key);
+                    self.on_admission_reject(obs, now, &key);
                     return Verdict::Forward(seg);
                 }
                 Some(Ok(v)) => {
-                    self.note_admission(now, &key, admission);
+                    self.note_admission(obs, now, &key, admission);
                     v
                 }
                 Some(Err(())) => {
-                    AcdcCounters::bump(&self.counters.policed_drops);
-                    self.telemetry
+                    AcdcCounters::bump(&obs.counters.policed_drops);
+                    obs.telemetry
                         .record(now, key, EventKind::PacketDropped { cause: "policed" });
                     return Verdict::Drop(DropReason::Policed);
                 }
@@ -636,17 +727,17 @@ impl AcdcDatapath {
                 if seg.wire_len() + PackOption::WIRE_LEN <= self.cfg.mtu
                     && seg.append_pack_in_place(pack)
                 {
-                    AcdcCounters::bump(&self.counters.packs_sent);
+                    AcdcCounters::bump(&obs.counters.packs_sent);
                 } else if self.cfg.disable_fack {
                     // Ablation: the feedback is simply lost.
-                    AcdcCounters::bump(&self.counters.feedback_dropped);
+                    AcdcCounters::bump(&obs.counters.feedback_dropped);
                 } else if let Some(fack) = make_fack(&seg, pack) {
-                    AcdcCounters::bump(&self.counters.facks_sent);
+                    AcdcCounters::bump(&obs.counters.facks_sent);
                     return Verdict::ForwardWithExtra(seg, fack);
                 } else {
                     // No room even in a payload-free copy (pathological
                     // option soup): the feedback is lost, not a panic.
-                    AcdcCounters::bump(&self.counters.feedback_dropped);
+                    AcdcCounters::bump(&obs.counters.feedback_dropped);
                 }
             }
         }
@@ -659,9 +750,19 @@ impl AcdcDatapath {
     // ------------------------------------------------------------------
 
     /// Process a packet arriving from the network toward the guest.
-    pub fn ingress(&self, now: Nanos, mut seg: Segment) -> Verdict {
+    pub fn ingress(&self, now: Nanos, seg: Segment) -> Verdict {
+        self.ingress_obs(&self.obs(), now, seg)
+    }
+
+    /// [`AcdcDatapath::ingress`] with observability routed to a worker's
+    /// sink (see [`AcdcDatapath::egress_via`]).
+    pub fn ingress_via(&self, sink: &WorkerSink, now: Nanos, seg: Segment) -> Verdict {
+        self.ingress_obs(&sink.obs(), now, seg)
+    }
+
+    fn ingress_obs(&self, obs: &Obs<'_>, now: Nanos, mut seg: Segment) -> Verdict {
         if !seg.is_tcp() {
-            AcdcCounters::bump(&self.counters.non_tcp_passthrough);
+            AcdcCounters::bump(&obs.counters.non_tcp_passthrough);
             return Verdict::Forward(seg);
         }
         if !self.cfg.enabled {
@@ -670,8 +771,8 @@ impl AcdcDatapath {
         // Usually a cache hit: the host NIC's checksum verification has
         // already parsed and cached the metadata.
         let Ok(meta) = seg.try_meta() else {
-            AcdcCounters::bump(&self.counters.malformed_drops);
-            self.telemetry.record(
+            AcdcCounters::bump(&obs.counters.malformed_drops);
+            obs.telemetry.record(
                 now,
                 NO_FLOW,
                 EventKind::PacketDropped { cause: "malformed" },
@@ -687,7 +788,7 @@ impl AcdcDatapath {
         // cleared. All of it is stateless header hygiene.
         let health = self.health.get();
         if health == HealthState::PassThrough {
-            AcdcCounters::bump(&self.counters.overload_passthrough);
+            AcdcCounters::bump(&obs.counters.overload_passthrough);
             if meta.fack {
                 if let Some(pack) = meta.pack {
                     self.absorb_feedback(&key, pack);
@@ -695,7 +796,7 @@ impl AcdcDatapath {
                 return Verdict::Drop(DropReason::FackConsumed);
             }
             if meta.pack.is_some() {
-                AcdcCounters::bump(&self.counters.packs_received);
+                AcdcCounters::bump(&obs.counters.packs_received);
                 seg.strip_pack_in_place();
             }
             if meta.vm_ece || meta.fack {
@@ -710,7 +811,7 @@ impl AcdcDatapath {
             return Verdict::Forward(seg);
         }
         if flags.contains(TcpFlags::SYN) {
-            self.on_handshake_packet(now, &meta, /*egress=*/ false);
+            self.on_handshake_packet(obs, now, &meta, /*egress=*/ false);
             return Verdict::Forward(seg);
         }
 
@@ -725,7 +826,7 @@ impl AcdcDatapath {
             }
             // The FACK still carries an ACK; process congestion control on
             // it so feedback takes effect immediately, then drop it.
-            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, false);
+            self.sender_ack_processing(obs, now, &mut seg, &meta, pure_ack, false);
             return Verdict::Drop(DropReason::FackConsumed);
         }
 
@@ -761,7 +862,7 @@ impl AcdcDatapath {
                 },
             );
             if tracked.is_some() {
-                self.note_admission(now, &key, admission);
+                self.note_admission(obs, now, &key, admission);
                 // Restore what the sender VM originally put on the wire:
                 // ECT if its stack spoke ECN (hiding the CE mark from it
                 // is the point — DCTCP in the vSwitch reacts instead),
@@ -778,7 +879,7 @@ impl AcdcDatapath {
                 // Untracked at capacity: leave the wire untouched — an
                 // unlaundered CE mark is at worst ignored by a guest that
                 // never negotiated ECN.
-                self.on_admission_reject(now, &key);
+                self.on_admission_reject(obs, now, &key);
             }
         }
 
@@ -786,10 +887,10 @@ impl AcdcDatapath {
         if flags.contains(TcpFlags::ACK) {
             if let Some(pack) = meta.pack {
                 self.absorb_feedback(&key, pack);
-                AcdcCounters::bump(&self.counters.packs_received);
+                AcdcCounters::bump(&obs.counters.packs_received);
                 seg.strip_pack_in_place();
             }
-            self.sender_ack_processing(now, &mut seg, &key, &meta, pure_ack, !log_only);
+            self.sender_ack_processing(obs, now, &mut seg, &meta, pure_ack, !log_only);
             // Hide ECN feedback from the guest so it does not also back
             // off (§3.3): AC/DC is the one reacting. Applied to every
             // non-SYN ACK — the vSwitch owns ECN on this fabric.
@@ -828,9 +929,9 @@ impl AcdcDatapath {
     /// callers fold log-only mode (config flag or health ladder) into it.
     fn sender_ack_processing(
         &self,
+        obs: &Obs<'_>,
         now: Nanos,
         seg: &mut Segment,
-        key: &acdc_packet::FlowKey,
         meta: &PacketMeta,
         pure_ack: bool,
         rewrite: bool,
@@ -838,7 +939,7 @@ impl AcdcDatapath {
         let (ack, window) = (meta.ack, meta.window);
         // CC events are stamped with the *data* direction's key (the flow
         // whose window is being enforced), not the arriving ACK's key.
-        let data_key = key.reverse();
+        let data_key = meta.flow.reverse();
         // CC events observed under the entry lock, published only after
         // the guard drops (W002: the event bus must not be entered while
         // a flow-entry lock is held). Fixed-size, in firing order.
@@ -869,7 +970,7 @@ impl AcdcDatapath {
                     e.dupacks += 1;
                     if e.dupacks == 3 {
                         e.cc.on_fast_retransmit(now);
-                        AcdcCounters::bump(&self.counters.inferred_fast_rtx);
+                        AcdcCounters::bump(&obs.counters.inferred_fast_rtx);
                         cut_event = Some(EventKind::CwndCut {
                             cause: "fast-retransmit",
                             cwnd: e.cc.cwnd(),
@@ -883,7 +984,7 @@ impl AcdcDatapath {
                     if now.saturating_sub(e.last_ack_activity) > thresh {
                         e.cc.on_retransmit_timeout(now);
                         e.last_ack_activity = now;
-                        AcdcCounters::bump(&self.counters.inferred_timeouts);
+                        AcdcCounters::bump(&obs.counters.inferred_timeouts);
                         rto_event = Some(EventKind::RtoFired { cwnd: e.cc.cwnd() });
                     }
                 }
@@ -929,17 +1030,17 @@ impl AcdcDatapath {
         // RWND-rewrite component (`entry.rwnd`, see crate::rwnd).
         if let Some((action, events)) = enforced {
             for ev in events.into_iter().flatten() {
-                self.telemetry.record(now, data_key, ev);
+                obs.telemetry.record(now, data_key, ev);
             }
             if rewrite {
                 match action {
                     RwndAction::Rewrite(raw_target) => {
                         seg.rewrite_window(raw_target);
-                        AcdcCounters::bump(&self.counters.rwnd_rewrites);
+                        AcdcCounters::bump(&obs.counters.rwnd_rewrites);
                     }
                     RwndAction::KeepGuest => {}
                     RwndAction::ScaleUnlearned => {
-                        AcdcCounters::bump(&self.counters.unscaled_rwnd_skips);
+                        AcdcCounters::bump(&obs.counters.unscaled_rwnd_skips);
                     }
                 }
             }
@@ -947,7 +1048,7 @@ impl AcdcDatapath {
     }
 
     /// Record handshake parameters from a SYN or SYN-ACK (§3.1).
-    fn on_handshake_packet(&self, now: Nanos, meta: &PacketMeta, egress: bool) {
+    fn on_handshake_packet(&self, obs: &Obs<'_>, now: Nanos, meta: &PacketMeta, egress: bool) {
         let key = meta.flow;
         let flags = meta.flags;
         let wscale = meta.wscale.map(|w| w.min(14));
@@ -959,10 +1060,10 @@ impl AcdcDatapath {
             FlowEntry::new(self.cfg.policy.assign(&rev), self.cc_config(), now)
         });
         let Some(rentry) = rentry else {
-            self.on_admission_reject(now, &rev);
+            self.on_admission_reject(obs, now, &rev);
             return;
         };
-        self.note_admission(now, &rev, radm);
+        self.note_admission(obs, now, &rev, radm);
         {
             let mut re = rentry.lock();
             re.last_activity = now;
@@ -982,10 +1083,10 @@ impl AcdcDatapath {
                 FlowEntry::new(self.cfg.policy.assign(&key), self.cc_config(), now)
             });
             let Some(entry) = entry else {
-                self.on_admission_reject(now, &key);
+                self.on_admission_reject(obs, now, &key);
                 return;
             };
-            self.note_admission(now, &key, adm);
+            self.note_admission(obs, now, &key, adm);
             let mut e = entry.lock();
             e.last_activity = now;
             e.vm_ecn = vm_ecn;

@@ -45,7 +45,9 @@ pub mod policy;
 pub mod rwnd;
 pub mod table;
 
-pub use datapath::{AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict};
+pub use datapath::{
+    AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict, WorkerSink,
+};
 pub use entry::FlowEntry;
 pub use health::{HealthState, Watermarks};
 pub use policy::CcPolicy;

@@ -1,0 +1,245 @@
+//! The worker engine: steering + per-worker sinks + batch pipeline.
+
+use std::sync::Arc;
+
+use acdc_packet::{FlowKey, Segment};
+use acdc_stats::time::Nanos;
+use acdc_telemetry::{Event, MetricValue, Telemetry};
+use acdc_vswitch::{AcdcDatapath, Verdict, WorkerSink};
+
+use crate::steer::worker_of;
+
+/// Which datapath direction a packet takes through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// VM → network ([`AcdcDatapath::egress`]).
+    Egress,
+    /// Network → VM ([`AcdcDatapath::ingress`]).
+    Ingress,
+}
+
+/// N run-to-completion workers over one shared [`AcdcDatapath`].
+///
+/// The engine owns only the per-worker [`WorkerSink`]s; the datapath —
+/// table, health ladder, config — is passed to each call, so the same
+/// engine works for a borrowed bench datapath or one owned by a host.
+/// See the crate docs for the processing modes and the determinism
+/// contract each upholds.
+pub struct WorkerEngine {
+    sinks: Vec<WorkerSink>,
+}
+
+impl WorkerEngine {
+    /// An engine with `workers` workers (clamped to ≥ 1), each with its
+    /// own observability sink created from `dp`.
+    pub fn new(dp: &AcdcDatapath, workers: usize) -> WorkerEngine {
+        let n = workers.max(1);
+        WorkerEngine {
+            sinks: (0..n).map(|i| dp.worker_sink(i)).collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// The worker `key`'s packets steer to.
+    pub fn worker_of(&self, key: &FlowKey) -> usize {
+        worker_of(key, self.sinks.len())
+    }
+
+    /// The worker `seg` steers to. Malformed segments (no parsable flow
+    /// key) steer to worker 0, which drops and counts them.
+    pub fn steer(&self, seg: &Segment) -> usize {
+        seg.try_meta().map(|m| self.worker_of(&m.flow)).unwrap_or(0)
+    }
+
+    /// Every worker's sink, in worker order.
+    pub fn sinks(&self) -> &[WorkerSink] {
+        &self.sinks
+    }
+
+    /// Worker `i`'s sink.
+    pub fn sink(&self, i: usize) -> &WorkerSink {
+        &self.sinks[i]
+    }
+
+    /// Run-to-completion dispatch of one packet: steer, then process it
+    /// immediately on the steered worker's sink. Because nothing is
+    /// deferred or reordered, a stream dispatched in delivery order goes
+    /// through the exact table-operation sequence of the single-threaded
+    /// path for any worker count — this is the mode the simulated NIC
+    /// uses, and the one the chaos equivalence suite pins down.
+    pub fn dispatch(&self, dp: &AcdcDatapath, now: Nanos, dir: Direction, seg: Segment) -> Verdict {
+        let sink = &self.sinks[self.steer(&seg)];
+        match dir {
+            Direction::Egress => dp.egress_via(sink, now, seg),
+            Direction::Ingress => dp.ingress_via(sink, now, seg),
+        }
+    }
+
+    /// Group a batch by worker, keeping submission order within each
+    /// group. Returns `(group index per worker, parsed flow keys per
+    /// worker)`; the keys vectors skip malformed segments.
+    fn group(&self, batch: &[Segment]) -> (Vec<Vec<usize>>, Vec<Vec<FlowKey>>) {
+        let n = self.sinks.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut keys: Vec<Vec<FlowKey>> = vec![Vec::new(); n];
+        for (i, seg) in batch.iter().enumerate() {
+            // `try_meta` caches: this parse is the one the datapath
+            // would have paid anyway.
+            let w = match seg.try_meta() {
+                Ok(m) => {
+                    let w = self.worker_of(&m.flow);
+                    keys[w].push(m.flow);
+                    w
+                }
+                Err(_) => 0,
+            };
+            groups[w].push(i);
+        }
+        (groups, keys)
+    }
+
+    fn run_one(
+        &self,
+        dp: &AcdcDatapath,
+        sink: &WorkerSink,
+        now: Nanos,
+        dir: Direction,
+        seg: Segment,
+    ) -> Verdict {
+        match dir {
+            Direction::Egress => dp.egress_via(sink, now, seg),
+            Direction::Ingress => dp.ingress_via(sink, now, seg),
+        }
+    }
+
+    /// Batched single-threaded processing: group by worker, warm each
+    /// worker's flow keys through the table's shard-grouped prefetch
+    /// pass (one shard read-lock per distinct shard, slots touched ahead
+    /// of the touch loop), then run each group to completion in
+    /// submission order. Verdicts come back in submission order.
+    pub fn process_batch(
+        &self,
+        dp: &AcdcDatapath,
+        now: Nanos,
+        dir: Direction,
+        batch: Vec<Segment>,
+    ) -> Vec<Verdict> {
+        let (groups, keys) = self.group(&batch);
+        let total = batch.len();
+        let mut segs: Vec<Option<Segment>> = batch.into_iter().map(Some).collect();
+        let mut out: Vec<Option<Verdict>> = (0..total).map(|_| None).collect();
+        for (w, group) in groups.iter().enumerate() {
+            // The resolved Arcs stay alive across the touch loop so the
+            // warmed slots cannot be dropped out from under it.
+            let warm = dp.table().prefetch_batch(&keys[w]);
+            for &i in group {
+                let seg = segs[i].take().expect("each position processed once");
+                out[i] = Some(self.run_one(dp, &self.sinks[w], now, dir, seg));
+            }
+            drop(warm);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every position produced a verdict"))
+            .collect()
+    }
+
+    /// [`WorkerEngine::process_batch`] with the workers actually running
+    /// in parallel, one OS thread per worker (`std::thread::scope`).
+    /// Each worker prefetches and processes its own group in submission
+    /// order; verdicts are reassembled into submission order. Per-flow
+    /// state and merged counter totals match the single-threaded batch
+    /// when distinct workers' flows are independent (the RSS assumption;
+    /// see crate docs).
+    pub fn process_batch_parallel(
+        &self,
+        dp: &AcdcDatapath,
+        now: Nanos,
+        dir: Direction,
+        batch: Vec<Segment>,
+    ) -> Vec<Verdict> {
+        if self.sinks.len() == 1 {
+            return self.process_batch(dp, now, dir, batch);
+        }
+        let n = self.sinks.len();
+        let total = batch.len();
+        let mut groups: Vec<Vec<(usize, Segment)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, seg) in batch.into_iter().enumerate() {
+            let w = self.steer(&seg);
+            groups[w].push((i, seg));
+        }
+        let per_worker: Vec<Vec<(usize, Verdict)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(w, group)| {
+                    let sink = &self.sinks[w];
+                    s.spawn(move || {
+                        let keys: Vec<FlowKey> = group
+                            .iter()
+                            .filter_map(|(_, seg)| seg.try_meta().ok().map(|m| m.flow))
+                            .collect();
+                        let warm = dp.table().prefetch_batch(&keys);
+                        let mut done = Vec::with_capacity(group.len());
+                        for (i, seg) in group {
+                            done.push((i, self.run_one(dp, sink, now, dir, seg)));
+                        }
+                        drop(warm);
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<Verdict>> = (0..total).map(|_| None).collect();
+        for group in per_worker {
+            for (i, v) in group {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every position produced a verdict"))
+            .collect()
+    }
+
+    /// The datapath's main hub followed by every worker hub, in worker
+    /// order — the hub list every merged view is built over.
+    pub fn all_hubs<'a>(&'a self, dp: &'a AcdcDatapath) -> Vec<&'a Telemetry> {
+        std::iter::once(dp.telemetry().as_ref())
+            .chain(self.sinks.iter().map(|s| s.telemetry().as_ref()))
+            .collect()
+    }
+
+    /// Deterministically merged metrics across the main hub and every
+    /// worker hub: counters sum, gauges max, sorted by name.
+    pub fn merged_snapshot(&self, dp: &AcdcDatapath) -> Vec<MetricValue> {
+        acdc_telemetry::merge_snapshots(&self.all_hubs(dp))
+    }
+
+    /// [`WorkerEngine::merged_snapshot`] in the `acdc-telemetry/v1` JSON
+    /// schema — byte-identical for same seed + same worker count.
+    pub fn merged_snapshot_json(&self, dp: &AcdcDatapath, at: Nanos) -> String {
+        acdc_telemetry::merged_snapshot_json(&self.all_hubs(dp), at)
+    }
+
+    /// Deterministic k-way merge of the main hub's and every worker
+    /// hub's event rings, ordered by `(at, hub index, seq)`.
+    pub fn merged_events(&self, dp: &AcdcDatapath) -> Vec<Event> {
+        acdc_telemetry::merge_events(&self.all_hubs(dp))
+    }
+
+    /// Every worker hub as owned `Arc`s (for `TraceGuard::watch` and
+    /// other consumers that outlive the engine borrow).
+    pub fn hub_arcs(&self) -> Vec<Arc<Telemetry>> {
+        self.sinks
+            .iter()
+            .map(|s| Arc::clone(s.telemetry()))
+            .collect()
+    }
+}

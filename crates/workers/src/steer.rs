@@ -1,0 +1,141 @@
+//! RSS-style steering: flow key → worker index.
+//!
+//! Hardware RSS hashes the 5-tuple and masks the result into a queue
+//! index; every packet of a flow lands on the same queue/core. The
+//! software equivalent here is *symmetric* RSS: the key is canonicalized
+//! (direction-normalized) before hashing, so data packets and the ACKs
+//! flowing back both steer to the same worker. That matters because the
+//! datapath's ACK path writes the *data* direction's flow entry
+//! (connection tracking, feedback accumulators, CC state): symmetric
+//! steering gives every entry of a flow exactly one writing worker.
+//!
+//! The hash is [`FlowKey::hash64`] (FNV-1a, the flow table's shard hash)
+//! run through a finalizer before the modulo. FNV-1a needs that here:
+//! its low output bit is exactly the XOR of the input bytes' low bits
+//! (the final multiply is by an odd constant), so key populations with
+//! mirrored byte patterns — e.g. benchmark flows numbered into both the
+//! src and dst address — collapse `hash64 % 2` to a constant. Shard
+//! selection masks ten bits and tolerates this; picking one worker out
+//! of two does not.
+
+use acdc_packet::FlowKey;
+
+/// MurmurHash3's 64-bit finalizer: full-avalanche mixing so every input
+/// bit reaches the low bits the modulo looks at.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// The direction-normalized form of `key`: the lexicographically smaller
+/// of the key and its reverse, so a flow and its ACK stream agree.
+#[inline]
+fn canonical(key: &FlowKey) -> FlowKey {
+    let rev = key.reverse();
+    if *key <= rev {
+        *key
+    } else {
+        rev
+    }
+}
+
+/// The worker (0-based, `< workers`) that `key`'s packets steer to.
+/// Direction-independent (`worker_of(k) == worker_of(k.reverse())`) and
+/// stable for the lifetime of the process and across runs: the hash is
+/// seedless FNV-1a over the canonical key bytes, finalized.
+///
+/// `workers` must be non-zero.
+#[inline]
+pub fn worker_of(key: &FlowKey, workers: usize) -> usize {
+    debug_assert!(workers > 0, "worker_of with zero workers");
+    (mix64(canonical(key).hash64()) % workers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u8, p: u16) -> FlowKey {
+        FlowKey {
+            src_ip: [10, 0, 0, a],
+            dst_ip: [10, 0, 1, a],
+            src_port: p,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn steering_is_stable_and_in_range() {
+        for n in 1..=8usize {
+            for p in 0..500u16 {
+                let k = key(1, p);
+                let w = worker_of(&k, n);
+                assert!(w < n);
+                assert_eq!(w, worker_of(&k, n), "same flow ⇒ same worker");
+            }
+        }
+    }
+
+    #[test]
+    fn both_directions_steer_to_the_same_worker() {
+        for n in 1..=8usize {
+            for p in 0..500u16 {
+                let k = key(2, p);
+                assert_eq!(
+                    worker_of(&k, n),
+                    worker_of(&k.reverse(), n),
+                    "data and ACK directions must share a worker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_workers_reachable_over_a_flow_population() {
+        for n in 2..=6usize {
+            let mut hit = vec![false; n];
+            for p in 0..2000u16 {
+                hit[worker_of(&key(3, p), n)] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "n={n}: some worker never steered to"
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_key_population_spreads() {
+        // The datapath_bench flow shape: flow i numbered into *both*
+        // addresses, fixed ports. Raw FNV-1a has a constant low bit over
+        // this population (mirrored bytes cancel in the XOR), which
+        // starved every even worker count before the finalizer.
+        let keys: Vec<FlowKey> = (0..4096usize)
+            .map(|i| FlowKey {
+                src_ip: [10, 1, (i >> 8) as u8, i as u8],
+                dst_ip: [10, 2, (i >> 8) as u8, i as u8],
+                src_port: 40_000,
+                dst_port: 5_001,
+            })
+            .collect();
+        for n in [2usize, 4, 8] {
+            let mut counts = vec![0usize; n];
+            for k in &keys {
+                counts[worker_of(k, n)] += 1;
+            }
+            let fair = keys.len() / n;
+            for (w, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > fair / 2 && c < fair * 2,
+                    "n={n}: worker {w} got {c} of {} flows (fair share {fair})",
+                    keys.len()
+                );
+            }
+        }
+    }
+}

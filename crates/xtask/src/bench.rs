@@ -177,6 +177,30 @@ mod tests {
     }
 
     #[test]
+    fn extra_workers_fields_are_ignored() {
+        // `datapath_bench --workers N` adds a `workers` object (pkts/sec
+        // tiers); the gate must keep evaluating only the ns/pkt medians.
+        let old = bench_doc(240.0, 200.0);
+        let new = parse(
+            r#"{
+                "egress": {"construct_ns_pkt": 66.0, "baseline_ns_pkt": 83.0,
+                           "acdc_ns_pkt": 241.0},
+                "ingress": {"construct_ns_pkt": 65.0, "baseline_ns_pkt": 82.0,
+                            "acdc_ns_pkt": 201.0},
+                "workers": {"flows": 100000, "batch": 8192,
+                            "hardware_concurrency": 8,
+                            "tiers": [{"n": 1, "aggregate_pps": 1000000.0,
+                                       "per_worker_pps": [1000000.0]}],
+                            "speedup_vs_1": 1.0}
+            }"#,
+        )
+        .expect("valid doc with workers section");
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert_eq!(report.rows.len(), 6);
+        assert!(!report.regressed());
+    }
+
+    #[test]
     fn missing_gated_metric_is_an_error() {
         let old = bench_doc(240.0, 200.0);
         let new = parse(r#"{"egress": {"acdc_ns_pkt": 240.0}}"#).unwrap();

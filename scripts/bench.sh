@@ -10,6 +10,8 @@
 #
 #   scripts/bench.sh            # full run (100k iters x 9 reps per side)
 #   scripts/bench.sh --smoke    # CI-friendly: 5k iters x 3 reps
+#   scripts/bench.sh --workers 2  # + multi-core 100k-flow tier
+#                                 #   (pkts/sec via acdc-workers -> BENCH_workers.json)
 #
 # Extra arguments are forwarded to datapath_bench (e.g. --flows 10000,
 # --ref-egress / --ref-ingress to re-baseline on different hardware).
@@ -17,11 +19,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JSON_OUT="BENCH_pr3.json"
+WORKERS=0
+WORKERS_JSON_OUT="BENCH_workers.json"
+WORKERS_FLOWS=100000
 FWD=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --json)
             JSON_OUT="$2"
+            shift 2
+            ;;
+        --workers)
+            WORKERS="$2"
+            shift 2
+            ;;
+        --workers-json)
+            WORKERS_JSON_OUT="$2"
+            shift 2
+            ;;
+        --workers-flows)
+            WORKERS_FLOWS="$2"
             shift 2
             ;;
         *)
@@ -40,3 +57,15 @@ cargo build --release -q -p acdc-bench
 
 echo "Wrote ${JSON_OUT}:"
 cat "$JSON_OUT"
+
+if [[ "$WORKERS" -gt 0 ]]; then
+    # Separate invocation and output file so the single-threaded ns/pkt
+    # baselines in ${JSON_OUT} stay comparable across machines and runs;
+    # the workers file adds per-worker + aggregate pkts/sec at the
+    # 100k-flow tier (bench-diff ignores files/fields it does not gate).
+    echo "==> datapath_bench --workers ${WORKERS} (${WORKERS_FLOWS}-flow multi-core tier -> ${WORKERS_JSON_OUT})"
+    ./target/release/datapath_bench --workers "$WORKERS" --flows "$WORKERS_FLOWS" \
+        --json "$WORKERS_JSON_OUT" ${FWD[@]+"${FWD[@]}"}
+    echo "Wrote ${WORKERS_JSON_OUT}:"
+    cat "$WORKERS_JSON_OUT"
+fi

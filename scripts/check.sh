@@ -12,6 +12,7 @@
 #   scripts/check.sh test       # workspace tests + packet proptests
 #   scripts/check.sh strict     # tests under --features strict-invariants
 #   scripts/check.sh chaos      # fault-injection suite (plain features)
+#   scripts/check.sh workers    # parallel-datapath suite (plain + strict)
 #   scripts/check.sh bench      # bench smoke + bench-diff vs BENCH_pr3.json
 #
 # Multiple stage names may be given and run in the order listed.
@@ -80,11 +81,23 @@ stage_strict() {
     cargo test -q --features strict-invariants --test chaos --test rto_backoff --test overload
 }
 
-ALL_STAGES=(lint analyze test bench chaos strict)
+stage_workers() {
+    echo "==> worker engine suite (steering/merge determinism + batch paths)"
+    cargo test -q -p acdc-workers
+
+    echo "==> worker-vs-single-threaded equivalence under chaos"
+    cargo test -q --test workers_equivalence
+
+    echo "==> worker engine suite under strict-invariants"
+    cargo test -q -p acdc-workers --features strict-invariants
+    cargo test -q --features strict-invariants --test workers_equivalence
+}
+
+ALL_STAGES=(lint analyze test bench chaos workers strict)
 
 run_stage() {
     case "$1" in
-        lint | analyze | test | bench | chaos | strict) "stage_$1" ;;
+        lint | analyze | test | bench | chaos | workers | strict) "stage_$1" ;;
         *)
             echo "error: unknown stage '$1' (expected: ${ALL_STAGES[*]})" >&2
             exit 2
