@@ -51,7 +51,6 @@ pub enum Fate {
 /// determinism tests can require byte-identical stats across runs. This
 /// is the snapshot *view* of the live [`Counter`] cells inside
 /// [`FaultProcess`], loaded by [`FaultProcess::stats`].
-// acdc-lint: allow(O001) -- snapshot view of registry-backed counters
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Packets offered to the process.

@@ -60,12 +60,17 @@ pub trait Node: Any {
     /// Downcast support so experiment code can inspect node state after a
     /// run.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Adopt this node's counter cells into `telemetry`'s registry.
+    /// Called once per node when a hub is attached (or at install time if
+    /// one already is); `node` is the node's engine id, for naming.
+    /// Default: the node keeps no registry-worthy counters.
+    fn register_metrics(&self, _telemetry: &Telemetry, _node: usize) {}
 }
 
 /// Byte/packet counters kept per port by the engine — the compatibility
 /// *view* of [`PortMetrics`], loaded on demand by
 /// [`Network::port_counters`].
-// acdc-lint: allow(O001) -- snapshot view of registry-backed PortMetrics
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PortCounters {
     /// Packets transmitted (fully serialized).
@@ -240,6 +245,11 @@ impl Network {
         for (i, p) in self.ports.iter().enumerate() {
             p.counters.register(&telemetry, i);
         }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(n) = n {
+                n.register_metrics(&telemetry, i);
+            }
+        }
         self.telemetry = Some(telemetry);
     }
 
@@ -268,13 +278,20 @@ impl Network {
 
     /// Add a node directly.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        if let Some(t) = &self.telemetry {
+            node.register_metrics(t, id.0);
+        }
         self.nodes.push(Some(node));
-        NodeId(self.nodes.len() - 1)
+        id
     }
 
     /// Install the implementation for a reserved slot.
     pub fn install(&mut self, id: NodeId, node: Box<dyn Node>) {
         assert!(self.nodes[id.0].is_none(), "node {id:?} already installed");
+        if let Some(t) = &self.telemetry {
+            node.register_metrics(t, id.0);
+        }
         self.nodes[id.0] = Some(node);
     }
 

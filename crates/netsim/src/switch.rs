@@ -37,6 +37,7 @@ use rand::{RngExt, SeedableRng};
 use acdc_packet::Segment;
 use acdc_stats::time::Nanos;
 use acdc_stats::TimeSeries;
+use acdc_telemetry::{Counter, Telemetry};
 
 use crate::engine::{Ctx, Node, PortId};
 
@@ -120,9 +121,9 @@ impl SwitchConfig {
 }
 
 /// Drop/marking counters (the paper reads drop rates off switch counters).
-// acdc-lint: allow(O001) -- grandfathered: per-switch snapshot struct read
-// whole via SwitchNode::counters(); port-level drops already flow through
-// the registry-backed PortMetrics.
+/// This is the snapshot *view* of the live [`Counter`] cells inside
+/// [`SwitchMetrics`], loaded by [`SwitchNode::counters`]; the cells are
+/// adopted into an attached telemetry registry as `"switchN.<field>"`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SwitchCounters {
     /// Packets forwarded (admitted to an output queue or transmitter).
@@ -154,6 +155,56 @@ impl SwitchCounters {
     }
 }
 
+/// The live counter cells behind [`SwitchCounters`]. Standalone until a
+/// telemetry hub adopts them (via [`Node::register_metrics`], called by
+/// the engine when a hub is attached); either way the same cells back
+/// [`SwitchNode::counters`], so no value is lost when a registry
+/// attaches mid-run.
+#[derive(Debug)]
+struct SwitchMetrics {
+    forwarded: Counter,
+    ce_marked: Counter,
+    wred_drops: Counter,
+    buffer_drops: Counter,
+    no_route_drops: Counter,
+}
+
+impl SwitchMetrics {
+    fn standalone() -> SwitchMetrics {
+        SwitchMetrics {
+            forwarded: Counter::standalone(),
+            ce_marked: Counter::standalone(),
+            wred_drops: Counter::standalone(),
+            buffer_drops: Counter::standalone(),
+            no_route_drops: Counter::standalone(),
+        }
+    }
+
+    fn register(&self, telemetry: &Telemetry, node: usize) {
+        let reg = telemetry.registry();
+        let each: [(&str, &Counter); 5] = [
+            ("forwarded", &self.forwarded),
+            ("ce_marked", &self.ce_marked),
+            ("wred_drops", &self.wred_drops),
+            ("buffer_drops", &self.buffer_drops),
+            ("no_route_drops", &self.no_route_drops),
+        ];
+        for (field, cell) in each {
+            reg.adopt_counter(format!("switch{node}.{field}"), cell);
+        }
+    }
+
+    fn snapshot(&self) -> SwitchCounters {
+        SwitchCounters {
+            forwarded: self.forwarded.get(),
+            ce_marked: self.ce_marked.get(),
+            wred_drops: self.wred_drops.get(),
+            buffer_drops: self.buffer_drops.get(),
+            no_route_drops: self.no_route_drops.get(),
+        }
+    }
+}
+
 /// The switch node.
 pub struct SwitchNode {
     cfg: SwitchConfig,
@@ -168,7 +219,7 @@ pub struct SwitchNode {
     avg_occupancy: BTreeMap<PortId, f64>,
     /// Total occupancy, bytes.
     total_occupancy: u64,
-    counters: SwitchCounters,
+    counters: SwitchMetrics,
     /// Optional queue-depth probe: (port, sampled series).
     probe: Option<(PortId, TimeSeries)>,
     /// Deterministic RNG for the WRED drop ramp.
@@ -185,7 +236,7 @@ impl SwitchNode {
             occupancy: BTreeMap::new(),
             avg_occupancy: BTreeMap::new(),
             total_occupancy: 0,
-            counters: SwitchCounters::default(),
+            counters: SwitchMetrics::standalone(),
             probe: None,
             rng: SmallRng::seed_from_u64(0x5EED_AC0C),
         }
@@ -217,9 +268,9 @@ impl SwitchNode {
         self.probe.as_ref().map(|(_, ts)| ts)
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot (a point-in-time view of the live cells).
     pub fn counters(&self) -> SwitchCounters {
-        self.counters
+        self.counters.snapshot()
     }
 
     /// Current occupancy of one output queue, in bytes.
@@ -245,12 +296,12 @@ impl Node for SwitchNode {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, mut seg: Segment) {
         let dst = seg.ip().dst_addr();
         let Some(out) = self.lookup(dst) else {
-            self.counters.no_route_drops += 1;
+            self.counters.no_route_drops.inc();
             return;
         };
         // Never hairpin back out the ingress port (would loop).
         if out == in_port {
-            self.counters.no_route_drops += 1;
+            self.counters.no_route_drops.inc();
             return;
         }
         let len = seg.wire_len() as u64;
@@ -263,7 +314,7 @@ impl Node for SwitchNode {
             .saturating_sub(self.total_occupancy);
         let dyn_limit = (self.cfg.dynamic_alpha * free as f64) as u64;
         if q + len > dyn_limit || len > free {
-            self.counters.buffer_drops += 1;
+            self.counters.buffer_drops.inc();
             ctx.count_drop(out, crate::engine::PortDropClass::QueueFull);
             self.sample_probe(ctx.now(), out);
             return;
@@ -280,19 +331,19 @@ impl Node for SwitchNode {
             if seg.ecn().is_ect() {
                 if q >= wred.threshold_bytes {
                     seg.mark_ce();
-                    self.counters.ce_marked += 1;
+                    self.counters.ce_marked.inc();
                 }
             } else {
                 let p = wred.drop_probability(avg);
                 if p > 0.0 && self.rng.random::<f64>() < p {
-                    self.counters.wred_drops += 1;
+                    self.counters.wred_drops.inc();
                     self.sample_probe(ctx.now(), out);
                     return;
                 }
             }
         }
 
-        self.counters.forwarded += 1;
+        self.counters.forwarded.inc();
         *self.occupancy.entry(out).or_insert(0) += len;
         self.total_occupancy += len;
         self.sample_probe(ctx.now(), out);
@@ -324,6 +375,10 @@ impl Node for SwitchNode {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn register_metrics(&self, telemetry: &Telemetry, node: usize) {
+        self.counters.register(telemetry, node);
     }
 }
 

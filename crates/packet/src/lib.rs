@@ -42,7 +42,7 @@ pub use ipv4::{Ipv4Packet, Ipv4Repr, PROTO_TCP, PROTO_UDP};
 pub use meta::PacketMeta;
 pub use pack::PackOption;
 pub use segment::{FlowKey, Segment};
-pub use seq::SeqNumber;
+pub use seq::{SeqNumber, SeqView};
 pub use tcp::{TcpFlags, TcpOption, TcpPacket, TcpRepr};
 pub use udp::{UdpPacket, UdpRepr};
 pub use window::{scale_rwnd, scale_rwnd_nonzero, unscale_rwnd, MAX_WSCALE};

@@ -56,6 +56,35 @@ impl SeqNumber {
     }
 }
 
+/// A point-in-time view of a sender's wire-sequence state: the oldest
+/// unacknowledged byte and the next byte to send.
+///
+/// Both the guest TCP endpoint's sender and the vSwitch's passive
+/// connection tracking reconstruct this same pair, and the
+/// equivalence suites assert they agree. `SeqView` is the shared currency
+/// for that comparison — it lives here (next to [`SeqNumber`]) so the
+/// vSwitch can produce one without depending on the TCP crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SeqView {
+    /// Oldest unacknowledged sequence number (`SND.UNA`).
+    pub snd_una: SeqNumber,
+    /// Next sequence number to be sent (`SND.NXT`).
+    pub snd_nxt: SeqNumber,
+}
+
+impl SeqView {
+    /// Bytes in flight according to this view: `snd_nxt - snd_una`,
+    /// clamped at zero if the view is momentarily inconsistent.
+    pub fn outstanding(self) -> u32 {
+        let d = self.snd_nxt - self.snd_una;
+        if d > 0 {
+            d as u32
+        } else {
+            0
+        }
+    }
+}
+
 impl From<u32> for SeqNumber {
     fn from(v: u32) -> Self {
         SeqNumber(v)

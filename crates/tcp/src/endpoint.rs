@@ -8,13 +8,39 @@
 //! payload byte); they are converted to and from 32-bit wire sequence
 //! numbers at the packet boundary, so arithmetic never worries about
 //! wraparound while the wire format stays faithful.
+//!
+//! The endpoint itself is an *orchestrator* over five disjoint-write
+//! components, each owning its mutable state in its own module (the
+//! write-scope manifest `crates/xtask/scopes.toml` enforces the split;
+//! see DESIGN.md §14):
+//!
+//! - [`ConnMgmt`](crate::conn::ConnMgmt) — the RFC 793 state machine,
+//!   ISN/MSS negotiation and the FIN lifecycle;
+//! - [`ReliableDelivery`](crate::reliable::ReliableDelivery) — send
+//!   pointers, NewReno recovery, RTT estimation and the RTO timer;
+//! - [`FlowCtrl`](crate::flow::FlowCtrl) — the peer's advertised window
+//!   and the persist (zero-window probe) timer;
+//! - [`Receive`](crate::receive::Receive) — in-order delivery,
+//!   out-of-order reassembly and delayed ACKs;
+//! - [`EcnSignal`](crate::ecn::EcnSignal) — ECN negotiation, echo state
+//!   and CWR/cut signalling.
+//!
+//! This file holds no mutable protocol state of its own: it parses and
+//! builds segments, reads the components through their view methods, and
+//! drives every state change through their transition methods.
 
 use acdc_cc::{AckEvent, CcConfig, CongestionControl};
 use acdc_packet::{
-    Ecn, FlowKey, Ipv4Repr, PacketMeta, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP,
+    Ecn, FlowKey, Ipv4Repr, PacketMeta, Segment, SeqNumber, SeqView, TcpFlags, TcpOption, TcpRepr,
+    PROTO_TCP,
 };
 use acdc_stats::time::Nanos;
 
+use crate::conn::ConnMgmt;
+use crate::ecn::EcnSignal;
+use crate::flow::FlowCtrl;
+use crate::receive::Receive;
+use crate::reliable::ReliableDelivery;
 use crate::TcpConfig;
 
 /// Connection states (RFC 793 subset; no simultaneous open).
@@ -45,104 +71,24 @@ pub enum TcpState {
     Closed,
 }
 
-/// A sent-segment probe for RTT sampling (Karn's algorithm: one sample at
-/// a time, never from retransmitted data).
-#[derive(Debug, Clone, Copy)]
-struct RttProbe {
-    end_off: u64,
-    sent_at: Nanos,
-}
-
 /// One side of a TCP connection.
 pub struct Endpoint {
     cfg: TcpConfig,
     cc: Box<dyn CongestionControl>,
-    state: TcpState,
-
-    // ---- send side ----
-    iss: SeqNumber,
-    /// Stream bytes accepted from the application.
-    stream_len: u64,
-    /// First unacknowledged stream offset.
-    snd_una: u64,
-    /// Next stream offset to send.
-    snd_nxt: u64,
-    /// Highest stream offset ever sent (high-water mark; differs from
-    /// `snd_nxt` after a timeout rewinds the send pointer).
-    snd_max: u64,
-    /// Application requested close.
-    fin_queued: bool,
-    /// FIN is currently counted as in flight (cleared by a timeout rewind).
-    fin_sent: bool,
-    /// FIN has been transmitted at least once (ACK validation window).
-    fin_sent_ever: bool,
-    /// FIN acknowledged.
-    fin_acked: bool,
-    /// Peer receive window in bytes (already scaled), relative to `snd_una`.
-    peer_rwnd: u64,
-    /// Raw window field of the last ACK (for duplicate-ACK detection).
-    last_raw_wnd: u16,
-    peer_wscale: u8,
-    /// Effective MSS after negotiation.
-    mss: u32,
-    dupacks: u32,
-    /// NewReno recovery point (stream offset) while in fast recovery.
-    recover: Option<u64>,
-    /// Pending head retransmission (fast retransmit or partial ACK).
-    rtx_head_pending: bool,
-    rtt_probe: Option<RttProbe>,
-    srtt: Option<Nanos>,
-    rttvar: Nanos,
-    rto: Nanos,
-    rto_deadline: Option<Nanos>,
-    backoff: u32,
-    /// Zero-window probe (persist) timer: armed when the peer closes its
-    /// window while we still have data to send.
-    persist_deadline: Option<Nanos>,
-    persist_backoff: u32,
-    /// A 1-byte window probe is due on the next poll.
-    window_probe_pending: bool,
-    /// Classic-ECN: a cut is pending CWR signalling on the next data.
-    cwr_pending: bool,
-    last_ecn_cut: Option<Nanos>,
-
-    // ---- receive side ----
-    irs: SeqNumber,
-    /// Next expected in-order stream offset.
-    rcv_nxt: u64,
-    /// Out-of-order received ranges `(start, end)`, sorted, disjoint.
-    ooo: Vec<(u64, u64)>,
-    /// Peer FIN offset, once seen.
-    fin_rcvd: Option<u64>,
-    /// ECN negotiated on this connection.
-    ecn_ok: bool,
-    /// DCTCP-style accurate echo state.
-    ce_state: bool,
-    /// Classic ECE latch.
-    ece_latch: bool,
-    /// Segments received since the last ACK we sent.
-    unacked_segs: u32,
-    delack_deadline: Option<Nanos>,
-    ack_now: bool,
-    timewait_deadline: Option<Nanos>,
-
-    // ---- handshake bookkeeping ----
-    syn_sent_at: Option<Nanos>,
-    need_syn: bool,
-    need_synack: bool,
-
-    // ---- stats ----
-    retransmitted_segments: u64,
-    timeouts: u64,
+    conn: ConnMgmt,
+    rel: ReliableDelivery,
+    flow: FlowCtrl,
+    rcv: Receive,
+    ecn: EcnSignal,
 }
 
 impl core::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Endpoint")
-            .field("state", &self.state)
-            .field("snd_una", &self.snd_una)
-            .field("snd_nxt", &self.snd_nxt)
-            .field("rcv_nxt", &self.rcv_nxt)
+            .field("state", &self.conn.state())
+            .field("snd_una", &self.rel.snd_una())
+            .field("snd_nxt", &self.rel.snd_nxt())
+            .field("rcv_nxt", &self.rcv.rcv_nxt())
             .field("cwnd", &self.cc.cwnd())
             .finish()
     }
@@ -168,55 +114,12 @@ impl Endpoint {
             None => cc,
         };
         Endpoint {
-            iss: SeqNumber(cfg.iss),
-            state: if passive {
-                TcpState::Listen
-            } else {
-                TcpState::Closed
-            },
+            conn: ConnMgmt::new(SeqNumber(cfg.iss), cfg.mss, passive),
+            rel: ReliableDelivery::new(cfg.rto_min),
+            flow: FlowCtrl::new(),
+            rcv: Receive::new(),
+            ecn: EcnSignal::new(),
             cc,
-            stream_len: 0,
-            snd_una: 0,
-            snd_nxt: 0,
-            snd_max: 0,
-            fin_queued: false,
-            fin_sent: false,
-            fin_sent_ever: false,
-            fin_acked: false,
-            peer_rwnd: u64::from(u16::MAX),
-            last_raw_wnd: 0,
-            peer_wscale: 0,
-            mss: cfg.mss,
-            dupacks: 0,
-            recover: None,
-            rtx_head_pending: false,
-            rtt_probe: None,
-            srtt: None,
-            rttvar: 0,
-            rto: cfg.rto_min.max(acdc_stats::time::MILLISECOND),
-            rto_deadline: None,
-            backoff: 0,
-            persist_deadline: None,
-            persist_backoff: 0,
-            window_probe_pending: false,
-            cwr_pending: false,
-            last_ecn_cut: None,
-            irs: SeqNumber(0),
-            rcv_nxt: 0,
-            ooo: Vec::new(),
-            fin_rcvd: None,
-            ecn_ok: false,
-            ce_state: false,
-            ece_latch: false,
-            unacked_segs: 0,
-            delack_deadline: None,
-            ack_now: false,
-            timewait_deadline: None,
-            syn_sent_at: None,
-            need_syn: false,
-            need_synack: false,
-            retransmitted_segments: 0,
-            timeouts: 0,
             cfg,
         }
     }
@@ -227,22 +130,19 @@ impl Endpoint {
 
     /// Begin the active open (emit a SYN on the next poll).
     pub fn open(&mut self, now: Nanos) {
-        assert_eq!(self.state, TcpState::Closed, "open() on used endpoint");
-        self.state = TcpState::SynSent;
-        self.need_syn = true;
-        self.syn_sent_at = Some(now);
+        self.conn.begin_active_open(now);
         self.arm_rto(now);
     }
 
     /// Enqueue `bytes` of application data for transmission.
     pub fn send(&mut self, bytes: u64) {
-        assert!(!self.fin_queued, "send() after close()");
-        self.stream_len += bytes;
+        assert!(!self.conn.fin_queued(), "send() after close()");
+        self.rel.enqueue(bytes);
     }
 
     /// Close the sending direction once all queued data is delivered.
     pub fn close(&mut self) {
-        self.fin_queued = true;
+        self.conn.queue_close();
     }
 
     /// Stop offering new data: the stream is truncated at the highest
@@ -250,34 +150,44 @@ impl Endpoint {
     /// harness to end long-lived flows at a scheduled time (Figure 14's
     /// convergence test adds and removes flows every 30 s).
     pub fn stop_sending(&mut self) {
-        if !self.fin_queued {
-            self.stream_len = self.stream_len.min(self.snd_max.max(self.snd_nxt));
+        if !self.conn.fin_queued() {
+            self.rel.truncate_unsent();
         }
     }
 
     /// Total stream bytes acknowledged by the peer.
     pub fn acked_bytes(&self) -> u64 {
-        self.snd_una
+        self.rel.snd_una()
     }
 
     /// Total stream bytes the application asked to send.
     pub fn queued_bytes(&self) -> u64 {
-        self.stream_len
+        self.rel.stream_len()
     }
 
     /// Total in-order stream bytes received (delivered to the app).
     pub fn delivered_bytes(&self) -> u64 {
-        self.rcv_nxt
+        self.rcv.rcv_nxt()
     }
 
     /// Current state.
     pub fn state(&self) -> TcpState {
-        self.state
+        self.conn.state()
     }
 
     /// The endpoint's configuration.
     pub fn config(&self) -> &TcpConfig {
         &self.cfg
+    }
+
+    /// Effective MSS after handshake negotiation.
+    pub fn mss(&self) -> u32 {
+        self.conn.mss()
+    }
+
+    /// Was ECN negotiated on this connection?
+    pub fn ecn_negotiated(&self) -> bool {
+        self.ecn.ecn_ok()
     }
 
     /// The wire 5-tuple of this endpoint's *egress* (local → remote)
@@ -295,14 +205,14 @@ impl Endpoint {
     /// Is the connection established (data can flow)?
     pub fn is_established(&self) -> bool {
         matches!(
-            self.state,
+            self.conn.state(),
             TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2
         )
     }
 
     /// Has the connection fully closed (both FINs exchanged + acked)?
     pub fn is_closed(&self) -> bool {
-        matches!(self.state, TcpState::Closed | TcpState::TimeWait)
+        matches!(self.conn.state(), TcpState::Closed | TcpState::TimeWait)
     }
 
     /// Current congestion window, bytes (for window tracing, Figure 9/10).
@@ -317,22 +227,22 @@ impl Endpoint {
 
     /// Smoothed RTT estimate, if sampled yet.
     pub fn srtt(&self) -> Option<Nanos> {
-        self.srtt
+        self.rel.srtt()
     }
 
     /// Current retransmission timeout.
     pub fn rto(&self) -> Nanos {
-        self.rto
+        self.rel.rto()
     }
 
     /// Segments retransmitted (fast or timeout-driven).
     pub fn retransmitted_segments(&self) -> u64 {
-        self.retransmitted_segments
+        self.rel.retransmitted_segments()
     }
 
     /// Retransmission-timeout count.
     pub fn timeouts(&self) -> u64 {
-        self.timeouts
+        self.rel.timeouts()
     }
 
     /// Current RTO backoff exponent: the armed timeout is
@@ -340,31 +250,42 @@ impl Endpoint {
     /// while consecutive timeouts go unrepaired; reset by forward ACK
     /// progress.
     pub fn rto_backoff(&self) -> u32 {
-        self.backoff
+        self.rel.backoff()
     }
 
     /// The peer's advertised receive window in bytes, as last seen
     /// (after AC/DC rewriting, this *is* the enforced window).
     pub fn peer_rwnd(&self) -> u64 {
-        self.peer_rwnd
+        self.flow.peer_rwnd()
     }
 
     /// Bytes in flight.
     pub fn in_flight(&self) -> u64 {
-        self.snd_nxt - self.snd_una
+        self.rel.in_flight()
     }
 
-    /// `snd_una` as a wire sequence number — ground truth for comparing
-    /// against the vSwitch's passively reconstructed per-flow state
-    /// (paper §3.1; exercised by the chaos suite).
+    /// The send pointers as wire sequence numbers — ground truth for
+    /// comparing against the vSwitch's passively reconstructed per-flow
+    /// state (paper §3.1; the chaos suite asserts agreement against
+    /// `AcdcDatapath::seq_view`).
+    pub fn seq_view(&self) -> SeqView {
+        SeqView {
+            snd_una: self.wire_seq(self.rel.snd_una()),
+            // Highest sent: a timeout rewinds `snd_nxt`, but the wire
+            // high-water mark is what the switch observed.
+            snd_nxt: self.wire_seq(self.rel.snd_nxt().max(self.rel.snd_max())),
+        }
+    }
+
+    /// `snd_una` as a wire sequence number (see [`Endpoint::seq_view`]).
     pub fn wire_snd_una(&self) -> SeqNumber {
-        self.wire_seq(self.snd_una)
+        self.seq_view().snd_una
     }
 
-    /// `snd_nxt` as a wire sequence number (highest sent, ground truth
-    /// for the vSwitch's reconstructed `snd_nxt`).
+    /// `snd_nxt` as a wire sequence number (highest sent; see
+    /// [`Endpoint::seq_view`]).
     pub fn wire_snd_nxt(&self) -> SeqNumber {
-        self.wire_seq(self.snd_nxt.max(self.snd_max))
+        self.seq_view().snd_nxt
     }
 
     // ------------------------------------------------------------------
@@ -373,25 +294,25 @@ impl Endpoint {
 
     /// Wire sequence number for a send-stream offset.
     fn wire_seq(&self, off: u64) -> SeqNumber {
-        self.iss + 1u32 + (off as u32)
+        self.conn.iss() + 1u32 + (off as u32)
     }
 
     /// Wire ACK number for the receive side.
     fn wire_ack(&self) -> SeqNumber {
-        let fin_extra = match self.fin_rcvd {
-            Some(f) if self.rcv_nxt >= f => 1u32,
+        let fin_extra = match self.rcv.fin_rcvd() {
+            Some(f) if self.rcv.rcv_nxt() >= f => 1u32,
             _ => 0,
         };
-        self.irs + 1u32 + (self.rcv_nxt as u32) + fin_extra
+        self.conn.irs() + 1u32 + (self.rcv.rcv_nxt() as u32) + fin_extra
     }
 
     /// Unwrap an incoming wire ACK into a send-stream offset (may exceed
     /// `stream_len` by one when it covers our FIN).
     fn unwrap_ack(&self, ack: SeqNumber) -> Option<u64> {
-        let base = self.wire_seq(self.snd_una);
+        let base = self.wire_seq(self.rel.snd_una());
         let d = ack - base; // signed distance
-        let candidate = self.snd_una as i64 + i64::from(d);
-        let max_valid = self.snd_max + if self.fin_sent_ever { 1 } else { 0 };
+        let candidate = self.rel.snd_una() as i64 + i64::from(d);
+        let max_valid = self.rel.snd_max() + if self.conn.fin_sent_ever() { 1 } else { 0 };
         if candidate < 0 || candidate as u64 > max_valid {
             None
         } else {
@@ -401,9 +322,9 @@ impl Endpoint {
 
     /// Unwrap an incoming wire data sequence into a receive-stream offset.
     fn unwrap_seq(&self, seq: SeqNumber) -> i64 {
-        let base = self.irs + 1u32 + (self.rcv_nxt as u32);
+        let base = self.conn.irs() + 1u32 + (self.rcv.rcv_nxt() as u32);
         let d = seq - base;
-        self.rcv_nxt as i64 + i64::from(d)
+        self.rcv.rcv_nxt() as i64 + i64::from(d)
     }
 
     // ------------------------------------------------------------------
@@ -414,10 +335,10 @@ impl Endpoint {
     /// and calls [`Endpoint::on_timer`] when it fires.
     pub fn next_timer(&self) -> Option<Nanos> {
         [
-            self.rto_deadline,
-            self.delack_deadline,
-            self.timewait_deadline,
-            self.persist_deadline,
+            self.rel.rto_deadline(),
+            self.rcv.delack_deadline(),
+            self.conn.timewait_deadline(),
+            self.flow.persist_deadline(),
         ]
         .into_iter()
         .flatten()
@@ -425,118 +346,72 @@ impl Endpoint {
     }
 
     fn arm_rto(&mut self, now: Nanos) {
-        let rto = self.rto << self.backoff.min(10);
-        self.rto_deadline = Some(now + rto.min(self.cfg.rto_max));
+        self.rel.arm_rto(now, self.cfg.rto_max);
     }
 
     fn maybe_disarm_rto(&mut self) {
-        let outstanding = self.snd_nxt > self.snd_una
-            || (self.fin_sent && !self.fin_acked)
-            || self.need_syn
-            || self.need_synack;
+        let outstanding = self.rel.snd_nxt() > self.rel.snd_una()
+            || (self.conn.fin_sent() && !self.conn.fin_acked())
+            || self.conn.need_syn()
+            || self.conn.need_synack();
         if !outstanding {
-            self.rto_deadline = None;
-            self.backoff = 0;
+            self.rel.disarm_rto();
         }
     }
 
     /// Handle timer expiry; the host calls this when `next_timer()` fires.
     pub fn on_timer(&mut self, now: Nanos) {
-        if let Some(t) = self.timewait_deadline {
+        self.conn.fire_timewait(now);
+        self.rcv.fire_delack(now);
+        if let Some(t) = self.rel.rto_deadline() {
             if now >= t {
-                self.timewait_deadline = None;
-                self.state = TcpState::Closed;
-            }
-        }
-        if let Some(t) = self.delack_deadline {
-            if now >= t {
-                self.delack_deadline = None;
-                if self.unacked_segs > 0 {
-                    self.ack_now = true;
-                }
-            }
-        }
-        if let Some(t) = self.rto_deadline {
-            if now >= t {
-                self.rto_deadline = None;
+                self.rel.clear_rto_deadline();
                 self.handle_rto(now);
             }
         }
-        if let Some(t) = self.persist_deadline {
+        if let Some(t) = self.flow.persist_deadline() {
             if now >= t {
                 let probing_makes_sense = matches!(
-                    self.state,
+                    self.conn.state(),
                     TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
-                ) && self.snd_una < self.stream_len;
-                if probing_makes_sense {
-                    // Send a 1-byte window probe beyond the advertised
-                    // window and re-arm with exponential backoff. The probe
-                    // carries real stream data; a reopened window acks it.
-                    self.window_probe_pending = true;
-                    self.persist_backoff = (self.persist_backoff + 1).min(10);
-                    let delay = (self.rto << self.persist_backoff).min(self.cfg.rto_max);
-                    self.persist_deadline = Some(now + delay);
-                } else {
-                    // Connection finished or torn down: stop probing.
-                    self.persist_deadline = None;
-                    self.persist_backoff = 0;
-                }
+                ) && self.rel.snd_una() < self.rel.stream_len();
+                self.flow.on_persist_fire(
+                    now,
+                    self.rel.rto(),
+                    self.cfg.rto_max,
+                    probing_makes_sense,
+                );
             }
         }
     }
 
     fn handle_rto(&mut self, now: Nanos) {
-        match self.state {
+        match self.conn.state() {
             TcpState::SynSent => {
-                self.need_syn = true;
-                self.backoff += 1;
+                self.conn.retry_syn();
+                self.rel.bump_backoff();
                 self.arm_rto(now);
             }
             TcpState::SynRcvd => {
-                self.need_synack = true;
-                self.backoff += 1;
+                self.conn.retry_synack();
+                self.rel.bump_backoff();
                 self.arm_rto(now);
             }
             TcpState::Closed | TcpState::Listen | TcpState::TimeWait => {}
             _ => {
-                let outstanding = self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked);
+                let outstanding = self.rel.snd_nxt() > self.rel.snd_una()
+                    || (self.conn.fin_sent() && !self.conn.fin_acked());
                 if !outstanding {
                     return;
                 }
-                self.timeouts += 1;
                 self.cc.on_retransmit_timeout(now);
                 // Go-back-N: rewind the send pointer; everything from
                 // snd_una is resent as the window reopens.
-                self.snd_nxt = self.snd_una;
-                self.fin_sent = false;
-                self.dupacks = 0;
-                self.recover = None;
-                self.rtx_head_pending = false;
-                self.rtt_probe = None; // Karn
-                self.retransmitted_segments += 1;
-                self.backoff += 1;
+                self.rel.on_timeout_rewind();
+                self.conn.rewind_fin();
                 self.arm_rto(now);
             }
         }
-    }
-
-    fn take_rtt_sample(&mut self, now: Nanos, sample: Nanos) {
-        match self.srtt {
-            None => {
-                self.srtt = Some(sample);
-                self.rttvar = sample / 2;
-            }
-            Some(srtt) => {
-                let diff = srtt.abs_diff(sample);
-                self.rttvar = (3 * self.rttvar + diff) / 4;
-                self.srtt = Some((7 * srtt + sample) / 8);
-            }
-        }
-        let srtt = self.srtt.unwrap();
-        self.rto = (srtt + (4 * self.rttvar).max(acdc_stats::time::MILLISECOND / 1000))
-            .max(self.cfg.rto_min)
-            .min(self.cfg.rto_max);
-        let _ = now;
     }
 
     // ------------------------------------------------------------------
@@ -554,21 +429,21 @@ impl Endpoint {
         let flags = meta.flags;
 
         if flags.contains(TcpFlags::RST) {
-            self.state = TcpState::Closed;
+            self.conn.on_rst();
             return;
         }
 
-        match self.state {
+        match self.conn.state() {
             TcpState::Listen => {
                 if flags.contains(TcpFlags::SYN) {
-                    self.irs = meta.seq;
+                    self.conn.on_listen_syn(meta.seq);
                     self.parse_syn_options(&meta);
                     // ECN negotiation: SYN carries ECE|CWR.
-                    self.ecn_ok = self.cfg.ecn
-                        && flags.contains(TcpFlags::ECE)
-                        && flags.contains(TcpFlags::CWR);
-                    self.state = TcpState::SynRcvd;
-                    self.need_synack = true;
+                    self.ecn.negotiate(
+                        self.cfg.ecn
+                            && flags.contains(TcpFlags::ECE)
+                            && flags.contains(TcpFlags::CWR),
+                    );
                     self.arm_rto(now);
                 }
             }
@@ -577,17 +452,17 @@ impl Endpoint {
                     if self.unwrap_ack(meta.ack) != Some(0) {
                         return; // not acking our SYN
                     }
-                    self.irs = meta.seq;
+                    self.conn.complete_active_open(meta.seq);
                     self.parse_syn_options(&meta);
-                    self.ecn_ok = self.cfg.ecn && flags.contains(TcpFlags::ECE);
-                    self.update_peer_window(meta.window, true);
-                    self.state = TcpState::Established;
-                    self.rto_deadline = None;
-                    self.backoff = 0;
-                    if let Some(t0) = self.syn_sent_at {
-                        self.take_rtt_sample(now, now - t0);
+                    self.ecn
+                        .negotiate(self.cfg.ecn && flags.contains(TcpFlags::ECE));
+                    self.flow.update_window(meta.window, true);
+                    self.rel.disarm_rto();
+                    if let Some(t0) = self.conn.syn_sent_at() {
+                        self.rel
+                            .take_rtt_sample(now - t0, self.cfg.rto_min, self.cfg.rto_max);
                     }
-                    self.ack_now = true;
+                    self.rcv.force_ack();
                 }
             }
             _ => {
@@ -598,20 +473,11 @@ impl Endpoint {
 
     fn parse_syn_options(&mut self, meta: &PacketMeta) {
         if let Some(mss) = meta.mss {
-            self.mss = self.mss.min(u32::from(mss));
+            self.conn.negotiate_mss(mss);
         }
         if let Some(ws) = meta.wscale {
-            self.peer_wscale = ws.min(14);
+            self.flow.learn_wscale(ws);
         }
-    }
-
-    fn update_peer_window(&mut self, raw: u16, syn: bool) {
-        self.last_raw_wnd = raw;
-        self.peer_rwnd = if syn {
-            u64::from(raw)
-        } else {
-            acdc_packet::unscale_rwnd(raw, self.peer_wscale)
-        };
     }
 
     fn on_segment_established(&mut self, now: Nanos, seg: &Segment, meta: &PacketMeta) {
@@ -619,22 +485,20 @@ impl Endpoint {
 
         // A retransmitted SYN-ACK while we are established: just re-ack.
         if flags.contains(TcpFlags::SYN) {
-            if self.state == TcpState::SynRcvd && flags.contains(TcpFlags::ACK) {
+            if self.conn.state() == TcpState::SynRcvd && flags.contains(TcpFlags::ACK) {
                 return;
             }
-            self.ack_now = true;
+            self.rcv.force_ack();
             return;
         }
 
         // SYN-RCVD completes on the first valid ACK.
-        if self.state == TcpState::SynRcvd
+        if self.conn.state() == TcpState::SynRcvd
             && flags.contains(TcpFlags::ACK)
             && self.unwrap_ack(meta.ack) == Some(0)
         {
-            self.state = TcpState::Established;
-            self.rto_deadline = None;
-            self.backoff = 0;
-            self.need_synack = false;
+            self.conn.complete_passive_open();
+            self.rel.disarm_rto();
         }
 
         if flags.contains(TcpFlags::ACK) {
@@ -649,115 +513,77 @@ impl Endpoint {
         let Some(ack_off) = self.unwrap_ack(meta.ack) else {
             return; // out-of-window ACK
         };
-        let prev_raw_wnd = self.last_raw_wnd;
-        self.update_peer_window(meta.window, false);
+        let prev_raw_wnd = self.flow.last_raw_wnd();
+        self.flow.update_window(meta.window, false);
         let ece = meta.flags.contains(TcpFlags::ECE);
 
         // Persist (zero-window probe) management, RFC 793/1122: arm when
         // the peer window closes while data is pending; cancel on reopen.
-        if self.peer_rwnd == 0 {
-            if self.snd_nxt < self.stream_len && self.persist_deadline.is_none() {
-                self.persist_backoff = 0;
-                self.persist_deadline = Some(now + self.rto);
+        if self.flow.peer_rwnd() == 0 {
+            if self.rel.snd_nxt() < self.rel.stream_len() && self.flow.persist_deadline().is_none()
+            {
+                self.flow.arm_persist(now, self.rel.rto());
             }
         } else {
-            self.persist_deadline = None;
-            self.persist_backoff = 0;
+            self.flow.cancel_persist();
             // If a probe byte is still outstanding when the window
             // reopens, hand it back to the normal retransmission machinery.
-            if self.snd_nxt > self.snd_una && self.rto_deadline.is_none() {
+            if self.rel.snd_nxt() > self.rel.snd_una() && self.rel.rto_deadline().is_none() {
                 self.arm_rto(now);
             }
         }
 
-        let fin_ack = self.fin_sent_ever && ack_off == self.stream_len + 1;
-        let newly_acked = ack_off.min(self.snd_max).saturating_sub(self.snd_una);
+        let fin_ack = self.conn.fin_sent_ever() && ack_off == self.rel.stream_len() + 1;
+        let newly_acked = ack_off
+            .min(self.rel.snd_max())
+            .saturating_sub(self.rel.snd_una());
 
         if newly_acked == 0 && !fin_ack {
             // Duplicate ACK? Only if it carries no data, no window change,
             // and there is outstanding data (RFC 5681).
             if seg.payload_len() == 0
-                && ack_off == self.snd_una
+                && ack_off == self.rel.snd_una()
                 && meta.window == prev_raw_wnd
-                && self.snd_nxt > self.snd_una
+                && self.rel.snd_nxt() > self.rel.snd_una()
+                && self.rel.register_dupack() == 3
+                && self.rel.recover().is_none()
             {
-                self.dupacks += 1;
-                if self.dupacks == 3 && self.recover.is_none() {
-                    // Fast retransmit.
-                    self.cc.on_fast_retransmit(now);
-                    self.recover = Some(self.snd_nxt);
-                    self.rtx_head_pending = true;
-                    self.rtt_probe = None; // Karn
-                }
+                // Fast retransmit.
+                self.cc.on_fast_retransmit(now);
+                self.rel.enter_fast_recovery();
             }
             // ECN processing still applies to duplicate ACKs for DCTCP.
             self.feed_cc_ack(now, 0, ece);
             return;
         }
 
-        // New data acknowledged. The ACK may cover data sent before a
-        // timeout rewound `snd_nxt`; pull the send pointer forward so we
-        // do not retransmit bytes the receiver already has.
-        self.snd_una = ack_off.min(self.snd_max);
-        self.snd_nxt = self.snd_nxt.max(self.snd_una);
-        crate::strict_invariant!(
-            self.snd_una <= self.snd_nxt && self.snd_nxt <= self.snd_max,
-            "send pointers out of order: una={} nxt={} max={}",
-            self.snd_una,
-            self.snd_nxt,
-            self.snd_max
-        );
+        // New data acknowledged.
+        self.rel.advance_una(ack_off);
         if fin_ack {
-            self.fin_acked = true;
-            self.fin_sent = true;
+            self.conn.note_fin_acked();
         }
-        self.dupacks = 0;
-        self.backoff = 0;
 
         // RTT sample (Karn: probe cleared on retransmission).
-        if let Some(p) = self.rtt_probe {
-            if self.snd_una >= p.end_off {
-                let sample = now - p.sent_at;
-                self.take_rtt_sample(now, sample);
-                self.rtt_probe = None;
-            }
-        }
+        self.rel
+            .sample_rtt_from_probe(now, self.cfg.rto_min, self.cfg.rto_max);
 
         // NewReno recovery bookkeeping.
-        if let Some(recover) = self.recover {
-            if self.snd_una >= recover {
-                self.recover = None;
-            } else {
-                // Partial ACK: retransmit the next hole immediately.
-                self.rtx_head_pending = true;
-                self.retransmitted_segments += 1;
-            }
-        }
+        self.rel.newreno_post_ack();
 
         self.feed_cc_ack(now, newly_acked, ece);
 
         // Restart or stop the retransmission timer.
-        if self.snd_nxt > self.snd_una || (self.fin_sent && !self.fin_acked) {
+        if self.rel.snd_nxt() > self.rel.snd_una()
+            || (self.conn.fin_sent() && !self.conn.fin_acked())
+        {
             self.arm_rto(now);
         } else {
             self.maybe_disarm_rto();
         }
 
         // Teardown transitions driven by our-FIN acknowledgement.
-        if self.fin_acked {
-            match self.state {
-                TcpState::FinWait1 => self.state = TcpState::FinWait2,
-                TcpState::Closing => {
-                    self.state = TcpState::TimeWait;
-                    self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
-                    self.rto_deadline = None;
-                }
-                TcpState::LastAck => {
-                    self.state = TcpState::Closed;
-                    self.rto_deadline = None;
-                }
-                _ => {}
-            }
+        if self.conn.fin_acked() && self.conn.on_fin_acked_transition(now, 2 * self.cfg.rto_min) {
+            self.rel.clear_rto_deadline();
         }
     }
 
@@ -768,32 +594,29 @@ impl Endpoint {
         // *cwnd-limited* (tcp_is_cwnd_limited): an application- or
         // NIC-limited flow must not inflate cwnd it never uses (that is
         // how senders avoid unbounded qdisc bufferbloat).
-        let in_flight_before = self.in_flight() + newly_acked;
+        let in_flight_before = self.rel.in_flight() + newly_acked;
         let cwnd = self.cc.cwnd();
         let cwnd_limited = if self.cc.in_slow_start() {
             cwnd < 2 * in_flight_before
         } else {
-            in_flight_before + 2 * u64::from(self.mss) >= cwnd
+            in_flight_before + 2 * u64::from(self.conn.mss()) >= cwnd
         };
         let rtt = if newly_acked > 0 {
             // The sample fed here is the probe-based one; expose the
             // latest srtt to algorithms that want per-ack RTTs.
-            self.srtt
+            self.rel.srtt()
         } else {
             None
         };
         // Classic ECN: react to ECE like loss, at most once per RTT,
         // and schedule CWR signalling.
-        if !dctcp && self.ecn_ok && ece {
-            let can_cut = match self.last_ecn_cut {
-                None => true,
-                Some(t) => now.saturating_sub(t) >= self.srtt.unwrap_or(self.cfg.rto_min),
-            };
-            if can_cut {
-                self.cc.on_fast_retransmit(now);
-                self.last_ecn_cut = Some(now);
-                self.cwr_pending = true;
-            }
+        if !dctcp
+            && self.ecn.ecn_ok()
+            && ece
+            && self.ecn.can_cut(now, self.rel.srtt(), self.cfg.rto_min)
+        {
+            self.cc.on_fast_retransmit(now);
+            self.ecn.note_cut(now);
         }
         let congestion_signal = marked > 0 || (dctcp && ece);
         if (newly_acked > 0 && cwnd_limited) || congestion_signal {
@@ -802,7 +625,7 @@ impl Endpoint {
                 newly_acked,
                 marked,
                 rtt,
-                in_flight: self.in_flight(),
+                in_flight: self.rel.in_flight(),
                 ece,
             });
         }
@@ -811,121 +634,41 @@ impl Endpoint {
     fn process_data(&mut self, now: Nanos, seg: &Segment, meta: &PacketMeta) {
         let start = self.unwrap_seq(meta.seq);
         let len = seg.payload_len() as u64;
-        let has_fin = meta.flags.contains(TcpFlags::FIN);
 
-        if has_fin {
-            let fin_off = (start + len as i64) as u64;
-            if self.fin_rcvd.is_none() {
-                self.fin_rcvd = Some(fin_off);
-            }
+        if meta.flags.contains(TcpFlags::FIN) {
+            self.rcv.note_fin((start + len as i64) as u64);
         }
 
         // ECN feedback bookkeeping (on data packets only).
-        if self.ecn_ok {
-            let ce = seg.ecn().is_ce();
-            if self.cfg_is_dctcp() {
-                if ce != self.ce_state {
-                    // DCTCP receiver: state change forces an immediate ACK
-                    // so the echo stream stays byte-accurate.
-                    self.ack_now = true;
-                    self.ce_state = ce;
-                }
-            } else if ce {
-                self.ece_latch = true;
-            }
-            if meta.flags.contains(TcpFlags::CWR) {
-                self.ece_latch = false;
-            }
+        if self.ecn.on_data_ecn(
+            seg.ecn().is_ce(),
+            self.cfg_is_dctcp(),
+            meta.flags.contains(TcpFlags::CWR),
+        ) {
+            self.rcv.force_ack();
         }
 
         if len > 0 {
-            let end = start + len as i64;
-            if end <= self.rcv_nxt as i64 {
-                // Entirely duplicate data → ACK right away (dupack fuel).
-                self.ack_now = true;
-            } else {
-                let s = start.max(self.rcv_nxt as i64) as u64;
-                let e = end as u64;
-                if start as u64 <= self.rcv_nxt && e > self.rcv_nxt {
-                    // In-order (possibly overlapping) data.
-                    self.rcv_nxt = e;
-                    self.drain_ooo();
-                    self.unacked_segs += 1;
-                    if self.unacked_segs >= self.cfg.delack_segs {
-                        self.ack_now = true;
-                    } else if self.delack_deadline.is_none() {
-                        self.delack_deadline = Some(now + self.cfg.delack_timeout);
-                    }
-                } else {
-                    // Out of order: buffer the range, ACK immediately.
-                    self.insert_ooo(s, e);
-                    self.ack_now = true;
-                }
-            }
+            self.rcv.accept(
+                start,
+                len,
+                now,
+                self.cfg.delack_segs,
+                self.cfg.delack_timeout,
+            );
         }
 
         // Consume the FIN when it is in order.
-        if let Some(f) = self.fin_rcvd {
-            if self.rcv_nxt >= f {
-                self.ack_now = true;
-                match self.state {
-                    TcpState::Established => self.state = TcpState::CloseWait,
-                    TcpState::FinWait2 => {
-                        self.state = TcpState::TimeWait;
-                        self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
-                        self.rto_deadline = None;
-                    }
-                    TcpState::FinWait1 => {
-                        if self.fin_acked {
-                            self.state = TcpState::TimeWait;
-                            self.timewait_deadline = Some(now + 2 * self.cfg.rto_min);
-                            self.rto_deadline = None;
-                        } else {
-                            // Simultaneous close: our FIN (and possibly
-                            // data) still needs acknowledgement — keep the
-                            // retransmission machinery alive.
-                            self.state = TcpState::Closing;
-                        }
-                    }
-                    _ => {}
-                }
+        if self.rcv.fin_in_order() {
+            self.rcv.force_ack();
+            if self.conn.on_fin_consumed(now, 2 * self.cfg.rto_min) {
+                self.rel.clear_rto_deadline();
             }
         }
     }
 
     fn cfg_is_dctcp(&self) -> bool {
         self.cc.wants_ecn()
-    }
-
-    fn insert_ooo(&mut self, s: u64, e: u64) {
-        if s >= e {
-            return;
-        }
-        self.ooo.push((s, e));
-        self.ooo.sort_unstable();
-        // Merge overlapping/adjacent ranges.
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ooo.len());
-        for &(s, e) in &self.ooo {
-            if let Some(last) = merged.last_mut() {
-                if s <= last.1 {
-                    last.1 = last.1.max(e);
-                    continue;
-                }
-            }
-            merged.push((s, e));
-        }
-        self.ooo = merged;
-    }
-
-    fn drain_ooo(&mut self) {
-        while let Some(&(s, e)) = self.ooo.first() {
-            if s <= self.rcv_nxt {
-                self.rcv_nxt = self.rcv_nxt.max(e);
-                self.ooo.remove(0);
-            } else {
-                break;
-            }
-        }
     }
 
     // ------------------------------------------------------------------
@@ -949,55 +692,47 @@ impl Endpoint {
     /// Hosts call this in a loop after every event until it yields `None`.
     pub fn poll_transmit(&mut self, now: Nanos) -> Option<Segment> {
         // 1. Handshake packets.
-        if self.need_syn {
-            self.need_syn = false;
+        if self.conn.take_need_syn() {
             return Some(self.make_syn(false));
         }
-        if self.need_synack {
-            self.need_synack = false;
+        if self.conn.take_need_synack() {
             return Some(self.make_syn(true));
         }
         // In TIME-WAIT / CLOSED we still answer retransmitted FINs with a
         // pure ACK (RFC 793) — otherwise the peer wedges in LAST-ACK.
-        if matches!(self.state, TcpState::TimeWait | TcpState::Closed) {
-            if self.ack_now && self.fin_rcvd.is_some() {
-                self.clear_ack_state();
+        if matches!(self.conn.state(), TcpState::TimeWait | TcpState::Closed) {
+            if self.rcv.ack_now() && self.rcv.fin_rcvd().is_some() {
+                self.rcv.clear_ack_state();
                 return Some(self.make_ack());
             }
             return None;
         }
-        if !self.is_established() && !matches!(self.state, TcpState::LastAck | TcpState::Closing) {
+        if !self.is_established()
+            && !matches!(self.conn.state(), TcpState::LastAck | TcpState::Closing)
+        {
             return None;
         }
 
         // 2. Head retransmission (fast retransmit / partial-ACK hole fill).
-        if self.rtx_head_pending && self.snd_nxt > self.snd_una {
-            self.rtx_head_pending = false;
-            self.retransmitted_segments += 1;
-            let len = (self.snd_nxt - self.snd_una).min(u64::from(self.mss));
+        if let Some(len) = self.rel.take_rtx_head(self.conn.mss()) {
             self.arm_rto(now);
-            return Some(self.make_data(self.snd_una, len as usize, false));
+            return Some(self.make_data(self.rel.snd_una(), len as usize, false));
         }
-        self.rtx_head_pending = false;
 
         // 2b. Zero-window probe: one byte of real data past the window.
         // Probe retransmission is owned by the *persist* timer (not the
         // RTO, which would needlessly collapse cwnd while the peer is
         // simply full), so no retransmission timer is armed here.
-        if self.window_probe_pending {
-            self.window_probe_pending = false;
+        if self.flow.take_window_probe() {
             let state_ok = matches!(
-                self.state,
+                self.conn.state(),
                 TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
             );
-            if state_ok && self.peer_rwnd == 0 && self.snd_una < self.stream_len {
-                let off = self.snd_una;
-                if self.snd_nxt == self.snd_una {
-                    self.snd_nxt += 1;
-                    self.snd_max = self.snd_max.max(self.snd_nxt);
-                }
-                let _ = now;
-                self.clear_ack_state();
+            if state_ok && self.flow.peer_rwnd() == 0 && self.rel.snd_una() < self.rel.stream_len()
+            {
+                let off = self.rel.snd_una();
+                self.rel.extend_for_probe();
+                self.rcv.clear_ack_state();
                 return Some(self.make_data(off, 1, false));
             }
         }
@@ -1005,77 +740,60 @@ impl Endpoint {
         // 3. New data within the windows.
         if self.can_send_data() {
             let usable = self.usable_window();
-            let remaining = self.stream_len - self.snd_nxt;
-            let len = remaining.min(u64::from(self.mss)).min(usable);
+            let remaining = self.rel.stream_len() - self.rel.snd_nxt();
+            let len = remaining.min(u64::from(self.conn.mss())).min(usable);
             if len > 0 {
-                let off = self.snd_nxt;
-                self.snd_nxt += len;
-                self.snd_max = self.snd_max.max(self.snd_nxt);
+                let off = self.rel.advance_nxt(len);
                 // FIN may ride the last data segment.
                 let fin = self.fin_ready();
                 if fin {
-                    self.fin_sent = true;
-                    self.fin_sent_ever = true;
-                    self.after_fin_sent();
+                    self.conn.send_fin();
                 }
-                if self.rtt_probe.is_none() {
-                    self.rtt_probe = Some(RttProbe {
-                        end_off: off + len,
-                        sent_at: now,
-                    });
-                }
-                if self.rto_deadline.is_none() {
+                self.rel.maybe_arm_rtt_probe(now, off + len);
+                if self.rel.rto_deadline().is_none() {
                     self.arm_rto(now);
                 }
-                self.clear_ack_state();
+                self.rcv.clear_ack_state();
                 return Some(self.make_data(off, len as usize, fin));
             }
         }
 
         // 4. A bare FIN once all data is out and acknowledged as sendable.
-        if self.fin_ready() && !self.fin_sent {
-            self.fin_sent = true;
-            self.fin_sent_ever = true;
-            self.after_fin_sent();
-            if self.rto_deadline.is_none() {
+        if self.fin_ready() && !self.conn.fin_sent() {
+            self.conn.send_fin();
+            if self.rel.rto_deadline().is_none() {
                 self.arm_rto(now);
             }
-            self.clear_ack_state();
-            return Some(self.make_data(self.snd_nxt, 0, true));
+            self.rcv.clear_ack_state();
+            return Some(self.make_data(self.rel.snd_nxt(), 0, true));
         }
 
         // 5. A pure ACK if one is due.
-        if self.ack_now {
-            self.clear_ack_state();
+        if self.rcv.ack_now() {
+            self.rcv.clear_ack_state();
             return Some(self.make_ack());
         }
 
         None
     }
 
-    fn after_fin_sent(&mut self) {
-        match self.state {
-            TcpState::Established => self.state = TcpState::FinWait1,
-            TcpState::CloseWait => self.state = TcpState::LastAck,
-            _ => {}
-        }
-    }
-
     fn fin_ready(&self) -> bool {
-        self.fin_queued && !self.fin_sent && self.snd_nxt == self.stream_len
+        self.conn.fin_queued()
+            && !self.conn.fin_sent()
+            && self.rel.snd_nxt() == self.rel.stream_len()
     }
 
     fn can_send_data(&self) -> bool {
         // LAST-ACK is included: a timeout rewinds `snd_nxt`, and the data
         // ahead of our FIN must still be retransmittable from that state.
         matches!(
-            self.state,
+            self.conn.state(),
             TcpState::Established
                 | TcpState::CloseWait
                 | TcpState::FinWait1
                 | TcpState::LastAck
                 | TcpState::Closing
-        ) && self.snd_nxt < self.stream_len
+        ) && self.rel.snd_nxt() < self.rel.stream_len()
     }
 
     fn usable_window(&self) -> u64 {
@@ -1084,16 +802,10 @@ impl Endpoint {
             u64::MAX
         } else {
             // Peer window is relative to snd_una.
-            (self.snd_una + self.peer_rwnd).saturating_sub(self.snd_nxt)
+            (self.rel.snd_una() + self.flow.peer_rwnd()).saturating_sub(self.rel.snd_nxt())
         };
-        let cong = cwnd.saturating_sub(self.in_flight());
+        let cong = cwnd.saturating_sub(self.rel.in_flight());
         cong.min(flow)
-    }
-
-    fn clear_ack_state(&mut self) {
-        self.ack_now = false;
-        self.unacked_segs = 0;
-        self.delack_deadline = None;
     }
 
     fn ip_repr(&self, ecn: Ecn) -> Ipv4Repr {
@@ -1113,14 +825,14 @@ impl Endpoint {
         t
     }
 
-    fn make_syn(&mut self, is_synack: bool) -> Segment {
+    fn make_syn(&self, is_synack: bool) -> Segment {
         let mut t = self.base_tcp();
-        t.seq = self.iss;
+        t.seq = self.conn.iss();
         t.flags = TcpFlags::SYN;
         if is_synack {
             t.flags |= TcpFlags::ACK;
-            t.ack = self.irs + 1u32;
-            if self.ecn_ok {
+            t.ack = self.conn.irs() + 1u32;
+            if self.ecn.ecn_ok() {
                 t.flags |= TcpFlags::ECE;
             }
         } else if self.cfg.ecn {
@@ -1144,17 +856,16 @@ impl Endpoint {
         if fin {
             t.flags |= TcpFlags::FIN;
         }
-        if len > 0 && self.cwr_pending {
+        if len > 0 && self.ecn.take_cwr() {
             t.flags |= TcpFlags::CWR;
-            self.cwr_pending = false;
         }
-        if self.echo_ece() {
+        if self.ecn.echo_ece(self.cfg_is_dctcp()) {
             t.flags |= TcpFlags::ECE;
         }
         // DCTCP sets ECT on every packet (Linux marks the whole socket);
         // classic ECN only on data segments (RFC 3168 forbids ECT on pure
         // ACKs).
-        let ecn = if self.ecn_ok && (len > 0 || self.cfg_is_dctcp()) {
+        let ecn = if self.ecn.ecn_ok() && (len > 0 || self.cfg_is_dctcp()) {
             Ecn::Ect0
         } else {
             Ecn::NotEct
@@ -1162,31 +873,20 @@ impl Endpoint {
         Segment::new_tcp(self.ip_repr(ecn), t, len)
     }
 
-    fn make_ack(&mut self) -> Segment {
+    fn make_ack(&self) -> Segment {
         let mut t = self.base_tcp();
-        t.seq = self.wire_seq(self.snd_nxt);
+        t.seq = self.wire_seq(self.rel.snd_nxt());
         t.ack = self.wire_ack();
         t.flags = TcpFlags::ACK;
-        if self.echo_ece() {
+        if self.ecn.echo_ece(self.cfg_is_dctcp()) {
             t.flags |= TcpFlags::ECE;
         }
-        let ecn = if self.ecn_ok && self.cfg_is_dctcp() {
+        let ecn = if self.ecn.ecn_ok() && self.cfg_is_dctcp() {
             Ecn::Ect0
         } else {
             Ecn::NotEct
         };
         Segment::new_tcp(self.ip_repr(ecn), t, 0)
-    }
-
-    fn echo_ece(&self) -> bool {
-        if !self.ecn_ok {
-            return false;
-        }
-        if self.cfg_is_dctcp() {
-            self.ce_state
-        } else {
-            self.ece_latch
-        }
     }
 }
 
@@ -1364,7 +1064,7 @@ mod tests {
         let b = Endpoint::new_passive(cb);
         let mut p = Pipe::new(a, b, 10 * MICROSECOND);
         p.run(MILLISECOND * 500);
-        assert_eq!(p.a.mss, 1448);
+        assert_eq!(p.a.mss(), 1448);
         assert_eq!(p.b.delivered_bytes(), 100_000);
     }
 
@@ -1485,8 +1185,8 @@ mod tests {
         let b = Endpoint::new_passive(cb);
         let mut p = Pipe::new(a, b, 10 * MICROSECOND);
         p.run(100 * MILLISECOND);
-        assert!(!p.a.ecn_ok);
-        assert!(!p.b.ecn_ok);
+        assert!(!p.a.ecn_negotiated());
+        assert!(!p.b.ecn_negotiated());
         assert_eq!(p.b.delivered_bytes(), 10_000);
     }
 
@@ -1528,5 +1228,18 @@ mod tests {
         let mut p = Pipe::new(a, b, 50 * MICROSECOND);
         p.run(20 * MILLISECOND);
         assert!(p.a.cwnd() > start_cwnd, "cwnd should grow during transfer");
+    }
+
+    #[test]
+    fn seq_view_matches_wire_accessors() {
+        let (mut a, b) = pair(CcKind::Cubic, 1448);
+        a.open(0);
+        a.send(100_000);
+        let mut p = Pipe::new(a, b, 50 * MICROSECOND);
+        p.run(5 * MILLISECOND);
+        let v = p.a.seq_view();
+        assert_eq!(v.snd_una, p.a.wire_snd_una());
+        assert_eq!(v.snd_nxt, p.a.wire_snd_nxt());
+        assert_eq!(u64::from(v.outstanding()), p.a.in_flight());
     }
 }

@@ -36,9 +36,15 @@ macro_rules! strict_invariant {
 }
 pub(crate) use strict_invariant;
 
+pub mod conn;
+pub mod ecn;
 pub mod endpoint;
+pub mod flow;
+pub mod receive;
+pub mod reliable;
 
 pub use endpoint::{Endpoint, TcpState};
+pub use reliable::SeqView;
 
 use acdc_cc::CcKind;
 use acdc_stats::time::{Nanos, MILLISECOND};

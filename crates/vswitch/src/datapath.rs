@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use acdc_cc::{AckEvent, CcConfig, CongestionControl};
+use acdc_cc::CcConfig;
 use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, Segment, TcpFlags, TcpRepr};
 use acdc_stats::time::{Nanos, MILLISECOND, SECOND};
 use acdc_telemetry::{Counter, EventKind, Gauge, MetricsRegistry, Telemetry, NO_FLOW};
@@ -24,6 +24,7 @@ use crate::health::{HealthCell, HealthState, Watermarks};
 use crate::policy::CcPolicy;
 use crate::rwnd::RwndAction;
 use crate::table::{Admission, AdmissionPolicy, FlowTable};
+use crate::vcc::AckSignals;
 
 /// Datapath configuration.
 #[derive(Debug, Clone)]
@@ -990,20 +991,23 @@ impl AcdcDatapath {
                 }
             }
 
-            // Consume accumulated feedback and run the algorithm (Figure 5).
+            // Consume accumulated feedback and run the algorithm (Figure 5)
+            // through the VirtualCc seam — the datapath never sees how the
+            // algorithm turns the signal bundle into a window.
             let marked = e.fb_marked;
+            let total = e.fb_total;
             e.fb_total = 0;
             e.fb_marked = 0;
             let in_flight = e.in_flight();
             let rtt = rtt_sample.or(e.srtt);
             if newly_acked > 0 || marked > 0 {
-                e.cc.on_ack(&AckEvent {
+                e.cc.on_ack_signals(&AckSignals {
                     now,
                     newly_acked,
-                    marked,
+                    marked_bytes: marked,
+                    total_bytes: total,
                     rtt,
                     in_flight,
-                    ece: marked > 0,
                 });
                 // Publish alpha movements (quantized; DCTCP-family only).
                 if let Some(am) = e.cc.alpha_micros() {
@@ -1184,12 +1188,24 @@ impl AcdcDatapath {
         &self,
         key: &acdc_packet::FlowKey,
     ) -> Option<(acdc_packet::SeqNumber, acdc_packet::SeqNumber)> {
+        let v = self.seq_view(key)?;
+        Some((v.snd_una, v.snd_nxt))
+    }
+
+    /// The passively reconstructed send pointers for `key`'s data sender
+    /// as a [`acdc_packet::SeqView`] — the same currency
+    /// `Endpoint::seq_view` exposes for its ground truth, so the two
+    /// sides compare without tuple plumbing.
+    pub fn seq_view(&self, key: &acdc_packet::FlowKey) -> Option<acdc_packet::SeqView> {
         let entry = self.table.get(key)?;
         let e = entry.lock();
         if !e.seq_valid {
             return None;
         }
-        Some((e.snd_una, e.snd_nxt))
+        Some(acdc_packet::SeqView {
+            snd_una: e.snd_una,
+            snd_nxt: e.snd_nxt,
+        })
     }
 
     /// Generate a TCP Window Update for the data sender of `key` without

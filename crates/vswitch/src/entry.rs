@@ -6,11 +6,12 @@
 //! sender) and the receiver-side role (ECN byte accounting, used at the
 //! host of the data receiver); each host only exercises its own half.
 
-use acdc_cc::{CcConfig, CcKind, Clamped, CongestionControl};
+use acdc_cc::{CcConfig, CcKind, Clamped};
 use acdc_packet::SeqNumber;
 use acdc_stats::time::Nanos;
 
 use crate::rwnd::RwndRewriter;
+use crate::vcc::{EcnFractionCc, VirtualCc};
 
 /// Ceiling on the enforced window. The vSwitch CC cannot tell when a
 /// guest is application- or NIC-limited (it sees only ACK progress), so
@@ -33,8 +34,12 @@ pub struct FlowEntry {
     pub seq_valid: bool,
     /// Duplicate-ACK counter.
     pub dupacks: u32,
-    /// The enforced congestion-control algorithm.
-    pub cc: Box<dyn CongestionControl>,
+    /// The enforced congestion-control algorithm, behind the
+    /// [`VirtualCc`] seam (the sender module feeds it [`AckSignals`]
+    /// bundles and enforces whatever window it reports).
+    ///
+    /// [`AckSignals`]: crate::vcc::AckSignals
+    pub cc: Box<dyn VirtualCc>,
     /// The RWND-rewrite component (window scale + enforcement target,
     /// §3.3). Its fields are private — mutation goes through its API, the
     /// write-scope contract `scopes.toml` declares for
@@ -89,7 +94,10 @@ impl FlowEntry {
             snd_nxt: SeqNumber::ZERO,
             seq_valid: false,
             dupacks: 0,
-            cc: Box::new(Clamped::new(kind.build(cc_cfg), MAX_ENFORCED_WINDOW)),
+            cc: Box::new(EcnFractionCc::new(Box::new(Clamped::new(
+                kind.build(cc_cfg),
+                MAX_ENFORCED_WINDOW,
+            )))),
             rwnd: RwndRewriter::new(),
             vm_ecn: false,
             rtt_probe: None,

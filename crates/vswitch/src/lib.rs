@@ -44,6 +44,7 @@ pub mod health;
 pub mod policy;
 pub mod rwnd;
 pub mod table;
+pub mod vcc;
 
 pub use datapath::{
     AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict, WorkerSink,
@@ -53,3 +54,4 @@ pub use health::{HealthState, Watermarks};
 pub use policy::CcPolicy;
 pub use rwnd::{RwndAction, RwndRewriter};
 pub use table::{Admission, AdmissionPolicy, FlowTable};
+pub use vcc::{AckSignals, EcnFractionCc, VirtualCc};

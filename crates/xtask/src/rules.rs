@@ -111,9 +111,11 @@ pub static P005: Rule = Rule {
 pub static O001: Rule = Rule {
     id: "O001",
     name: "ad-hoc-counter",
-    summary: "no new raw *_drops/*_count integer fields in runtime crates \
-              (register an acdc_telemetry Counter/Gauge — or adopt the cell \
-              — so the metric appears in the unified snapshot_all())",
+    summary: "no new raw *_drops/*_count integer fields and no live \
+              *_drops increments in runtime crates (register an \
+              acdc_telemetry Counter/Gauge — or adopt the cell — so the \
+              metric appears in the unified snapshot_all(); `Copy` \
+              snapshot views of registry cells are exempt)",
 };
 
 pub static H001: Rule = Rule {
@@ -228,33 +230,39 @@ fn has_counter_field_name(code: &str) -> bool {
     false
 }
 
-/// Rule IDs allowed on the *struct* a field at `field_idx` belongs to: an
-/// `acdc-lint: allow(...)` comment in the attribute/comment block sitting
-/// directly above the struct header covers every field line, so one
-/// directive grandfathers a whole snapshot struct (the stock
-/// [`SourceFile::allows_on`] walk stops at attribute lines and would need
-/// a directive per field).
-fn enclosing_struct_allows(file: &SourceFile, field_idx: usize) -> Vec<String> {
+/// Does the struct enclosing the field at `field_idx` derive `Copy`?
+///
+/// A `Copy` struct cannot hold live registry cells (`Counter`/`Gauge`
+/// are `Arc`-backed and not `Copy`), so its counter-named integer fields
+/// are necessarily pure point-in-time *values* — the snapshot views
+/// (`SwitchCounters`, `PortCounters`, `FaultStats`, …) the registry
+/// migration deliberately kept for field-access ergonomics. This
+/// structural exemption is what retired the O001 grandfather allow-list:
+/// a *live* counter struct cannot be `Copy`-derived without giving up
+/// accumulation, and compound-assignment accumulation into `_drops`
+/// fields is a finding in its own right (see `has_live_counter_update`).
+fn enclosing_struct_derives_copy(file: &SourceFile, field_idx: usize) -> bool {
     let mut l = field_idx;
     while l > 0 {
         l -= 1;
         let line = &file.lines[l];
         let code = line.code.trim();
         if contains_token(code, "struct") && code.contains('{') {
-            let mut out = Vec::new();
             let mut a = l;
             while a > 0 {
                 a -= 1;
                 let above = &file.lines[a];
                 let c = above.code.trim();
                 let comment_only = c.is_empty() && !above.comment.trim().is_empty();
-                if comment_only || c.starts_with("#[") {
-                    out.extend(crate::scan::parse_allow(&above.comment));
-                } else {
+                if c.starts_with("#[") {
+                    if contains_token(c, "derive") && contains_token(c, "Copy") {
+                        return true;
+                    }
+                } else if !comment_only {
                     break;
                 }
             }
-            return out;
+            return false;
         }
         // A closing brace ends the previous item: the field can't belong
         // to any struct declared above it.
@@ -262,7 +270,34 @@ fn enclosing_struct_allows(file: &SourceFile, field_idx: usize) -> Vec<String> {
             break;
         }
     }
-    Vec::new()
+    false
+}
+
+/// True when `code` *accumulates into* something named `…_drops` — a
+/// compound assignment (`+=`) or an atomic `fetch_add` — the shape of a
+/// live ad-hoc counter being bumped. This closes the hole the field
+/// check's `Copy` exemption would otherwise leave open (a `Copy` struct
+/// kept live by value replacement): registry-backed cells are bumped via
+/// `Counter::inc`/`add`, never `+=`. Scoped to `_drops` only: `_count`
+/// names also cover private algorithm state (e.g. Vegas' per-RTT ACK
+/// tally) that is not a metric and may legitimately accumulate.
+fn has_live_counter_update(code: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let suffix = "_drops";
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(suffix) {
+        let at = start + pos;
+        let rest = &code[at + suffix.len()..];
+        let boundary_ok = rest.chars().next().is_none_or(|c| !is_ident(c));
+        if boundary_ok {
+            let t = rest.trim_start();
+            if t.starts_with("+=") || t.starts_with(".fetch_add(") {
+                return true;
+            }
+        }
+        start = at + 1;
+    }
+    false
 }
 
 /// Per-line rules applied to one file. `path` is repo-relative with
@@ -430,6 +465,14 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
             ));
         }
 
+        if o001_scope && has_live_counter_update(code) {
+            hits.push((
+                &O001,
+                "live ad-hoc counter increment bypasses the metrics registry; bump an acdc_telemetry::Counter (inc/add) so the value shows up in snapshot_all()"
+                    .to_string(),
+            ));
+        }
+
         if !in_xtask
             && contains_token(code, "alpha")
             && (code.contains("==")
@@ -452,13 +495,16 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
             if allows.iter().any(|a| a == rule.id) {
                 continue;
             }
-            // O001 additionally honors a struct-level allow, so one
-            // directive above a grandfathered snapshot struct's derive
-            // covers all of its field lines.
+            // O001's field check exempts `Copy` snapshot structs: they
+            // cannot hold live registry cells, so their counter-named
+            // fields are point-in-time values by construction. Live
+            // accumulation (`+=` / `fetch_add`) is caught separately by
+            // `has_live_counter_update`, which this exemption never
+            // applies to (increments live in method bodies, not struct
+            // field blocks).
             if rule.id == "O001"
-                && enclosing_struct_allows(file, idx)
-                    .iter()
-                    .any(|a| a == "O001")
+                && has_counter_field_name(&file.lines[idx].code)
+                && enclosing_struct_derives_copy(file, idx)
             {
                 continue;
             }
@@ -793,17 +839,56 @@ mod tests {
     }
 
     #[test]
-    fn o001_struct_level_allow_covers_all_fields() {
-        let src = "// acdc-lint: allow(O001) -- snapshot view\n\
+    fn o001_copy_snapshot_structs_are_exempt() {
+        // A `Copy` struct cannot hold live registry cells, so its
+        // counter-named fields are snapshot values — no finding, and no
+        // allow directive needed (the grandfather list is retired).
+        let src = "/// Snapshot view of registry-backed cells.\n\
                    #[derive(Debug, Clone, Copy)]\n\
                    pub struct Stats {\n\
                    \x20   pub random_drops: u64,\n\
                    \x20   pub flap_drops: u64,\n\
                    }\n";
         assert!(run("crates/faults/src/x.rs", src).is_empty());
-        // The allow is scoped: a *following* struct is not covered.
+        // The exemption is per-struct: a *following* non-Copy struct is
+        // not covered.
         let two = format!("{src}pub struct Other {{\n    pub wred_drops: u64,\n}}\n");
         assert_eq!(run("crates/faults/src/x.rs", &two), vec!["O001"]);
+        // Without the Copy derive the same struct fires on both fields.
+        let live = "#[derive(Debug, Clone)]\n\
+                    pub struct Stats {\n\
+                    \x20   pub random_drops: u64,\n\
+                    \x20   pub flap_drops: u64,\n\
+                    }\n";
+        assert_eq!(run("crates/faults/src/x.rs", live), vec!["O001", "O001"]);
+    }
+
+    #[test]
+    fn o001_flags_live_drop_counter_increments() {
+        // Accumulating into a `_drops` name is a live ad-hoc counter
+        // regardless of where the field is declared.
+        assert_eq!(
+            run("crates/netsim/src/x.rs", "self.wred_drops += 1;\n"),
+            vec!["O001"]
+        );
+        assert_eq!(
+            run(
+                "crates/faults/src/x.rs",
+                "stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);\n"
+            ),
+            vec!["O001"]
+        );
+        // `_count` accumulation is private algorithm state (e.g. Vegas'
+        // per-RTT ACK tally), not a metric — exempt.
+        assert!(run("crates/cc/src/x.rs", "self.rtt_count += 1;\n").is_empty());
+        // Reads and plain `+` merges of snapshot fields don't fire.
+        assert!(run(
+            "crates/netsim/src/x.rs",
+            "let total = a.wred_drops + b.wred_drops;\n"
+        )
+        .is_empty());
+        // Tests may keep tallies however they like.
+        assert!(run("crates/netsim/tests/x.rs", "self.wred_drops += 1;\n").is_empty());
     }
 
     #[test]

@@ -117,8 +117,8 @@ fn p005_flow_admission_fixture() {
 
 #[test]
 fn o001_adhoc_counter_fixture() {
-    // The fixture holds one grandfathered struct (struct-level allow) and
-    // one fresh raw counter: exactly the fresh one must fire.
+    // The fixture holds one `Copy` snapshot struct (structurally exempt)
+    // and one fresh raw counter: exactly the fresh one must fire.
     assert_single("o001_adhoc_counter", "O001", "crates/vswitch/src/bad.rs");
 }
 
@@ -386,6 +386,96 @@ fn pilot_component_manifest_entry_is_load_bearing() {
     );
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert_eq!(findings[0].rule.id, "W001");
+}
+
+#[test]
+fn endpoint_component_manifest_entries_are_load_bearing() {
+    // Same acceptance property as the pilot, extended over the Endpoint
+    // decomposition: for each of the five components, deleting its
+    // scopes.toml entry leaves the owning module's `acdc-scope:`
+    // annotation dangling (a manifest error), and writing one of its
+    // fields from the orchestrator file is a W001 finding.
+    use acdc_xtask::model::FileModel;
+    use acdc_xtask::scan::SourceFile;
+    use acdc_xtask::scopes::{check_write_scopes, ScopeManifest, MANIFEST_PATH};
+    use std::collections::BTreeMap;
+
+    const COMPONENTS: &[(&str, &str, &str, &str)] = &[
+        (
+            "endpoint.conn-mgmt",
+            "crates/tcp/src/conn.rs",
+            "ConnMgmt",
+            "fin_queued",
+        ),
+        (
+            "endpoint.reliable-delivery",
+            "crates/tcp/src/reliable.rs",
+            "ReliableDelivery",
+            "snd_nxt",
+        ),
+        (
+            "endpoint.flow-ctrl",
+            "crates/tcp/src/flow.rs",
+            "FlowCtrl",
+            "peer_rwnd",
+        ),
+        (
+            "endpoint.receive",
+            "crates/tcp/src/receive.rs",
+            "Receive",
+            "rcv_nxt",
+        ),
+        (
+            "endpoint.ecn",
+            "crates/tcp/src/ecn.rs",
+            "EcnSignal",
+            "ece_latch",
+        ),
+    ];
+
+    let root = repo_root();
+    let manifest_text =
+        std::fs::read_to_string(root.join(MANIFEST_PATH)).expect("scopes.toml readable");
+    let manifest = ScopeManifest::parse(&manifest_text).expect("scopes.toml parses");
+
+    for &(name, owns, strukt, field) in COMPONENTS {
+        assert!(
+            manifest.components.iter().any(|c| c.name == name),
+            "component {name} must be declared"
+        );
+
+        // (a) Removing the entry dangles the module's annotation.
+        let without = ScopeManifest::parse(&manifest_text)
+            .map(|mut m| {
+                m.components.retain(|c| c.name != name);
+                m
+            })
+            .unwrap();
+        let src = std::fs::read_to_string(root.join(owns)).unwrap();
+        let mut models = BTreeMap::new();
+        models.insert(owns.to_string(), FileModel::build(&SourceFile::scan(&src)));
+        let mut findings = Vec::new();
+        without.validate(&models, &mut findings);
+        assert!(
+            findings.iter().any(|f| f.message.contains(name)),
+            "deleting {name}'s manifest entry must fail analyze: {findings:?}"
+        );
+
+        // (b) The orchestrator writing a component field directly is a
+        // W001 finding — endpoint.rs must go through the component API.
+        let intruder = FileModel::build(&SourceFile::scan(&format!(
+            "impl {strukt} {{\n    fn hack(&mut self) {{\n        self.{field} = Default::default();\n    }}\n}}\n"
+        )));
+        let mut findings = Vec::new();
+        check_write_scopes(
+            "crates/tcp/src/endpoint.rs",
+            &intruder,
+            &manifest,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{name}: {findings:?}");
+        assert_eq!(findings[0].rule.id, "W001");
+    }
 }
 
 #[test]

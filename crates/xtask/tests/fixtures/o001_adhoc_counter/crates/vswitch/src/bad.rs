@@ -1,10 +1,10 @@
 // A new raw counter field smuggled past the telemetry registry: O001.
-// The allowed struct above it shows the grandfather escape hatch working
-// in the same file.
+// The `Copy` snapshot struct above it shows the structural exemption
+// working in the same file — no allow directive needed.
 
-// acdc-lint: allow(O001) -- snapshot view of registry-backed counters
+/// Point-in-time view of registry-backed counter cells.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct GrandfatheredStats {
+pub struct SnapshotStats {
     pub random_drops: u64,
     pub scripted_drops: u64,
 }

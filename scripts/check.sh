@@ -39,7 +39,15 @@ stage_lint() {
 
 stage_analyze() {
     echo "==> acdc-xtask analyze (W-series: write-scope, lock-order, thread-readiness)"
-    cargo run -q -p acdc-xtask -- analyze
+    if ! cargo run -q -p acdc-xtask -- analyze; then
+        # Re-run in JSON mode so the findings survive as a machine-readable
+        # artifact (CI uploads target/acdc-analyze/ on failure).
+        mkdir -p target/acdc-analyze
+        cargo run -q -p acdc-xtask -- analyze --json \
+            >target/acdc-analyze/findings.json || true
+        echo "==> findings written to target/acdc-analyze/findings.json" >&2
+        return 1
+    fi
 }
 
 stage_test() {

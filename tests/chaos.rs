@@ -17,23 +17,21 @@ use acdc_telemetry::{EventKind, TraceGuard};
 use acdc_workloads::{BulkSender, FctKind};
 
 /// After quiescence, the client-side vSwitch's reconstructed
-/// `(snd_una, snd_nxt)` must equal the endpoint's wire-sequence ground
-/// truth, and everything sent must be acked.
+/// [`acdc_packet::SeqView`] must equal the endpoint's wire-sequence
+/// ground truth, and everything sent must be acked.
 fn assert_state_agreement(tb: &mut Testbed, h: FlowHandle) {
-    let ep = tb.client_endpoint(h);
-    let ep_una = ep.wire_snd_una();
-    let ep_nxt = ep.wire_snd_nxt();
-    let (sw_una, sw_nxt) = tb
+    let ep_view = tb.client_endpoint(h).seq_view();
+    let sw_view = tb
         .host_mut(h.client_host)
         .datapath()
-        .seq_state(&h.key)
+        .seq_view(&h.key)
         .expect("vSwitch must still track the flow");
     assert_eq!(
-        sw_una, ep_una,
+        sw_view.snd_una, ep_view.snd_una,
         "vSwitch snd_una diverged from endpoint ground truth"
     );
     assert_eq!(
-        sw_nxt, ep_nxt,
+        sw_view.snd_nxt, ep_view.snd_nxt,
         "vSwitch snd_nxt diverged from endpoint ground truth"
     );
 }
