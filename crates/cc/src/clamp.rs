@@ -75,6 +75,16 @@ impl<C: CongestionControl> CongestionControl for Clamped<C> {
     fn reset(&mut self, now: Nanos) {
         self.inner.reset(now);
     }
+
+    /// Delegates to the wrapped algorithm; the clamp ceiling itself is a
+    /// construction parameter and not part of the dynamic state.
+    fn state_words(&self) -> Vec<u64> {
+        self.inner.state_words()
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        self.inner.load_state_words(words)
+    }
 }
 
 #[cfg(test)]

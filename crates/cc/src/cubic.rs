@@ -193,6 +193,48 @@ impl CongestionControl for Cubic {
             ..Cubic::new(self.cfg)
         };
     }
+
+    /// Layout: `[cwnd, ssthresh, ecn_enabled, w_max, epoch_start?,
+    /// w_epoch, k, w_est, srtt, acked_since_est, last_cut?]` with the
+    /// `f64` fields bit-cast.
+    fn state_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.cwnd,
+            self.ssthresh,
+            u64::from(self.ecn_enabled),
+            self.w_max.to_bits(),
+        ];
+        crate::push_opt(&mut w, self.epoch_start);
+        w.extend([
+            self.w_epoch.to_bits(),
+            self.k.to_bits(),
+            self.w_est.to_bits(),
+            self.srtt,
+            self.acked_since_est,
+        ]);
+        crate::push_opt(&mut w, self.last_cut);
+        w
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, ecn, w_max, ep_f, ep_v, w_epoch, k, w_est, srtt, acked, cut_f, cut_v] =
+            *words
+        else {
+            return false;
+        };
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.ecn_enabled = ecn != 0;
+        self.w_max = f64::from_bits(w_max);
+        self.epoch_start = crate::read_opt(ep_f, ep_v);
+        self.w_epoch = f64::from_bits(w_epoch);
+        self.k = f64::from_bits(k);
+        self.w_est = f64::from_bits(w_est);
+        self.srtt = srtt;
+        self.acked_since_est = acked;
+        self.last_cut = crate::read_opt(cut_f, cut_v);
+        true
+    }
 }
 
 #[cfg(test)]

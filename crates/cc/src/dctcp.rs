@@ -181,6 +181,38 @@ impl CongestionControl for Dctcp {
     fn reset(&mut self, _now: Nanos) {
         *self = Dctcp::with_priority(self.cfg, self.beta);
     }
+
+    /// Layout: `[cwnd, ssthresh, alpha, acked_bytes, marked_bytes,
+    /// window_end?, srtt, cut_in_window]`. `gain` and `beta` are
+    /// construction parameters and deliberately excluded — a restore
+    /// rebuilds the object with the same priority weight first.
+    fn state_words(&self) -> Vec<u64> {
+        let mut w = vec![
+            self.cwnd,
+            self.ssthresh,
+            self.alpha.to_bits(),
+            self.acked_bytes,
+            self.marked_bytes,
+        ];
+        crate::push_opt(&mut w, self.window_end);
+        w.extend([self.srtt, u64::from(self.cut_in_window)]);
+        w
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, alpha, acked, marked, end_f, end_v, srtt, cut] = *words else {
+            return false;
+        };
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.alpha = f64::from_bits(alpha);
+        self.acked_bytes = acked;
+        self.marked_bytes = marked;
+        self.window_end = crate::read_opt(end_f, end_v);
+        self.srtt = srtt;
+        self.cut_in_window = cut != 0;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,25 @@ impl CongestionControl for HighSpeed {
     fn reset(&mut self, _now: Nanos) {
         *self = HighSpeed::new(self.cfg);
     }
+
+    /// Layout: `[cwnd, ssthresh, idx, acked_accum]`.
+    fn state_words(&self) -> Vec<u64> {
+        vec![self.cwnd, self.ssthresh, self.idx as u64, self.acked_accum]
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, idx, acked] = *words else {
+            return false;
+        };
+        if idx as usize >= AIMD_TABLE.len() {
+            return false;
+        }
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.idx = idx as usize;
+        self.acked_accum = acked;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -170,6 +170,48 @@ impl CongestionControl for Illinois {
     fn reset(&mut self, _now: Nanos) {
         *self = Illinois::new(self.cfg);
     }
+
+    /// Layout: `[cwnd, ssthresh, base_rtt?, max_rtt?, rtt_sum_lo,
+    /// rtt_sum_hi, rtt_cnt, alpha, beta, epoch_end?, acked_accum]` with
+    /// `rtt_sum` split into two little-endian words and the `f64`
+    /// coefficients bit-cast.
+    fn state_words(&self) -> Vec<u64> {
+        let mut w = vec![self.cwnd, self.ssthresh];
+        crate::push_opt(&mut w, self.base_rtt);
+        crate::push_opt(&mut w, self.max_rtt);
+        w.extend([
+            self.rtt_sum as u64,
+            (self.rtt_sum >> 64) as u64,
+            u64::from(self.rtt_cnt),
+            self.alpha.to_bits(),
+            self.beta.to_bits(),
+        ]);
+        crate::push_opt(&mut w, self.epoch_end);
+        w.push(self.acked_accum);
+        w
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, base_f, base_v, max_f, max_v, sum_lo, sum_hi, rtt_cnt, alpha, beta, end_f, end_v, acked] =
+            *words
+        else {
+            return false;
+        };
+        let Ok(rtt_cnt) = u32::try_from(rtt_cnt) else {
+            return false;
+        };
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.base_rtt = crate::read_opt(base_f, base_v);
+        self.max_rtt = crate::read_opt(max_f, max_v);
+        self.rtt_sum = u128::from(sum_lo) | (u128::from(sum_hi) << 64);
+        self.rtt_cnt = rtt_cnt;
+        self.alpha = f64::from_bits(alpha);
+        self.beta = f64::from_bits(beta);
+        self.epoch_end = crate::read_opt(end_f, end_v);
+        self.acked_accum = acked;
+        true
+    }
 }
 
 #[cfg(test)]

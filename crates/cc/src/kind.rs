@@ -119,4 +119,74 @@ mod tests {
         assert!(!CcKind::Cubic.build(cfg).wants_ecn());
         assert!(!CcKind::Vegas.build(cfg).wants_ecn());
     }
+
+    use crate::AckEvent;
+
+    /// Exercise an instance through growth, marks and losses so every
+    /// dynamic field moves off its initial value.
+    fn churn(cc: &mut Box<dyn CongestionControl>) {
+        for i in 0..40u64 {
+            cc.on_ack(&AckEvent {
+                now: i * 500_000,
+                newly_acked: 1448,
+                marked: if i % 7 == 0 { 1448 } else { 0 },
+                rtt: Some(120_000 + i * 1_000),
+                in_flight: 10_000,
+                ece: i % 11 == 0,
+            });
+        }
+        cc.on_fast_retransmit(25_000_000);
+        for i in 40..60u64 {
+            cc.on_ack(&AckEvent {
+                now: i * 500_000,
+                newly_acked: 1448,
+                marked: 0,
+                rtt: Some(110_000),
+                in_flight: 5_000,
+                ece: false,
+            });
+        }
+    }
+
+    #[test]
+    fn state_words_round_trip_for_every_kind() {
+        let cfg = CcConfig::vswitch(1448);
+        let kinds = [
+            CcKind::Reno,
+            CcKind::Cubic,
+            CcKind::Vegas,
+            CcKind::Illinois,
+            CcKind::HighSpeed,
+            CcKind::Dctcp,
+            CcKind::DctcpPriority(0.25),
+        ];
+        for kind in kinds {
+            let mut a = kind.build(cfg);
+            churn(&mut a);
+            let words = a.state_words();
+            let mut b = kind.build(cfg);
+            assert!(b.load_state_words(&words), "{kind}: load must accept");
+            assert_eq!(b.state_words(), words, "{kind}: words stable");
+            assert_eq!(b.cwnd(), a.cwnd(), "{kind}: cwnd restored");
+            assert_eq!(b.ssthresh(), a.ssthresh(), "{kind}: ssthresh");
+            assert_eq!(b.alpha_micros(), a.alpha_micros(), "{kind}: alpha");
+            // Future behaviour is byte-identical: drive both with the same
+            // post-restore ACK schedule and compare windows.
+            churn(&mut a);
+            churn(&mut b);
+            assert_eq!(b.cwnd(), a.cwnd(), "{kind}: continuation diverged");
+            assert_eq!(b.state_words(), a.state_words(), "{kind}: state");
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_length_and_leaves_state() {
+        let cfg = CcConfig::vswitch(1448);
+        for kind in CcKind::ALL {
+            let mut cc = kind.build(cfg);
+            let before = cc.state_words();
+            assert!(!cc.load_state_words(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]));
+            assert_eq!(cc.state_words(), before, "{kind}: reject is a no-op");
+        }
+    }
 }

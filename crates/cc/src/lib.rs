@@ -176,6 +176,29 @@ pub trait CongestionControl: Send + core::fmt::Debug {
 
     /// Reset to initial state (new connection reusing the object).
     fn reset(&mut self, now: Nanos);
+
+    /// Serialize the algorithm's *dynamic* state as a flat word list for
+    /// checkpointing. Construction-time configuration ([`CcConfig`],
+    /// priority weights, clamp ceilings) is deliberately excluded: a
+    /// restore rebuilds the object through the same construction path and
+    /// then loads these words, so the encoding only has to carry what
+    /// evolves at runtime. Encoding conventions (documented per
+    /// algorithm, stable within one checkpoint schema version): `u64`
+    /// verbatim, `f64` via [`f64::to_bits`], `bool` as 0/1, `Option<T>`
+    /// as a presence flag word followed by the value word(s), `u128` as
+    /// two little-endian words. The default is stateless (empty).
+    fn state_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state previously captured by
+    /// [`CongestionControl::state_words`] on an identically configured
+    /// instance. Returns `false` — leaving the receiver unchanged — when
+    /// the word list does not match this algorithm's expected layout.
+    /// The stateless default accepts only an empty list.
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        words.is_empty()
+    }
 }
 
 impl CongestionControl for Box<dyn CongestionControl> {
@@ -209,6 +232,24 @@ impl CongestionControl for Box<dyn CongestionControl> {
     fn reset(&mut self, now: Nanos) {
         self.as_mut().reset(now)
     }
+    fn state_words(&self) -> Vec<u64> {
+        self.as_ref().state_words()
+    }
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        self.as_mut().load_state_words(words)
+    }
+}
+
+/// Append an `Option<u64>` to a state-word list: a presence flag word,
+/// then the value word (0 when absent).
+pub(crate) fn push_opt(words: &mut Vec<u64>, v: Option<u64>) {
+    words.push(u64::from(v.is_some()));
+    words.push(v.unwrap_or(0));
+}
+
+/// Decode the `[flag, value]` pair written by [`push_opt`].
+pub(crate) fn read_opt(flag: u64, value: u64) -> Option<u64> {
+    (flag != 0).then_some(value)
 }
 
 /// Shared helper: Reno-style additive increase used by several algorithms

@@ -103,6 +103,26 @@ impl CongestionControl for NewReno {
         self.ssthresh = u64::MAX;
         self.last_cut = None;
     }
+
+    /// Layout: `[cwnd, ssthresh, ecn_enabled, last_cut?, srtt_hint]`.
+    fn state_words(&self) -> Vec<u64> {
+        let mut w = vec![self.cwnd, self.ssthresh, u64::from(self.ecn_enabled)];
+        crate::push_opt(&mut w, self.last_cut);
+        w.push(self.srtt_hint);
+        w
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, ecn, cut_f, cut_v, srtt_hint] = *words else {
+            return false;
+        };
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.ecn_enabled = ecn != 0;
+        self.last_cut = crate::read_opt(cut_f, cut_v);
+        self.srtt_hint = srtt_hint;
+        true
+    }
 }
 
 #[cfg(test)]

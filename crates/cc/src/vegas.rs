@@ -132,6 +132,36 @@ impl CongestionControl for Vegas {
     fn reset(&mut self, _now: Nanos) {
         *self = Vegas::new(self.cfg);
     }
+
+    /// Layout: `[cwnd, ssthresh, base_rtt?, min_rtt_window?, rtt_count,
+    /// epoch_end?, ss_grow_this_epoch]`.
+    fn state_words(&self) -> Vec<u64> {
+        let mut w = vec![self.cwnd, self.ssthresh];
+        crate::push_opt(&mut w, self.base_rtt);
+        crate::push_opt(&mut w, self.min_rtt_window);
+        w.push(u64::from(self.rtt_count));
+        crate::push_opt(&mut w, self.epoch_end);
+        w.push(u64::from(self.ss_grow_this_epoch));
+        w
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        let [cwnd, ssthresh, base_f, base_v, min_f, min_v, rtt_count, end_f, end_v, grow] = *words
+        else {
+            return false;
+        };
+        let Ok(rtt_count) = u32::try_from(rtt_count) else {
+            return false;
+        };
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.base_rtt = crate::read_opt(base_f, base_v);
+        self.min_rtt_window = crate::read_opt(min_f, min_v);
+        self.rtt_count = rtt_count;
+        self.epoch_end = crate::read_opt(end_f, end_v);
+        self.ss_grow_this_epoch = grow != 0;
+        true
+    }
 }
 
 #[cfg(test)]

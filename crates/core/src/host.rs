@@ -225,6 +225,27 @@ impl HostNode {
         self.workers.as_ref()
     }
 
+    /// Swap in a freshly constructed datapath of the same configuration —
+    /// the restore half of a checkpoint/restore cycle (DESIGN.md §15).
+    /// The host's own NIC counter (`host.corrupt_drops`) is re-registered
+    /// in the new hub with its current value carried over, the worker
+    /// engine (if any) is rebuilt at the same worker count against the
+    /// new datapath, and the maintenance-tick schedule is untouched.
+    /// Returns the replaced datapath (still usable read-only, e.g. to
+    /// compare against the restored one). A subsequent
+    /// `AcdcDatapath::restore` on the new datapath overwrites the carried
+    /// counter value with the checkpointed one, by name, like every other
+    /// metric.
+    pub fn replace_datapath(&mut self) -> Arc<AcdcDatapath> {
+        let fresh = Arc::new(AcdcDatapath::new(self.datapath.config().clone()));
+        let corrupt_drops = fresh.telemetry().registry().counter("host.corrupt_drops");
+        corrupt_drops.add(self.corrupt_drops.get());
+        let n = self.workers.as_ref().map_or(0, |e| e.workers());
+        self.workers = (n > 0).then(|| WorkerEngine::new(&fresh, n));
+        self.corrupt_drops = corrupt_drops;
+        std::mem::replace(&mut self.datapath, fresh)
+    }
+
     /// Run a segment through the datapath in the configured mode.
     fn dp_process(&self, now: Nanos, dir: Direction, seg: Segment) -> Verdict {
         match &self.workers {

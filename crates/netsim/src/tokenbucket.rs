@@ -15,6 +15,13 @@ pub struct TokenBucket {
     burst_bytes: u64,
     /// Token level in *bits*, to avoid rounding loss at high rates.
     tokens_bits: u64,
+    /// Sub-bit refill credit, in units of `dt × rate_bps` (so one whole
+    /// bit equals `SECOND`). Refills observed at sub-bit-period spacing
+    /// would otherwise round to zero while still advancing
+    /// `last_refill`, silently discarding the elapsed time; a caller
+    /// polling faster than the bit period could then starve the bucket
+    /// forever.
+    frac: u64,
     last_refill: Nanos,
 }
 
@@ -27,6 +34,7 @@ impl TokenBucket {
             rate_bps,
             burst_bytes,
             tokens_bits: burst_bytes * 8,
+            frac: 0,
             last_refill: now,
         }
     }
@@ -41,8 +49,18 @@ impl TokenBucket {
             return;
         }
         let dt = now - self.last_refill;
-        let add = (u128::from(dt) * u128::from(self.rate_bps) / u128::from(SECOND)) as u64;
-        self.tokens_bits = (self.tokens_bits + add).min(self.burst_bytes * 8);
+        let credit = u128::from(dt) * u128::from(self.rate_bps) + u128::from(self.frac);
+        let add = (credit / u128::from(SECOND)) as u64;
+        let cap = self.burst_bytes * 8;
+        if self.tokens_bits + add >= cap {
+            // Full bucket: surplus credit does not carry over (that
+            // would grow the effective burst).
+            self.tokens_bits = cap;
+            self.frac = 0;
+        } else {
+            self.tokens_bits += add;
+            self.frac = (credit % u128::from(SECOND)) as u64;
+        }
         self.last_refill = now;
     }
 
@@ -57,8 +75,9 @@ impl TokenBucket {
             Ok(())
         } else {
             let deficit = need - self.tokens_bits;
-            let wait = (u128::from(deficit) * u128::from(SECOND))
-                .div_ceil(u128::from(self.rate_bps)) as Nanos;
+            // Time to accrue `deficit` whole bits, net of banked credit.
+            let short = u128::from(deficit) * u128::from(SECOND) - u128::from(self.frac);
+            let wait = short.div_ceil(u128::from(self.rate_bps)) as Nanos;
             Err(now + wait)
         }
     }
@@ -109,6 +128,28 @@ mod tests {
     fn bucket_never_exceeds_burst() {
         let mut tb = TokenBucket::new(10_000_000_000, 5_000, 0);
         assert_eq!(tb.tokens_bytes(10 * MILLISECOND), 5_000);
+    }
+
+    #[test]
+    fn sub_bit_period_polls_do_not_starve_refill() {
+        // 50 Mbps accrues 1 bit per 20 ns. A caller polling every 3 ns
+        // used to truncate each refill to zero bits while advancing the
+        // refill clock — discarding all elapsed time and starving the
+        // bucket into a timer livelock. Banked fractional credit must
+        // keep the original release-time hint exact regardless of how
+        // often the bucket is observed in between.
+        let mut tb = TokenBucket::new(50_000_000, 30_000, 0);
+        while tb.try_consume(1_500, 0).is_ok() {}
+        let at = tb.try_consume(1_500, 0).unwrap_err();
+        let mut now = 0;
+        while now + 3 < at {
+            now += 3;
+            assert!(tb.try_consume(1_500, now).is_err(), "released early");
+        }
+        assert!(
+            tb.try_consume(1_500, at).is_ok(),
+            "bucket starved by sub-bit-period polling"
+        );
     }
 
     #[test]

@@ -49,6 +49,16 @@ impl TimeSeries {
         self.samples.is_empty()
     }
 
+    /// Drop the oldest samples so at most `keep` remain. Long-haul
+    /// consumers (the soak harness's hours of 10 ms maintenance ticks)
+    /// use this to bound diagnostic history that would otherwise grow
+    /// without limit.
+    pub fn truncate_front(&mut self, keep: usize) {
+        if self.samples.len() > keep {
+            self.samples.drain(..self.samples.len() - keep);
+        }
+    }
+
     /// Samples within `[from, to)`.
     pub fn window(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &Sample> {
         self.samples
@@ -131,6 +141,20 @@ mod tests {
         for s in ts.moving_average(5).samples() {
             assert_eq!(s.value, 7.0);
         }
+    }
+
+    #[test]
+    fn truncate_front_keeps_newest() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10u64 {
+            ts.push(i, i as f64);
+        }
+        ts.truncate_front(3);
+        let vals: Vec<f64> = ts.samples().iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![7.0, 8.0, 9.0]);
+        // A no-op when already within the bound.
+        ts.truncate_front(5);
+        assert_eq!(ts.len(), 3);
     }
 
     #[test]

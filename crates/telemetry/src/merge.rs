@@ -53,15 +53,28 @@ pub fn merge_snapshots(hubs: &[&Telemetry]) -> Vec<MetricValue> {
     merged
 }
 
-/// [`merge_snapshots`] serialized in the standard `acdc-telemetry/v1`
-/// snapshot schema — a drop-in replacement for one registry's
-/// `snapshot_json` when the run was split across worker hubs.
+/// Total flight-recorder events lost to ring wraparound across `hubs` —
+/// the merged analogue of one recorder's `overwritten()`. A merged event
+/// stream silently missing this many events is not the same thing as a
+/// quiet run, so the soak watchdog gates on the sum.
+pub fn merged_dropped_events(hubs: &[&Telemetry]) -> u64 {
+    hubs.iter().map(|h| h.recorder().overwritten()).sum()
+}
+
+/// [`merge_snapshots`] serialized in the `acdc-telemetry/v2` snapshot
+/// schema — a drop-in replacement for one registry's `snapshot_json`
+/// when the run was split across worker hubs. v2 adds the one field a
+/// merged view would otherwise lose: `dropped_events`, the summed
+/// per-hub flight-recorder overwrite tallies
+/// ([`merged_dropped_events`]), so a consumer can tell a complete merged
+/// event stream from one with wraparound holes.
 pub fn merged_snapshot_json(hubs: &[&Telemetry], at: Nanos) -> String {
     let merged = merge_snapshots(hubs);
+    let dropped = merged_dropped_events(hubs);
     let mut out = String::with_capacity(64 + merged.len() * 56);
     let _ = write!(
         out,
-        "{{\"schema\":\"acdc-telemetry/v1\",\"at\":{at},\"metrics\":["
+        "{{\"schema\":\"acdc-telemetry/v2\",\"at\":{at},\"dropped_events\":{dropped},\"metrics\":["
     );
     for (i, m) in merged.iter().enumerate() {
         if i > 0 {
@@ -129,14 +142,37 @@ mod tests {
     }
 
     #[test]
-    fn merged_json_matches_single_hub_for_one_input() {
+    fn merged_json_is_v2_with_dropped_events() {
         let a = Telemetry::new(8);
         a.registry().counter("acdc.x").add(5);
         a.registry().gauge("acdc.g").set(2);
         assert_eq!(
             merged_snapshot_json(&[&a], 99),
-            a.registry().snapshot_json(99)
+            "{\"schema\":\"acdc-telemetry/v2\",\"at\":99,\"dropped_events\":0,\"metrics\":[\
+             {\"name\":\"acdc.g\",\"kind\":\"gauge\",\"value\":2},\
+             {\"name\":\"acdc.x\",\"kind\":\"counter\",\"value\":5}]}"
         );
+        // Apart from the envelope, the metrics array matches the
+        // single-hub v1 serialization for one input.
+        let single = a.registry().snapshot_json(99);
+        let merged = merged_snapshot_json(&[&a], 99);
+        let tail = |s: &str| s.split("\"metrics\":").nth(1).unwrap().to_string();
+        assert_eq!(tail(&merged), tail(&single));
+    }
+
+    #[test]
+    fn merged_dropped_events_sums_recorder_overwrites() {
+        let a = Telemetry::new(2);
+        let b = Telemetry::new(2);
+        for at in 0..5 {
+            a.record(at, NO_FLOW, EventKind::FlowCreated); // 3 overwritten
+            if at < 3 {
+                b.record(at, NO_FLOW, EventKind::FlowCreated); // 1 overwritten
+            }
+        }
+        assert_eq!(merged_dropped_events(&[&a, &b]), 4);
+        let json = merged_snapshot_json(&[&a, &b], 7);
+        assert!(json.contains("\"dropped_events\":4"), "got: {json}");
     }
 
     #[test]

@@ -131,6 +131,10 @@ struct Slot {
 #[derive(Default)]
 pub struct MetricsRegistry {
     slots: Mutex<Vec<Slot>>,
+    /// Upper bound on retained samples per metric series (0 = unbounded).
+    /// Amortized: a series is trimmed back to the cap once it reaches
+    /// twice the cap, so steady-state memory stays within `2 × cap`.
+    series_cap: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -204,13 +208,44 @@ impl MetricsRegistry {
             .map(|s| s.cell.load(Ordering::Relaxed))
     }
 
+    /// Overwrite the named metric's cell with a checkpointed value
+    /// (DESIGN.md §15). Returns `false` when no metric of that name is
+    /// registered — the caller decides whether an unknown name is a
+    /// checkpoint/config mismatch worth failing on. The sampled
+    /// [`TimeSeries`] is left untouched: series history is diagnostic
+    /// state, not part of the checkpoint contract.
+    pub fn restore_value(&self, name: &str, value: u64) -> bool {
+        let slots = self.slots.lock();
+        match slots.iter().find(|s| s.name == name) {
+            Some(s) => {
+                s.cell.store(value, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bound the per-metric sampled history to roughly `cap` samples
+    /// (`0` restores the unbounded default). Long-haul runs — hours of
+    /// 10 ms maintenance ticks in the soak harness — must cap diagnostic
+    /// history or the series alone grow to hundreds of megabytes. The
+    /// trim is amortized: a series is cut back to `cap` samples whenever
+    /// it reaches `2 × cap`.
+    pub fn set_series_cap(&self, cap: usize) {
+        self.series_cap.store(cap as u64, Ordering::Relaxed);
+    }
+
     /// Push every metric's current value onto its [`TimeSeries`] with
     /// timestamp `at`. Called from the existing 10 ms maintenance tick.
     pub fn sample(&self, at: Nanos) {
+        let cap = self.series_cap.load(Ordering::Relaxed) as usize;
         let mut slots = self.slots.lock();
         for s in slots.iter_mut() {
             let v = s.cell.load(Ordering::Relaxed);
             s.series.push(at, v as f64);
+            if cap > 0 && s.series.len() >= 2 * cap {
+                s.series.truncate_front(cap);
+            }
         }
     }
 
@@ -312,6 +347,26 @@ mod tests {
         let series = reg.series("s.c").expect("registered");
         let vals: Vec<(Nanos, f64)> = series.samples().iter().map(|s| (s.at, s.value)).collect();
         assert_eq!(vals, vec![(10, 0.0), (20, 2.0)]);
+    }
+
+    #[test]
+    fn series_cap_bounds_sampled_history() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("cap.c");
+        reg.set_series_cap(4);
+        for i in 0..20 {
+            c.inc();
+            reg.sample(i * 10);
+        }
+        let series = reg.series("cap.c").expect("registered");
+        assert!(
+            series.len() < 8,
+            "cap 4 must keep the series under 2 × cap, got {}",
+            series.len()
+        );
+        // The newest sample always survives the trim.
+        let last = series.samples().last().unwrap();
+        assert_eq!((last.at, last.value), (190, 20.0));
     }
 
     #[test]

@@ -94,6 +94,20 @@ impl FlightRecorder {
         self.inner.lock().overwritten
     }
 
+    /// Restore checkpointed ring bookkeeping (DESIGN.md §15): the next
+    /// event recorded carries sequence number `next_seq`, and the
+    /// overwrite tally resumes from `overwritten` — so a restored
+    /// recorder's subsequent event stream is sequence-identical to the
+    /// uninterrupted run's. The buffered events themselves are *not*
+    /// restored (the ring is cleared): ring content is a diagnostic
+    /// window, and checkpointed events would carry dangling payloads.
+    pub fn restore_counters(&self, next_seq: u64, overwritten: u64) {
+        let mut r = self.inner.lock();
+        r.buf.clear();
+        r.next_seq = next_seq;
+        r.overwritten = overwritten;
+    }
+
     /// Snapshot of the ring, oldest event first.
     pub fn events(&self) -> Vec<Event> {
         self.inner.lock().buf.iter().copied().collect()

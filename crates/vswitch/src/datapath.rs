@@ -519,6 +519,11 @@ impl AcdcDatapath {
     /// entries dropped.
     pub fn reset(&self, now: Nanos) -> usize {
         let dropped = self.table.clear();
+        // Stamp the GC epoch: flows re-adopted after the restart inherit
+        // fresh `last_activity` values, but the stamp guarantees nothing
+        // re-created with pre-reset timestamps (checkpoint restores,
+        // replayed traces) is spuriously collected by the next sweep.
+        self.table.set_epoch(now);
         AcdcCounters::bump(&self.counters.datapath_resets);
         self.overload_seen.store(false, Ordering::Relaxed);
         self.health.force(now, HealthState::Enforcing);
@@ -539,6 +544,111 @@ impl AcdcDatapath {
             cfg.min_window_bytes = floor;
         }
         cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Capture the datapath's full dynamic state at virtual time `at`.
+    /// `worker_hubs` is every worker sink's hub in worker order (empty
+    /// for the legacy single-threaded mode); the caller owns matching the
+    /// list to the engine actually driving this datapath.
+    pub fn checkpoint(
+        &self,
+        at: Nanos,
+        worker_hubs: &[&Telemetry],
+    ) -> crate::checkpoint::DatapathCheckpoint {
+        use crate::checkpoint::{DatapathCheckpoint, FlowCheckpoint, HubCheckpoint};
+        let mut flows: Vec<FlowCheckpoint> = Vec::with_capacity(self.table.len());
+        self.table.for_each_slot(|key, slot| {
+            flows.push(FlowCheckpoint {
+                key: *key,
+                rx_pending: slot.rx_pending(),
+                state: slot.lock().checkpoint_state(),
+            });
+        });
+        flows.sort_by_key(|f| f.key);
+        DatapathCheckpoint {
+            at,
+            workers: worker_hubs.len(),
+            gc_epoch: self.table.epoch(),
+            overload_seen: self.overload_seen.load(Ordering::Relaxed),
+            health_rung: self.health.get().rung(),
+            health_trace: self
+                .health
+                .trace()
+                .into_iter()
+                .map(|(t, s)| (t, s.rung()))
+                .collect(),
+            flows,
+            main_hub: HubCheckpoint::capture(&self.telemetry),
+            worker_hubs: worker_hubs
+                .iter()
+                .map(|h| HubCheckpoint::capture(h))
+                .collect(),
+        }
+    }
+
+    /// Restore `ckpt` into this datapath — normally a freshly constructed
+    /// one of the *same configuration*; any existing flow state is
+    /// dropped first. Rebuilds every flow through the regular admission
+    /// path (so policy assignment re-runs and must reproduce each flow's
+    /// checkpointed CC algorithm), restores the health ladder and its
+    /// trace verbatim, stamps the GC epoch, and applies the main hub's
+    /// metric values and recorder bookkeeping. Worker hubs are *not*
+    /// applied here — the engine owns those; apply
+    /// `ckpt.worker_hubs[i]` to each of its sinks' hubs in worker order.
+    ///
+    /// Errors (configuration/checkpoint mismatch) leave the datapath in a
+    /// partially restored state: discard it and restore into a fresh one.
+    /// Returns the number of flows restored.
+    pub fn restore(&self, ckpt: &crate::checkpoint::DatapathCheckpoint) -> Result<usize, String> {
+        use crate::checkpoint::key_label;
+        self.table.clear();
+        for f in &ckpt.flows {
+            let (slot, _adm) = self.table.get_or_create(f.key, || {
+                FlowEntry::new(
+                    self.cfg.policy.assign(&f.key),
+                    self.cc_config(),
+                    f.state.last_activity,
+                )
+            });
+            let Some(slot) = slot else {
+                return Err(format!(
+                    "flow table refused {} during restore (capacity {:?})",
+                    key_label(&f.key),
+                    self.cfg.max_flows
+                ));
+            };
+            if !slot.lock().restore_state(&f.state) {
+                return Err(format!(
+                    "flow {} checkpointed `{}` CC state the configured policy \
+                     does not reproduce",
+                    key_label(&f.key),
+                    f.state.cc_name
+                ));
+            }
+            slot.set_rx_pending(f.rx_pending);
+        }
+        self.table.set_epoch(ckpt.gc_epoch);
+        self.overload_seen
+            .store(ckpt.overload_seen, Ordering::Relaxed);
+        self.health.restore(
+            HealthState::from_rung(ckpt.health_rung),
+            ckpt.health_trace
+                .iter()
+                .map(|&(t, r)| (t, HealthState::from_rung(r)))
+                .collect(),
+        );
+        // The gauge cells (`acdc.flows`, `acdc.health`) are restored by
+        // name like every other metric — NOT refreshed from live state:
+        // in the uninterrupted run they hold whatever the last tick (or
+        // health transition) wrote, and byte-identity means reproducing
+        // exactly that staleness. The next tick resynchronizes them on
+        // the same edge it would have anyway.
+        ckpt.main_hub.apply(&self.telemetry)?;
+        Ok(ckpt.flows.len())
     }
 
     // ------------------------------------------------------------------

@@ -21,6 +21,59 @@ use crate::vcc::{EcnFractionCc, VirtualCc};
 /// datacenter BDP.
 pub const MAX_ENFORCED_WINDOW: u64 = 32 << 20;
 
+/// Plain-data image of one [`FlowEntry`] for checkpointing (DESIGN.md
+/// §15). Everything that evolves at runtime is here; construction
+/// parameters (the assigned [`CcKind`], the [`CcConfig`], the window
+/// clamp) are reproduced by the restoring datapath's own policy, and the
+/// `cc_name` field lets a restore verify the reproduction matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntryState {
+    /// First unacknowledged wire sequence number.
+    pub snd_una: SeqNumber,
+    /// Highest wire sequence number sent (+1).
+    pub snd_nxt: SeqNumber,
+    /// Sequence state initialized?
+    pub seq_valid: bool,
+    /// Duplicate-ACK counter.
+    pub dupacks: u32,
+    /// `VirtualCc::name()` of the checkpointed algorithm, for verifying
+    /// the restoring policy assigns the same one.
+    pub cc_name: String,
+    /// The algorithm's dynamic state (`VirtualCc::state_words`).
+    pub cc_words: Vec<u64>,
+    /// RWND-rewrite state: `(wscale, learned, computed target)` from
+    /// [`RwndRewriter::checkpoint_state`].
+    pub rwnd: (u8, bool, u64),
+    /// Guest negotiated ECN in its SYN.
+    pub vm_ecn: bool,
+    /// Outstanding RTT probe `(wire seq, send time)`.
+    pub rtt_probe: Option<(SeqNumber, Nanos)>,
+    /// Smoothed RTT estimate.
+    pub srtt: Option<Nanos>,
+    /// Time of the last ACK-clock activity.
+    pub last_ack_activity: Nanos,
+    /// Unconsumed feedback: total bytes.
+    pub fb_total: u64,
+    /// Unconsumed feedback: marked bytes.
+    pub fb_marked: u64,
+    /// Packets dropped from this flow by the policer.
+    pub policed: u64,
+    /// Last published DCTCP alpha (1e-6 units).
+    pub last_alpha_micros: Option<u64>,
+    /// Receiver role: bytes since last feedback.
+    pub rx_total: u64,
+    /// Receiver role: CE-marked bytes since last feedback.
+    pub rx_marked: u64,
+    /// Receiver role: lifetime bytes.
+    pub rx_total_lifetime: u64,
+    /// Receiver role: lifetime CE-marked bytes.
+    pub rx_marked_lifetime: u64,
+    /// FIN/RST seen, awaiting GC.
+    pub closing: bool,
+    /// Last time any packet touched this entry.
+    pub last_activity: Nanos,
+}
+
 /// Connection-tracking state for one flow direction.
 pub struct FlowEntry {
     // ------------------------------------------------------------------
@@ -142,6 +195,65 @@ impl FlowEntry {
             Some(s) => (4 * s).max(floor),
             None => floor,
         }
+    }
+
+    /// Capture this entry's dynamic state for a checkpoint.
+    pub fn checkpoint_state(&self) -> FlowEntryState {
+        FlowEntryState {
+            snd_una: self.snd_una,
+            snd_nxt: self.snd_nxt,
+            seq_valid: self.seq_valid,
+            dupacks: self.dupacks,
+            cc_name: self.cc.name().to_string(),
+            cc_words: self.cc.state_words(),
+            rwnd: self.rwnd.checkpoint_state(),
+            vm_ecn: self.vm_ecn,
+            rtt_probe: self.rtt_probe,
+            srtt: self.srtt,
+            last_ack_activity: self.last_ack_activity,
+            fb_total: self.fb_total,
+            fb_marked: self.fb_marked,
+            policed: self.policed,
+            last_alpha_micros: self.last_alpha_micros,
+            rx_total: self.rx_total,
+            rx_marked: self.rx_marked,
+            rx_total_lifetime: self.rx_total_lifetime,
+            rx_marked_lifetime: self.rx_marked_lifetime,
+            closing: self.closing,
+            last_activity: self.last_activity,
+        }
+    }
+
+    /// Apply a checkpointed state to this freshly constructed entry.
+    /// Returns `false` — leaving the entry in an unspecified but valid
+    /// state — when the checkpointed algorithm does not match the one
+    /// this entry was constructed with (name or state-word layout), which
+    /// indicates a policy/config mismatch between checkpoint and restore.
+    pub fn restore_state(&mut self, s: &FlowEntryState) -> bool {
+        if self.cc.name() != s.cc_name || !self.cc.load_state_words(&s.cc_words) {
+            return false;
+        }
+        self.snd_una = s.snd_una;
+        self.snd_nxt = s.snd_nxt;
+        self.seq_valid = s.seq_valid;
+        self.dupacks = s.dupacks;
+        let (wscale, learned, target) = s.rwnd;
+        self.rwnd.restore_state(wscale, learned, target);
+        self.vm_ecn = s.vm_ecn;
+        self.rtt_probe = s.rtt_probe;
+        self.srtt = s.srtt;
+        self.last_ack_activity = s.last_ack_activity;
+        self.fb_total = s.fb_total;
+        self.fb_marked = s.fb_marked;
+        self.policed = s.policed;
+        self.last_alpha_micros = s.last_alpha_micros;
+        self.rx_total = s.rx_total;
+        self.rx_marked = s.rx_marked;
+        self.rx_total_lifetime = s.rx_total_lifetime;
+        self.rx_marked_lifetime = s.rx_marked_lifetime;
+        self.closing = s.closing;
+        self.last_activity = s.last_activity;
+        true
     }
 
     /// Bytes currently unacknowledged (in flight) per the tracked state.

@@ -44,6 +44,18 @@ impl HealthState {
         }
     }
 
+    /// The rung as its stable checkpoint encoding (0/1/2, the same value
+    /// the `acdc.health` gauge reports).
+    pub fn rung(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a rung written by [`HealthState::rung`]; values outside
+    /// 0..=2 saturate to the always-safe `PassThrough`.
+    pub fn from_rung(v: u8) -> HealthState {
+        HealthState::from_u8(v)
+    }
+
     /// Stable label for traces and counters.
     pub fn name(self) -> &'static str {
         match self {
@@ -125,6 +137,14 @@ impl HealthCell {
     /// Snapshot of the transition trace.
     pub fn trace(&self) -> Vec<(Nanos, HealthState)> {
         self.trace.lock().clone()
+    }
+
+    /// Restore a checkpointed rung and transition trace verbatim —
+    /// unlike [`HealthCell::force`], no new trace mark is appended, so a
+    /// restored cell is indistinguishable from the checkpointed one.
+    pub fn restore(&self, state: HealthState, trace: Vec<(Nanos, HealthState)>) {
+        self.state.store(state as u8, Ordering::Relaxed);
+        *self.trace.lock() = trace;
     }
 }
 

@@ -38,6 +38,7 @@ macro_rules! strict_invariant {
 }
 pub(crate) use strict_invariant;
 
+pub mod checkpoint;
 pub mod datapath;
 pub mod entry;
 pub mod health;
@@ -46,10 +47,11 @@ pub mod rwnd;
 pub mod table;
 pub mod vcc;
 
+pub use checkpoint::{DatapathCheckpoint, FlowCheckpoint, HubCheckpoint, RecorderCheckpoint};
 pub use datapath::{
     AcdcConfig, AcdcCounters, AcdcDatapath, DropReason, FlowStat, Verdict, WorkerSink,
 };
-pub use entry::FlowEntry;
+pub use entry::{FlowEntry, FlowEntryState};
 pub use health::{HealthState, Watermarks};
 pub use policy::CcPolicy;
 pub use rwnd::{RwndAction, RwndRewriter};

@@ -96,6 +96,25 @@ impl RwndRewriter {
         self.window_trace.as_deref()
     }
 
+    /// Checkpoint view: `(wscale, learned, computed target)`. The
+    /// Figure 9/10 window trace is diagnostic state and deliberately not
+    /// part of the checkpoint.
+    pub fn checkpoint_state(&self) -> (u8, bool, u64) {
+        (self.ack_wscale, self.wscale_learned, self.computed_rwnd)
+    }
+
+    /// Restore the state captured by [`Self::checkpoint_state`]. This
+    /// sets the fields verbatim and is **not** [`Self::learn`]: a flow
+    /// checkpointed with `learned == false` is restored with
+    /// `learned == false`, so it keeps the no-guess log-only semantics of
+    /// mid-stream adoption until a real handshake teaches its scale.
+    pub fn restore_state(&mut self, wscale: u8, learned: bool, target: u64) {
+        self.ack_wscale = wscale;
+        self.wscale_learned = learned;
+        self.computed_rwnd = target;
+        self.window_trace = None;
+    }
+
     /// `window_bytes` expressed in this flow's raw (scaled) wire units,
     /// floored at 1 so a rewrite never silences the flow entirely.
     pub fn raw_window(&self, window_bytes: u64) -> u16 {

@@ -33,7 +33,7 @@
 
 use std::collections::btree_map::Entry as MapEntry;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, MutexGuard};
 
 use acdc_packet::FlowKey;
@@ -141,6 +141,12 @@ pub struct FlowTable {
     count: AtomicUsize,
     max_flows: Option<usize>,
     admission: AdmissionPolicy,
+    /// GC bookkeeping epoch: idleness is measured from
+    /// `max(last_activity, epoch)`, so stamping the epoch at a datapath
+    /// reset or checkpoint restore guarantees entries carrying
+    /// `last_activity` values from before that event can never be
+    /// spuriously collected by the first sweep afterwards.
+    epoch: AtomicU64,
     /// Event sink for per-key lifecycle events the table itself observes
     /// (today: idle/closed garbage collection). `None` until the owning
     /// datapath attaches its hub.
@@ -161,6 +167,7 @@ impl FlowTable {
             count: AtomicUsize::new(0),
             max_flows: None,
             admission: AdmissionPolicy::EvictOldestIdle,
+            epoch: AtomicU64::new(0),
             telemetry: None,
         }
     }
@@ -178,6 +185,18 @@ impl FlowTable {
     /// The configured capacity (`None` = unbounded).
     pub fn max_flows(&self) -> Option<usize> {
         self.max_flows
+    }
+
+    /// The current GC bookkeeping epoch (0 until first stamped).
+    pub fn epoch(&self) -> Nanos {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Stamp the GC epoch: idleness in subsequent [`FlowTable::gc`]
+    /// sweeps is measured from no earlier than `at`. Called on datapath
+    /// reset and checkpoint restore; stamps never move backwards.
+    pub fn set_epoch(&self, at: Nanos) {
+        self.epoch.fetch_max(at, Ordering::Relaxed);
     }
 
     /// Attach the telemetry hub that receives the table's own lifecycle
@@ -399,18 +418,24 @@ impl FlowTable {
 
     /// Coarse-grained garbage collection (paired with FIN handling in the
     /// paper): drop entries idle for longer than `idle_timeout`, plus any
-    /// entry already marked closed. Returns the number collected.
+    /// entry already marked closed. Idleness is measured from the later
+    /// of the entry's `last_activity` and the table [`FlowTable::epoch`],
+    /// so a reset/restore epoch stamp shields entries carrying pre-event
+    /// activity times from one spurious collection. Returns the number
+    /// collected.
     pub fn gc(&self, now: Nanos, idle_timeout: Nanos) -> usize {
         // Evicted keys are collected during the sweep and their events
         // published only after every shard/entry lock is released (W002:
         // no event-bus entry while table locks are held). Shard order is
         // the iteration order, so the event sequence is unchanged.
+        let epoch = self.epoch();
         let mut evicted: Vec<FlowKey> = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.write();
             shard.retain(|key, v| {
                 let e = v.entry.lock();
-                let dead = e.closing || now.saturating_sub(e.last_activity) > idle_timeout;
+                let dead =
+                    e.closing || now.saturating_sub(e.last_activity.max(epoch)) > idle_timeout;
                 if dead {
                     evicted.push(*key);
                 }
@@ -481,6 +506,19 @@ impl FlowTable {
             let shard = shard.read();
             for (k, v) in shard.iter() {
                 f(k, &mut v.entry.lock());
+            }
+        }
+    }
+
+    /// Visit every *slot* (entry plus the lock-free `rx_pending` flag) —
+    /// the checkpoint capture walk, which needs slot state `for_each`
+    /// hides. Same rule as [`FlowTable::with_entry`]: `f` must not call
+    /// back into the table (the shard read lock is held).
+    pub fn for_each_slot(&self, mut f: impl FnMut(&FlowKey, &FlowSlot)) {
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (k, v) in shard.iter() {
+                f(k, v);
             }
         }
     }
@@ -560,6 +598,23 @@ mod tests {
         assert!(t.get(&key(1)).is_none());
         assert!(t.get(&key(2)).is_some());
         assert!(t.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn gc_epoch_shields_pre_epoch_idle_times() {
+        let t = FlowTable::new();
+        create(&t, 1, 0); // last_activity = 0, ancient
+        assert_eq!(t.epoch(), 0);
+        // Without an epoch stamp this entry would be collected instantly.
+        t.set_epoch(2_000_000_000);
+        assert_eq!(t.gc(2_000_000_001, 500_000_000), 0);
+        assert!(t.get(&key(1)).is_some(), "epoch shields pre-epoch idleness");
+        // Once genuinely idle *past* the epoch, collection proceeds.
+        assert_eq!(t.gc(2_600_000_001, 500_000_000), 1);
+        assert!(t.get(&key(1)).is_none());
+        // Epoch stamps never move backwards.
+        t.set_epoch(1_000_000_000);
+        assert_eq!(t.epoch(), 2_000_000_000);
     }
 
     #[test]

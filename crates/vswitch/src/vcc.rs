@@ -77,6 +77,20 @@ pub trait VirtualCc: Send + core::fmt::Debug {
     fn alpha_micros(&self) -> Option<u64> {
         None
     }
+
+    /// Serialize the algorithm's dynamic state for checkpointing, in the
+    /// flat word encoding of [`CongestionControl::state_words`]. The
+    /// default is stateless.
+    fn state_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`VirtualCc::state_words`] from an
+    /// identically configured instance; `false` (state unchanged) on a
+    /// layout mismatch.
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        words.is_empty()
+    }
 }
 
 /// Adapts a host-stack [`CongestionControl`] algorithm to the
@@ -127,6 +141,14 @@ impl VirtualCc for EcnFractionCc {
 
     fn alpha_micros(&self) -> Option<u64> {
         self.algo.alpha_micros()
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        self.algo.state_words()
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) -> bool {
+        self.algo.load_state_words(words)
     }
 }
 

@@ -1,0 +1,190 @@
+//! Property tests for checkpoint/restore (DESIGN.md §15).
+//!
+//! Two layers, pinned over *arbitrary* states rather than the few
+//! hand-picked ones in `datapath.rs`:
+//!
+//! 1. **Wire format**: serialize → parse → serialize is the identity on
+//!    the bytes, and parse inverts serialize on the value, for any
+//!    checkpoint a datapath can produce.
+//! 2. **Restore**: restoring a checkpoint into a freshly constructed
+//!    same-config datapath and re-checkpointing reproduces the original
+//!    document byte-for-byte — whatever mix of handshaken, mid-stream
+//!    adopted, half-closed and gc-surviving flows the table held.
+//!
+//! The flow-table states are grown through the real packet path (an op
+//! sequence of handshakes, data, ACKs, FINs, ticks and GC sweeps), so
+//! every reachable combination of learned/unlearned scale, CC state,
+//! feedback accumulators and closing flags is fair game.
+
+use acdc_packet::{Ecn, Ipv4Repr, Segment, SeqNumber, TcpFlags, TcpOption, TcpRepr, PROTO_TCP};
+use acdc_vswitch::{AcdcConfig, AcdcDatapath, DatapathCheckpoint};
+use proptest::prelude::*;
+
+const MTU: usize = 1_500;
+const GUEST: [u8; 4] = [10, 0, 0, 1];
+const PEER: [u8; 4] = [10, 0, 0, 2];
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// SYN out + SYN-ACK in for the flow, learning `wscale`.
+    Handshake { flow: u8, wscale: u8 },
+    /// Guest data at stream offset `round * 1000`; `ce` marks the IP
+    /// header CE on ingress of the matching ACK's direction.
+    Data {
+        flow: u8,
+        round: u8,
+        len: u16,
+        ce: bool,
+    },
+    /// Peer ACK covering `round * 1000` stream bytes.
+    Ack { flow: u8, round: u8, wnd: u16 },
+    /// Guest FIN (half-close; entries become gc-eligible).
+    Fin { flow: u8 },
+    /// Maintenance tick (health re-evaluation, gauge refresh).
+    Tick,
+    /// GC sweep with a short idle timeout.
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..12, 0u8..15).prop_map(|(flow, wscale)| Op::Handshake { flow, wscale }),
+        4 => (0u8..12, 0u8..6, 1u16..1400, any::<bool>())
+            .prop_map(|(flow, round, len, ce)| Op::Data { flow, round, len, ce }),
+        4 => (0u8..12, 0u8..6, 0u16..2000).prop_map(|(flow, round, wnd)| Op::Ack {
+            flow,
+            round,
+            wnd
+        }),
+        1 => (0u8..12).prop_map(|flow| Op::Fin { flow }),
+        1 => Just(Op::Tick),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn ip(src: [u8; 4], dst: [u8; 4], ecn: Ecn) -> Ipv4Repr {
+    Ipv4Repr {
+        src_addr: src,
+        dst_addr: dst,
+        protocol: PROTO_TCP,
+        ecn,
+        payload_len: 0,
+        ttl: 64,
+    }
+}
+
+fn iss(flow: u8) -> u32 {
+    10_000 + 100_000 * u32::from(flow)
+}
+
+/// Apply `ops` to a fresh datapath through the real packet path,
+/// advancing virtual time per op; returns the datapath.
+fn grow(ops: &[Op]) -> AcdcDatapath {
+    let dp = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    let mut now = 0u64;
+    for op in ops {
+        now += 500_000;
+        match *op {
+            Op::Handshake { flow, wscale } => {
+                let sport = 40_000 + u16::from(flow);
+                let mut syn = TcpRepr::new(sport, 80);
+                syn.seq = SeqNumber(iss(flow));
+                syn.flags = TcpFlags::SYN | TcpFlags::ECE | TcpFlags::CWR;
+                syn.window = 65_000;
+                syn.options = vec![
+                    TcpOption::MaxSegmentSize(1_448),
+                    TcpOption::WindowScale(wscale),
+                ];
+                let _ = dp.egress(now, Segment::new_tcp(ip(GUEST, PEER, Ecn::NotEct), syn, 0));
+                let mut sa = TcpRepr::new(80, sport);
+                sa.seq = SeqNumber(1);
+                sa.ack = SeqNumber(iss(flow) + 1);
+                sa.flags = TcpFlags::SYN | TcpFlags::ACK | TcpFlags::ECE;
+                sa.window = 65_000;
+                sa.options = vec![
+                    TcpOption::MaxSegmentSize(1_448),
+                    TcpOption::WindowScale(wscale),
+                ];
+                let _ = dp.ingress(now, Segment::new_tcp(ip(PEER, GUEST, Ecn::NotEct), sa, 0));
+            }
+            Op::Data {
+                flow,
+                round,
+                len,
+                ce,
+            } => {
+                let mut t = TcpRepr::new(40_000 + u16::from(flow), 80);
+                t.seq = SeqNumber(iss(flow) + 1 + 1_000 * u32::from(round));
+                t.ack = SeqNumber(1);
+                t.flags = TcpFlags::ACK;
+                t.window = 512;
+                let ecn = if ce { Ecn::Ce } else { Ecn::Ect0 };
+                let _ = dp.egress(now, Segment::new_tcp(ip(GUEST, PEER, ecn), t, len as usize));
+            }
+            Op::Ack { flow, round, wnd } => {
+                let mut t = TcpRepr::new(80, 40_000 + u16::from(flow));
+                t.seq = SeqNumber(1);
+                t.ack = SeqNumber(iss(flow) + 1 + 1_000 * u32::from(round));
+                t.flags = TcpFlags::ACK;
+                t.window = wnd;
+                let _ = dp.ingress(now, Segment::new_tcp(ip(PEER, GUEST, Ecn::NotEct), t, 0));
+            }
+            Op::Fin { flow } => {
+                let mut t = TcpRepr::new(40_000 + u16::from(flow), 80);
+                t.seq = SeqNumber(iss(flow) + 50_000);
+                t.ack = SeqNumber(1);
+                t.flags = TcpFlags::FIN | TcpFlags::ACK;
+                t.window = 512;
+                let _ = dp.egress(now, Segment::new_tcp(ip(GUEST, PEER, Ecn::NotEct), t, 0));
+            }
+            Op::Tick => dp.tick(now),
+            Op::Gc => {
+                dp.gc(now, 2_000_000);
+            }
+        }
+    }
+    dp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wire-format identity: for any reachable datapath state,
+    /// serialize → parse inverts on the value and parse → serialize
+    /// inverts on the bytes.
+    #[test]
+    fn checkpoint_json_round_trip_is_identity(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        at in 1u64..u64::MAX / 2,
+    ) {
+        let dp = grow(&ops);
+        let ckpt = dp.checkpoint(at, &[]);
+        let json = ckpt.to_json();
+        let parsed = DatapathCheckpoint::from_json(&json)
+            .expect("own serialization must parse");
+        prop_assert_eq!(&parsed, &ckpt, "parse must invert serialize");
+        prop_assert_eq!(parsed.to_json(), json, "re-serialization must be byte-identical");
+    }
+
+    /// Restore fidelity: restoring through the serialized form into a
+    /// fresh same-config datapath and re-checkpointing reproduces the
+    /// original document byte-for-byte.
+    #[test]
+    fn restore_then_recheckpoint_is_byte_identical(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let dp = grow(&ops);
+        let at = 1_000_000_000u64;
+        let json = dp.checkpoint(at, &[]).to_json();
+        let parsed = DatapathCheckpoint::from_json(&json).expect("parses");
+
+        let fresh = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+        let restored = fresh.restore(&parsed).expect("restore must succeed");
+        prop_assert_eq!(restored, parsed.flows.len());
+        prop_assert_eq!(
+            fresh.checkpoint(at, &[]).to_json(),
+            json,
+            "restored datapath must re-checkpoint to the same bytes"
+        );
+    }
+}

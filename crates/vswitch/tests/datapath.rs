@@ -845,3 +845,121 @@ fn ladder_recovers_with_hysteresis_after_gc() {
     assert_eq!(counter(&dpa, "health_promotions"), 2);
     assert!(counter(&dpa, "gc_evictions") >= 4);
 }
+
+// ----------------------------------------------------------------------
+// Checkpoint / restore (DESIGN.md §15)
+// ----------------------------------------------------------------------
+
+#[test]
+fn checkpoint_restore_continues_byte_identically() {
+    // Drive real traffic — handshake, data, a CE-marked round — so the
+    // checkpoint carries learned scales, CC state and feedback counters.
+    let (dpa, dpb) = rig(false);
+    let mut off = 0u32;
+    for i in 0..6 {
+        let mut d = dpa
+            .egress(10_000 + i, data(off, MSS, Ecn::NotEct))
+            .forwarded()
+            .unwrap();
+        if i % 3 == 0 {
+            d.mark_ce();
+        }
+        dpb.ingress(11_000 + i, d).forwarded().unwrap();
+        off += MSS as u32;
+        let a = dpb
+            .egress(12_000 + i, ack(off, 65_000))
+            .forwarded()
+            .unwrap();
+        dpa.ingress(13_000 + i, a).forwarded().unwrap();
+    }
+
+    let ckpt = dpa.checkpoint(20_000, &[]);
+    assert!(ckpt.flows.len() >= 2, "both directions captured");
+
+    // Serialize → parse → restore into a same-config fresh datapath.
+    let json = ckpt.to_json();
+    let parsed = acdc_vswitch::DatapathCheckpoint::from_json(&json).unwrap();
+    let fresh = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    assert_eq!(fresh.restore(&parsed).unwrap(), ckpt.flows.len());
+
+    // Re-checkpointing the restored datapath reproduces the original
+    // document byte for byte — state, counters, health, epoch, recorder.
+    assert_eq!(fresh.checkpoint(20_000, &[]).to_json(), json);
+
+    // Both datapaths now process the *same* next packet identically.
+    let a1 = dpa.ingress(30_000, ack(off, 65_000)).forwarded().unwrap();
+    let a2 = fresh.ingress(30_000, ack(off, 65_000)).forwarded().unwrap();
+    assert_eq!(a1.header_bytes(), a2.header_bytes());
+    assert_eq!(dpa.counters().snapshot(), fresh.counters().snapshot());
+    assert_eq!(
+        dpa.table().get(&key_ab()).unwrap().lock().snd_una,
+        fresh.table().get(&key_ab()).unwrap().lock().snd_una
+    );
+}
+
+#[test]
+fn restore_rejects_cc_policy_mismatch() {
+    let (dpa, _dpb) = rig(false);
+    dpa.egress(10_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
+    let ckpt = dpa.checkpoint(20_000, &[]);
+    let mut cfg = AcdcConfig::dctcp(MTU);
+    cfg.policy = CcPolicy::Uniform(CcKind::Cubic);
+    let wrong = AcdcDatapath::new(cfg);
+    let err = wrong.restore(&ckpt).unwrap_err();
+    assert!(err.contains("dctcp"), "names the mismatched CC: {err}");
+}
+
+#[test]
+fn restore_preserves_unlearned_scale_semantics() {
+    // A mid-stream adopted flow (no handshake seen) must stay log-only
+    // across a checkpoint/restore cycle — restoring never invents a
+    // window scale.
+    let dpa = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    dpa.egress(1_000, data(0, MSS, Ecn::NotEct))
+        .forwarded()
+        .unwrap();
+    let ckpt = dpa.checkpoint(2_000, &[]);
+    let fresh = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    fresh.restore(&ckpt).unwrap();
+    {
+        let e = fresh.table().get(&key_ab()).unwrap();
+        assert!(!e.lock().rwnd.learned(), "scale still unlearned");
+    }
+    let a = fresh
+        .ingress(3_000, ack(MSS as u32, 65_000))
+        .forwarded()
+        .unwrap();
+    assert_eq!(a.tcp().window(), 65_000, "no rewrite after restore");
+    assert!(counter(&fresh, "unscaled_rwnd_skips") >= 1);
+    assert_eq!(counter(&fresh, "rwnd_rewrites"), 0);
+}
+
+#[test]
+fn restore_stamps_gc_epoch_and_shields_flows() {
+    const T: u64 = 35_000_000_000;
+    let (dpa, _dpb) = rig(false);
+    dpa.table().set_epoch(T);
+    let ckpt = dpa.checkpoint(T, &[]);
+    assert_eq!(ckpt.gc_epoch, T);
+    let fresh = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    fresh.restore(&ckpt).unwrap();
+    assert_eq!(fresh.table().epoch(), T);
+    // Entries carry handshake-era activity times (~0 ns), but the epoch
+    // shields them from the first sweep after restore.
+    assert_eq!(fresh.gc(T + 1, 30_000_000_000), 0);
+    assert!(fresh.flows() >= 2);
+}
+
+#[test]
+fn reset_stamps_gc_epoch() {
+    let dp = AcdcDatapath::new(AcdcConfig::dctcp(MTU));
+    assert_eq!(dp.table().epoch(), 0);
+    dp.reset(7_000);
+    assert_eq!(
+        dp.table().epoch(),
+        7_000,
+        "restart stamps the GC bookkeeping epoch"
+    );
+}

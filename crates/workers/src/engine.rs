@@ -222,8 +222,9 @@ impl WorkerEngine {
         acdc_telemetry::merge_snapshots(&self.all_hubs(dp))
     }
 
-    /// [`WorkerEngine::merged_snapshot`] in the `acdc-telemetry/v1` JSON
-    /// schema — byte-identical for same seed + same worker count.
+    /// [`WorkerEngine::merged_snapshot`] in the `acdc-telemetry/v2` JSON
+    /// schema (metrics plus the summed per-hub `dropped_events` tally) —
+    /// byte-identical for same seed + same worker count.
     pub fn merged_snapshot_json(&self, dp: &AcdcDatapath, at: Nanos) -> String {
         acdc_telemetry::merged_snapshot_json(&self.all_hubs(dp), at)
     }

@@ -131,6 +131,16 @@ pub static H002: Rule = Rule {
               the lint catalog",
 };
 
+pub static S001: Rule = Rule {
+    id: "S001",
+    name: "checkpoint-determinism",
+    summary: "no HashMap/HashSet anywhere in crates/soak/src and no float \
+              types in the checkpoint serialization paths (vswitch \
+              checkpoint.rs, soak driver.rs): acdc-checkpoint/v1 bytes must \
+              be a pure function of state — Vec-ordered objects, u64-only \
+              numbers, no float formatting (DESIGN.md §15)",
+};
+
 pub static W001: Rule = Rule {
     id: "W001",
     name: "write-scope",
@@ -158,9 +168,9 @@ pub static W003: Rule = Rule {
 
 /// All rules, in diagnostic order. The W-series runs under `analyze`, the
 /// rest under `lint`.
-pub static CATALOG: [&Rule; 14] = [
-    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &H001, &H002, &W001, &W002,
-    &W003,
+pub static CATALOG: [&Rule; 15] = [
+    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &S001, &H001, &H002, &W001,
+    &W002, &W003,
 ];
 
 pub fn catalog() -> &'static [&'static Rule] {
@@ -356,6 +366,14 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
     ]
     .iter()
     .any(|p| path.starts_with(p));
+    // S001 guards the checkpoint wire format's determinism contract.
+    // Floats are banned only in the files that *write* checkpoint bytes
+    // (you cannot float-format a value you never hold); unordered
+    // collections are banned across the whole soak crate, whose A/B
+    // byte-identity checks any iteration-order leak would break.
+    let s001_float_scope =
+        path == "crates/vswitch/src/checkpoint.rs" || path == "crates/soak/src/driver.rs";
+    let s001_hash_scope = s001_float_scope || path.starts_with("crates/soak/src/");
 
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -463,6 +481,30 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
                 "raw counter field bypasses the metrics registry; hold an acdc_telemetry::Counter/Gauge (adopt_counter keeps snapshot-struct compat) so the value shows up in snapshot_all()"
                     .to_string(),
             ));
+        }
+
+        if s001_hash_scope {
+            for tok in ["HashMap", "HashSet"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &S001,
+                        format!("`{tok}` iteration order leaks into checkpoint/soak output; use a Vec or BTreeMap so the bytes are a pure function of state"),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if s001_float_scope {
+            for tok in ["f32", "f64"] {
+                if contains_token(code, tok) {
+                    hits.push((
+                        &S001,
+                        format!("`{tok}` in a checkpoint serialization path invites float formatting; acdc-checkpoint/v1 numbers are u64 only — scale to integers before they reach the serializer"),
+                    ));
+                    break;
+                }
+            }
         }
 
         if o001_scope && has_live_counter_update(code) {
@@ -889,6 +931,34 @@ mod tests {
         .is_empty());
         // Tests may keep tallies however they like.
         assert!(run("crates/netsim/tests/x.rs", "self.wred_drops += 1;\n").is_empty());
+    }
+
+    #[test]
+    fn s001_bans_floats_in_serialization_paths_only() {
+        let float = "fn pct(x: f64) -> u64 { (x * 100.0) as u64 }\n";
+        assert_eq!(run("crates/vswitch/src/checkpoint.rs", float), vec!["S001"]);
+        assert_eq!(run("crates/soak/src/driver.rs", float), vec!["S001"]);
+        // Floats elsewhere in the soak crate (e.g. fault probabilities)
+        // never touch the serializer and are fine.
+        assert!(run("crates/soak/src/storm.rs", float).is_empty());
+        assert!(run("crates/vswitch/src/datapath.rs", float).is_empty());
+        // Identifier boundaries: `f64x` must not fire.
+        assert!(run("crates/soak/src/driver.rs", "let x = f64x::new();\n").is_empty());
+    }
+
+    #[test]
+    fn s001_bans_unordered_collections_across_soak() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(run("crates/soak/src/watchdog.rs", src), vec!["S001"]);
+        assert_eq!(run("crates/soak/src/driver.rs", src), vec!["S001"]);
+        // checkpoint.rs sits in the vswitch crate, so D002 fires there
+        // too: both rules protect the same line from different angles.
+        assert_eq!(
+            run("crates/vswitch/src/checkpoint.rs", src),
+            vec!["D002", "S001"]
+        );
+        // Soak tests are not serialization paths.
+        assert!(run("crates/soak/tests/soak.rs", src).is_empty());
     }
 
     #[test]

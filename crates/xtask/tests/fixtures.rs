@@ -123,6 +123,11 @@ fn o001_adhoc_counter_fixture() {
 }
 
 #[test]
+fn s001_checkpoint_float_fixture() {
+    assert_single("s001_checkpoint_float", "S001", "crates/soak/src/driver.rs");
+}
+
+#[test]
 fn h001_missing_forbid_fixture() {
     assert_single("h001_no_forbid", "H001", "crates/foo/src/lib.rs");
 }

@@ -1,0 +1,4 @@
+pub fn health_pct(used: usize, cap: usize) -> String {
+    let pct = used as f64 / cap as f64 * 100.0;
+    format!("{pct}")
+}

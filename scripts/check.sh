@@ -13,6 +13,7 @@
 #   scripts/check.sh strict     # tests under --features strict-invariants
 #   scripts/check.sh chaos      # fault-injection suite (plain features)
 #   scripts/check.sh workers    # parallel-datapath suite (plain + strict)
+#   scripts/check.sh soak       # bounded soak smoke (plain + strict)
 #   scripts/check.sh bench      # bench smoke + bench-diff vs BENCH_pr3.json
 #
 # Multiple stage names may be given and run in the order listed.
@@ -101,11 +102,24 @@ stage_workers() {
     cargo test -q --features strict-invariants --test workers_equivalence
 }
 
-ALL_STAGES=(lint analyze test bench chaos workers strict)
+stage_soak() {
+    # The bounded smoke tier: 2 s of virtual time with churn, a storm,
+    # a reset and a checkpoint/restore cycle, watchdog-checked, at
+    # worker counts 0/2/4, plus the checkpoint wire-format proptests.
+    # The 1-hour acceptance soak stays behind --ignored (README § Soak).
+    echo "==> soak smoke (churn + storms + checkpoint/restore, watchdogged)"
+    cargo test -q -p acdc-soak
+    cargo test -q -p acdc-vswitch --test checkpoint_props
+
+    echo "==> soak smoke under strict-invariants"
+    cargo test -q -p acdc-soak --features strict-invariants
+}
+
+ALL_STAGES=(lint analyze test bench chaos workers soak strict)
 
 run_stage() {
     case "$1" in
-        lint | analyze | test | bench | chaos | workers | strict) "stage_$1" ;;
+        lint | analyze | test | bench | chaos | workers | soak | strict) "stage_$1" ;;
         *)
             echo "error: unknown stage '$1' (expected: ${ALL_STAGES[*]})" >&2
             exit 2

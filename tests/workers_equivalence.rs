@@ -33,9 +33,10 @@ struct Observed {
     fault: LinkFaultStats,
     ep_state: (SeqNumber, SeqNumber),
     sw_state: (SeqNumber, SeqNumber),
-    /// Client-host vSwitch metrics in the `acdc-telemetry/v1` snapshot
-    /// JSON: the legacy hub's snapshot at N = 0, the merged main + worker
-    /// hubs snapshot otherwise. Includes every drop and health counter.
+    /// Client-host vSwitch metrics in the `acdc-telemetry/v2` merged
+    /// snapshot JSON: the legacy hub alone at N = 0, the main + worker
+    /// hubs otherwise. Includes every drop and health counter plus the
+    /// summed flight-recorder `dropped_events` tally.
     counters_json: String,
 }
 
@@ -70,7 +71,7 @@ fn run(workers: usize) -> Observed {
         .expect("vSwitch must still track the flow");
     let counters_json = match host.worker_engine() {
         Some(engine) => engine.merged_snapshot_json(host.datapath(), 0),
-        None => host.telemetry().registry().snapshot_json(0),
+        None => acdc_telemetry::merged_snapshot_json(&[host.telemetry().as_ref()], 0),
     };
     Observed {
         acked,
