@@ -24,6 +24,14 @@
 //! columns. Construction happens outside the timed region, so the
 //! quotient of the two tiers is datapath scaling, not harness scaling.
 //!
+//! `--throughput` adds the simulator-core tier (DESIGN.md §16): the
+//! 100k-flow event-engine scenario timed wall-clock, reported as
+//! simulated-packets/sec + events/sec with a `higher_is_better`
+//! annotation in the JSON. `--throughput-only` runs *just* that tier
+//! and emits a throughput-only JSON — the shape committed as
+//! `BENCH_pr10.json`, so the CI throughput stage gates exactly one
+//! metric (`bench-diff` gates only what the baseline carries).
+//!
 //! `--json PATH` writes the machine-readable result (hand-rolled JSON,
 //! no serde) consumed by `scripts/bench.sh` as `BENCH_pr3.json`.
 
@@ -33,6 +41,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use acdc_bench::experiments::fig1112::{ack_packet, data_packet, populate};
+use acdc_bench::experiments::throughput;
 use acdc_packet::Segment;
 use acdc_vswitch::{AcdcConfig, AcdcDatapath};
 use acdc_workers::{Direction, WorkerEngine};
@@ -46,6 +55,20 @@ use acdc_workers::{Direction, WorkerEngine};
 /// hardware.
 const REF_EGRESS_ACDC_NS: f64 = 293.5;
 const REF_INGRESS_ACDC_NS: f64 = 200.6;
+
+/// Pre-wheel/pool simulated-packets-per-second of the `--throughput`
+/// scenario at the 100k-flow tier on the baselining machine (BinaryHeap
+/// engine + per-packet allocation, commit `45ec5eb`). The acceptance
+/// criterion's ≥ 1.3× speedup is computed against this; override with
+/// `--ref-throughput` when re-baselining on different hardware.
+const REF_THROUGHPUT_PPS: f64 = 533_573.0;
+
+/// The `--throughput` scenario always runs the 100k-flow tier (the
+/// acceptance tier); `--smoke` shortens the simulated span, not the
+/// tier, so rates stay comparable across modes.
+const THROUGHPUT_FLOWS: usize = 100_000;
+const THROUGHPUT_VIRTUAL_NS: u64 = 200_000_000; // 200 virtual ms
+const THROUGHPUT_VIRTUAL_NS_SMOKE: u64 = 20_000_000; // 20 virtual ms
 
 #[derive(Clone, Copy, PartialEq)]
 enum Phase {
@@ -252,6 +275,43 @@ fn json_side(s: &SideResult, reference: f64) -> String {
     )
 }
 
+/// Run the event-engine throughput scenario `reps` times and return the
+/// median rep by packets/sec (wall-clock noise hits whole reps, so the
+/// median rep is the honest one).
+fn run_throughput(virtual_ns: u64, reps: usize) -> throughput::ThroughputRun {
+    let mut runs: Vec<throughput::ThroughputRun> = (0..reps.max(1))
+        .map(|_| throughput::run(THROUGHPUT_FLOWS, virtual_ns))
+        .collect();
+    runs.sort_by(|a, b| {
+        a.pkts_per_sec()
+            .partial_cmp(&b.pkts_per_sec())
+            .expect("no NaN in timings")
+    });
+    runs[runs.len() / 2]
+}
+
+fn json_throughput(r: &throughput::ThroughputRun, reference: f64) -> String {
+    format!(
+        concat!(
+            "{{\"higher_is_better\": true, \"flows\": {}, \"virtual_ns\": {}, ",
+            "\"wall_ns\": {}, \"sim_pkts\": {}, \"events\": {}, ",
+            "\"same_slot_batches\": {}, \"sim_pkts_per_sec\": {:.0}, ",
+            "\"events_per_sec\": {:.0}, \"pre_wheel_pps\": {:.0}, ",
+            "\"speedup_vs_pre_wheel\": {:.2}}}"
+        ),
+        r.flows,
+        r.virtual_ns,
+        r.wall_ns,
+        r.sim_pkts,
+        r.events,
+        r.same_slot_batches,
+        r.pkts_per_sec(),
+        r.events_per_sec(),
+        reference,
+        r.pkts_per_sec() / reference,
+    )
+}
+
 fn main() {
     let mut flows = 1_000usize;
     let mut iters = 100_000usize;
@@ -259,7 +319,11 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut ref_egress = REF_EGRESS_ACDC_NS;
     let mut ref_ingress = REF_INGRESS_ACDC_NS;
+    let mut ref_throughput = REF_THROUGHPUT_PPS;
     let mut workers = 0usize;
+    let mut smoke = false;
+    let mut with_throughput = false;
+    let mut throughput_only = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -272,6 +336,23 @@ fn main() {
             "--smoke" => {
                 iters = 5_000;
                 reps = 3;
+                smoke = true;
+            }
+            "--throughput" => {
+                with_throughput = true;
+            }
+            "--throughput-only" => {
+                // The simulator-throughput CI stage's mode: skip the
+                // ns/pkt medians (gated separately vs BENCH_pr3.json)
+                // and emit a JSON with just the throughput tier, so the
+                // committed BENCH_pr10.json baseline opts exactly one
+                // metric into bench-diff's gate.
+                with_throughput = true;
+                throughput_only = true;
+            }
+            "--ref-throughput" => {
+                ref_throughput = need(i).parse().expect("--ref-throughput PPS");
+                i += 1;
             }
             "--flows" => {
                 flows = need(i).parse().expect("--flows N");
@@ -306,27 +387,32 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("datapath_bench: flows={flows} iters={iters} reps={reps}");
-    let egress = run_side(flows, iters, reps, true);
-    let ingress = run_side(flows, iters, reps, false);
+    let sides = if throughput_only {
+        None
+    } else {
+        eprintln!("datapath_bench: flows={flows} iters={iters} reps={reps}");
+        let egress = run_side(flows, iters, reps, true);
+        let ingress = run_side(flows, iters, reps, false);
 
-    for (name, s, reference) in [
-        ("egress ", &egress, ref_egress),
-        ("ingress", &ingress, ref_ingress),
-    ] {
-        eprintln!(
-            "{name}  construct {:>6.1}  baseline {:>6.1}  acdc {:>6.1}  \
-             datapath-only {:>6.1}  added {:>6.1}  vs pre-refactor {:>+5.1}%",
-            s.construct,
-            s.baseline,
-            s.acdc,
-            s.acdc - s.construct,
-            s.acdc - s.baseline,
-            (reference - s.acdc) / reference * 100.0,
-        );
-    }
+        for (name, s, reference) in [
+            ("egress ", &egress, ref_egress),
+            ("ingress", &ingress, ref_ingress),
+        ] {
+            eprintln!(
+                "{name}  construct {:>6.1}  baseline {:>6.1}  acdc {:>6.1}  \
+                 datapath-only {:>6.1}  added {:>6.1}  vs pre-refactor {:>+5.1}%",
+                s.construct,
+                s.baseline,
+                s.acdc,
+                s.acdc - s.construct,
+                s.acdc - s.baseline,
+                (reference - s.acdc) / reference * 100.0,
+            );
+        }
+        Some((egress, ingress))
+    };
 
-    let workers_json = if workers > 0 {
+    let workers_json = if workers > 0 && sides.is_some() {
         let tiers = run_workers(flows, iters, reps, workers);
         for t in &tiers {
             let per: Vec<String> = t
@@ -361,25 +447,65 @@ fn main() {
         None
     };
 
-    let json = format!(
-        concat!(
-            "{{\n  \"bench\": \"pr3_single_parse_datapath\",\n",
-            "  \"flows\": {},\n  \"iters\": {},\n  \"reps\": {},\n",
-            "  \"unit\": \"ns_per_packet_median\",\n",
-            "  \"egress\": {},\n  \"ingress\": {},\n{}",
-            "  \"telemetry\": {{\"egress\": {}, \"ingress\": {}}}\n}}\n"
+    let throughput_json = if with_throughput {
+        let virtual_ns = if smoke {
+            THROUGHPUT_VIRTUAL_NS_SMOKE
+        } else {
+            THROUGHPUT_VIRTUAL_NS
+        };
+        let treps = if smoke { 2 } else { 3 };
+        let r = run_throughput(virtual_ns, treps);
+        eprintln!(
+            "throughput  {:.0} sim-pkts/s  {:.2}M events/s  ({} pkts, {} events, \
+             {} same-slot batches, {} virtual ms, {:.2}x vs pre-wheel)",
+            r.pkts_per_sec(),
+            r.events_per_sec() / 1e6,
+            r.sim_pkts,
+            r.events,
+            r.same_slot_batches,
+            r.virtual_ns / 1_000_000,
+            r.pkts_per_sec() / ref_throughput,
+        );
+        Some(json_throughput(&r, ref_throughput))
+    } else {
+        None
+    };
+
+    let json = match &sides {
+        Some((egress, ingress)) => format!(
+            concat!(
+                "{{\n  \"bench\": \"pr3_single_parse_datapath\",\n",
+                "  \"flows\": {},\n  \"iters\": {},\n  \"reps\": {},\n",
+                "  \"unit\": \"ns_per_packet_median\",\n",
+                "  \"egress\": {},\n  \"ingress\": {},\n{}{}",
+                "  \"telemetry\": {{\"egress\": {}, \"ingress\": {}}}\n}}\n"
+            ),
+            flows,
+            iters,
+            reps,
+            json_side(egress, ref_egress),
+            json_side(ingress, ref_ingress),
+            workers_json
+                .map(|w| format!("  \"workers\": {w},\n"))
+                .unwrap_or_default(),
+            throughput_json
+                .as_ref()
+                .map(|t| format!("  \"throughput\": {t},\n"))
+                .unwrap_or_default(),
+            egress.telemetry_json.trim_end(),
+            ingress.telemetry_json.trim_end(),
         ),
-        flows,
-        iters,
-        reps,
-        json_side(&egress, ref_egress),
-        json_side(&ingress, ref_ingress),
-        workers_json
-            .map(|w| format!("  \"workers\": {w},\n"))
-            .unwrap_or_default(),
-        egress.telemetry_json.trim_end(),
-        ingress.telemetry_json.trim_end(),
-    );
+        None => format!(
+            concat!(
+                "{{\n  \"bench\": \"pr10_simulator_throughput\",\n",
+                "  \"unit\": \"sim_pkts_per_sec\",\n",
+                "  \"throughput\": {}\n}}\n"
+            ),
+            throughput_json
+                .as_ref()
+                .expect("--throughput-only implies the throughput run"),
+        ),
+    };
     match json_path {
         Some(p) => {
             std::fs::write(&p, &json).expect("write json");

@@ -1,0 +1,253 @@
+//! Simulator-core throughput scenario (PR 10 acceptance gate).
+//!
+//! The ns/pkt medians in `datapath_bench` time the vSwitch datapath in
+//! isolation; this scenario times the *discrete-event engine* itself —
+//! the part the hierarchical timing wheel and the segment pool speed up.
+//! It is deliberately event-bound, shaped like the regime the ROADMAP's
+//! "Simulator-core throughput" item describes:
+//!
+//! * `SOURCES` line-rate senders keep their NIC transmitters saturated
+//!   through a store-and-forward switch, so every delivered packet costs
+//!   the engine four events (two TxDone, two Deliver) plus a segment
+//!   construction — the allocation the pool recycles.
+//! * A dense timer population models per-flow 10 ms ticks and ~200 ms
+//!   RTO re-arms at the `--flows` tier: `flows / 2` staggered periodic
+//!   timers stay pending at all times, which is exactly the heap depth
+//!   that made the old `BinaryHeap` pay O(log n) with cache misses on
+//!   every push/pop.
+//!
+//! The measurement is wall-clock (this crate is the D001 carve-out):
+//! simulated packets delivered per wall second and engine events per
+//! wall second, for a fixed span of virtual time.
+
+use std::any::Any;
+
+use acdc_netsim::{Ctx, LinkSpec, Network, Node, PortId, SwitchConfig, SwitchNode};
+use acdc_packet::{Ecn, Ipv4Repr, Segment, SeqNumber, TcpFlags, TcpRepr, PROTO_TCP};
+use acdc_stats::time::{Nanos, MILLISECOND};
+
+/// Line-rate senders (each with its own sink behind the switch).
+pub const SOURCES: usize = 4;
+
+/// Payload bytes per crafted segment (wire length 1040 B).
+const PAYLOAD: usize = 1_000;
+
+/// Timer-population divisor: `flows / TIMER_DIV` periodic timers stay
+/// pending for the whole run (the per-flow tick/RTO model).
+const TIMER_DIV: usize = 2;
+
+/// Every seventh pending timer re-arms at RTO cadence (~200 ms) instead
+/// of the 10 ms tick, spreading the population across wheel levels.
+const RTO_EVERY: u64 = 7;
+
+const TICK: Nanos = 10 * MILLISECOND;
+const RTO: Nanos = 200 * MILLISECOND;
+
+/// What one throughput run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputRun {
+    /// Distinct flow keys cycled by the senders.
+    pub flows: usize,
+    /// Virtual time simulated.
+    pub virtual_ns: Nanos,
+    /// Wall-clock nanoseconds the run took.
+    pub wall_ns: u128,
+    /// Packets delivered to the sinks.
+    pub sim_pkts: u64,
+    /// Engine events processed ([`Network::events_processed`]).
+    pub events: u64,
+    /// Same-timestamp batch pops the wheel served without re-scanning
+    /// (0 on the pre-wheel engine).
+    pub same_slot_batches: u64,
+}
+
+impl ThroughputRun {
+    /// Simulated packets delivered per wall-clock second.
+    pub fn pkts_per_sec(&self) -> f64 {
+        self.sim_pkts as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Engine events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Keeps its transmitter saturated: two segments are enqueued up front,
+/// and every time one leaves the FIFO (`on_tx_start`) another is built
+/// and enqueued, cycling through this source's slice of the flow tier.
+struct BlastSource {
+    port: PortId,
+    dst: [u8; 4],
+    flow_base: usize,
+    flow_span: usize,
+    next: usize,
+}
+
+impl BlastSource {
+    fn build(&mut self) -> Segment {
+        let i = self.flow_base + self.next;
+        self.next = (self.next + 1) % self.flow_span.max(1);
+        let src = [10, (i >> 16) as u8, (i >> 8) as u8, i as u8];
+        let ip = Ipv4Repr {
+            src_addr: src,
+            dst_addr: self.dst,
+            protocol: PROTO_TCP,
+            ecn: Ecn::Ect0,
+            payload_len: 0,
+            ttl: 64,
+        };
+        let mut t = TcpRepr::new(1_024 + (i % 50_000) as u16, 5_001);
+        t.seq = SeqNumber(1_000 + i as u32);
+        t.ack = SeqNumber(9_000);
+        t.flags = TcpFlags::ACK;
+        t.window = 60_000;
+        Segment::new_tcp(ip, t, PAYLOAD)
+    }
+}
+
+impl Node for BlastSource {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _seg: Segment) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        // Prime the pipe: one serializing, one queued. From here on the
+        // `on_tx_start` hook keeps the transmitter busy forever.
+        let (a, b) = (self.build(), self.build());
+        ctx.enqueue(self.port, a);
+        ctx.enqueue(self.port, b);
+    }
+
+    fn on_tx_start(&mut self, ctx: &mut Ctx<'_>, port: PortId, _seg: &Segment) {
+        let seg = self.build();
+        ctx.enqueue(port, seg);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Swallows delivered packets (arrival counting uses port counters).
+struct Sink;
+
+impl Node for Sink {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _seg: Segment) {}
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Holds the dense pending-timer population: `count` tokens, each
+/// re-arming itself at tick or RTO cadence when it fires.
+struct TimerMass {
+    count: u64,
+}
+
+impl Node for TimerMass {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _seg: Segment) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let period = if token.is_multiple_of(RTO_EVERY) {
+            RTO
+        } else {
+            TICK
+        };
+        ctx.set_timer(period, token);
+        let _ = self.count;
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build the scenario network: sources → switch → per-source sinks over
+/// 10 GbE, plus the timer-mass node. Returns the network and the sink
+/// ports whose `rx_pkts` sum is the delivered-packet count.
+fn build(flows: usize) -> (Network, Vec<PortId>) {
+    let mut net = Network::new();
+    let switch = net.reserve_node();
+    let mut sw = SwitchNode::new(SwitchConfig::default());
+
+    let link = LinkSpec::ten_gbe(10_000); // 10 µs propagation
+    let per_source = flows.div_ceil(SOURCES);
+    let mut sink_ports = Vec::with_capacity(SOURCES);
+    for s in 0..SOURCES {
+        let dst = [172, 31, 0, s as u8];
+        let src_node = net.reserve_node();
+        let (sp, _swp) = net.connect(src_node, switch, link);
+        net.install(
+            src_node,
+            Box::new(BlastSource {
+                port: sp,
+                dst,
+                flow_base: s * per_source,
+                flow_span: per_source,
+                next: 0,
+            }),
+        );
+        let sink = net.add_node(Box::new(Sink));
+        let (sw_out, sink_port) = net.connect(switch, sink, link);
+        sw.add_route(dst, sw_out);
+        sink_ports.push(sink_port);
+        // Stagger the four primers so the switch sees interleaved, not
+        // phase-locked, arrivals.
+        net.schedule_timer_at(src_node, (s as Nanos) * 211, 0);
+    }
+    net.install(switch, Box::new(sw));
+
+    // The pending-timer population: flows/TIMER_DIV tokens staggered
+    // evenly across one tick period, re-arming forever.
+    let timers = (flows / TIMER_DIV).max(1) as u64;
+    let mass = net.add_node(Box::new(TimerMass { count: timers }));
+    for t in 0..timers {
+        net.schedule_timer_at(mass, t * TICK / timers, t);
+    }
+    (net, sink_ports)
+}
+
+/// Run the scenario for `virtual_ns` of simulated time at the given flow
+/// tier and report wall-clock throughput.
+#[allow(clippy::disallowed_methods)] // wall-clock is the measurement here
+pub fn run(flows: usize, virtual_ns: Nanos) -> ThroughputRun {
+    let (mut net, sink_ports) = build(flows);
+    let start = std::time::Instant::now();
+    net.run_until(virtual_ns);
+    let wall_ns = start.elapsed().as_nanos();
+    let sim_pkts = sink_ports
+        .iter()
+        .map(|&p| net.port_counters(p).rx_pkts)
+        .sum();
+    ThroughputRun {
+        flows,
+        virtual_ns,
+        wall_ns,
+        sim_pkts,
+        events: net.events_processed(),
+        same_slot_batches: net.wheel_same_slot_batches(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_delivers_packets_and_keeps_timers_pending() {
+        // 2 virtual ms at a tiny tier: enough for several hundred
+        // deliveries and at least one full tick re-arm cycle.
+        let r = run(64, 2 * MILLISECOND);
+        assert!(r.sim_pkts > 100, "delivered only {} packets", r.sim_pkts);
+        assert!(r.events > 4 * r.sim_pkts / 2, "event count implausibly low");
+        assert!(r.pkts_per_sec() > 0.0);
+        assert!(r.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic_in_virtual_terms() {
+        let a = run(128, MILLISECOND);
+        let b = run(128, MILLISECOND);
+        assert_eq!(a.sim_pkts, b.sim_pkts);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -27,7 +27,7 @@
 //! caller. Running the same setup twice produces identical traces.
 
 use std::any::Any;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use acdc_packet::{FlowKey, Segment};
@@ -35,6 +35,7 @@ use acdc_stats::time::Nanos;
 use acdc_telemetry::{Counter, EventKind as TraceEvent, Telemetry, NO_FLOW};
 
 use crate::link::LinkSpec;
+use crate::wheel::TimerWheel;
 
 /// Identifies a node in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -181,35 +182,13 @@ enum EventKind {
     Timer { node: NodeId, token: u64 },
 }
 
-struct Event {
-    at: Nanos,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// The simulated network: nodes, ports, events, virtual clock.
+/// The simulated network: nodes, ports, events, virtual clock. Events
+/// live in the hierarchical [`TimerWheel`], ordered by `(timestamp,
+/// insertion sequence)` with ties firing in insertion order.
 pub struct Network {
     nodes: Vec<Option<Box<dyn Node>>>,
     ports: Vec<Port>,
-    events: BinaryHeap<Event>,
+    events: TimerWheel<EventKind>,
     now: Nanos,
     seq: u64,
     events_processed: u64,
@@ -228,7 +207,7 @@ impl Network {
         Network {
             nodes: Vec::new(),
             ports: Vec::new(),
-            events: BinaryHeap::new(),
+            events: TimerWheel::new(),
             now: 0,
             seq: 0,
             events_processed: 0,
@@ -242,6 +221,9 @@ impl Network {
     /// [`Network::connect`] time, and node drops reported through
     /// [`Ctx::count_drop`] additionally land in the flight recorder.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry
+            .registry()
+            .adopt_counter("engine.wheel.same_slot_batches", self.events.batches_cell());
         for (i, p) in self.ports.iter().enumerate() {
             p.counters.register(&telemetry, i);
         }
@@ -266,6 +248,12 @@ impl Network {
     /// Total events processed so far (a cheap progress/perf metric).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Same-timestamp batch pops the scheduler served without re-scanning
+    /// its slot structure (see `engine.wheel.same_slot_batches`).
+    pub fn wheel_same_slot_batches(&self) -> u64 {
+        self.events.same_slot_batches()
     }
 
     /// Reserve a node slot; install the implementation later with
@@ -380,11 +368,8 @@ impl Network {
     /// nodes use [`Ctx::set_timer`] at runtime).
     pub fn schedule_timer_at(&mut self, node: NodeId, at: Nanos, token: u64) {
         let seq = self.next_seq();
-        self.events.push(Event {
-            at,
-            seq,
-            kind: EventKind::Timer { node, token },
-        });
+        self.events
+            .schedule(at, seq, EventKind::Timer { node, token });
     }
 
     /// Mutable, downcast access to a node (for post-run inspection).
@@ -402,15 +387,14 @@ impl Network {
     /// Run until the event queue empties or `deadline` passes. Returns the
     /// virtual time reached.
     pub fn run_until(&mut self, deadline: Nanos) -> Nanos {
-        while let Some(ev) = self.events.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            let ev = self.events.pop().unwrap();
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
+        // The wheel serves whole same-timestamp (same-slot) runs from one
+        // drained batch, so there is no per-event re-peek here the way
+        // the BinaryHeap loop re-peeked after every pop.
+        while let Some((at, _seq, kind)) = self.events.pop_before(deadline) {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.events_processed += 1;
-            self.dispatch(ev.kind);
+            self.dispatch(kind);
         }
         // The clock always reaches the deadline, so relative timers
         // scheduled after this call behave as expected.
@@ -420,7 +404,7 @@ impl Network {
 
     /// Time of the next pending event.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.events.peek().map(|e| e.at)
+        self.events.peek_at()
     }
 
     /// Are there pending events?
@@ -474,17 +458,11 @@ impl Network {
         p.counters.tx_bytes.add(seg.wire_len() as u64);
         let at_done = self.now + ser;
         let seq = self.next_seq();
-        self.events.push(Event {
-            at: at_done,
-            seq,
-            kind: EventKind::TxDone { port },
-        });
+        self.events
+            .schedule(at_done, seq, EventKind::TxDone { port });
         let seq = self.next_seq();
-        self.events.push(Event {
-            at: at_done + prop,
-            seq,
-            kind: EventKind::Deliver { port: peer, seg },
-        });
+        self.events
+            .schedule(at_done + prop, seq, EventKind::Deliver { port: peer, seg });
     }
 
     fn finish_tx(&mut self, port: PortId) {

@@ -24,10 +24,12 @@ pub mod engine;
 pub mod link;
 pub mod switch;
 pub mod tokenbucket;
+pub mod wheel;
 
 pub use engine::{Ctx, Network, Node, NodeId, PortCounters, PortDropClass, PortId};
 pub use link::LinkSpec;
 pub use switch::{SwitchConfig, SwitchCounters, SwitchNode, WredEcnConfig};
 pub use tokenbucket::TokenBucket;
+pub use wheel::TimerWheel;
 
 pub use acdc_stats::time::{Nanos, MICROSECOND, MILLISECOND, SECOND};

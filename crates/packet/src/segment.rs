@@ -112,7 +112,17 @@ impl core::fmt::Display for FlowKey {
 
 /// A simulated packet: serialized headers + virtual payload length + a
 /// lazily-built cache of parsed header metadata.
-#[derive(Debug, Clone)]
+///
+/// # Pooled backing storage
+///
+/// The header buffer is rented from the process-wide
+/// [`SegmentPool`](crate::pool::SegmentPool): constructors and `Clone`
+/// take a recycled (fully overwritten) buffer, and `Drop` returns the
+/// storage to the pool — so the NIC → vSwitch → endpoint pipeline
+/// recycles one small allocation per packet instead of paying the
+/// allocator round-trip. Per-worker code can steer the return to its own
+/// pool shard with [`Segment::recycle_into`] / [`Segment::clone_in`].
+#[derive(Debug)]
 pub struct Segment {
     buf: BytesMut,
     payload_len: usize,
@@ -137,7 +147,7 @@ impl Segment {
             ..ip
         };
         let total_hdr = ip_repr.header_len() + tcp_hdr_len;
-        let mut buf = BytesMut::zeroed(total_hdr);
+        let mut buf = crate::pool::global().take(total_hdr);
         {
             let mut ipp = Ipv4Packet::new_unchecked(&mut buf[..]);
             ip_repr.emit(&mut ipp);
@@ -170,7 +180,7 @@ impl Segment {
             ..ip
         };
         let total_hdr = ip_repr.header_len() + udp.header_len();
-        let mut buf = BytesMut::zeroed(total_hdr);
+        let mut buf = crate::pool::global().take(total_hdr);
         {
             let mut ipp = Ipv4Packet::new_unchecked(&mut buf[..]);
             ip_repr.emit(&mut ipp);
@@ -235,6 +245,29 @@ impl Segment {
             meta: Some(meta),
             lazy_meta: OnceLock::new(),
         })
+    }
+
+    /// Clone, renting the copy's backing buffer through `handle` — the
+    /// per-worker variant of `Clone` (which rents from the global pool's
+    /// rotating shards). The FACK build path uses this so a worker's
+    /// feedback packets draw on its own pool shard.
+    pub fn clone_in(&self, handle: &crate::pool::PoolHandle<'_>) -> Segment {
+        Segment {
+            buf: handle.take_copy(&self.buf),
+            payload_len: self.payload_len,
+            meta: self.meta,
+            lazy_meta: self.lazy_meta.clone(),
+        }
+    }
+
+    /// Consume the segment, returning its backing buffer through
+    /// `handle` instead of `Drop`'s rotating global return — the
+    /// per-worker recycle for segments a worker absorbs (e.g. consumed
+    /// FACKs).
+    pub fn recycle_into(mut self, handle: &crate::pool::PoolHandle<'_>) {
+        let buf = core::mem::take(&mut self.buf);
+        handle.put(buf);
+        // `self` drops here with an empty husk; `Drop` discards it.
     }
 
     /// The cached header metadata, parsing (once) on a cache miss.
@@ -665,6 +698,28 @@ impl Segment {
             self.udp()
                 .verify_checksum(ip.src_addr(), ip.dst_addr(), self.payload_len)
         }
+    }
+}
+
+impl Clone for Segment {
+    /// Clones rent their buffer from the global pool (rotating shards);
+    /// see [`Segment::clone_in`] for the shard-pinned per-worker form.
+    fn clone(&self) -> Segment {
+        Segment {
+            buf: crate::pool::global().take_copy(&self.buf),
+            payload_len: self.payload_len,
+            meta: self.meta,
+            lazy_meta: self.lazy_meta.clone(),
+        }
+    }
+}
+
+impl Drop for Segment {
+    /// Returns the backing buffer to the global pool. Buffers already
+    /// handed elsewhere ([`Segment::recycle_into`] leaves an empty husk)
+    /// are discarded by the pool's zero-capacity check.
+    fn drop(&mut self) {
+        crate::pool::global().put(core::mem::take(&mut self.buf));
     }
 }
 

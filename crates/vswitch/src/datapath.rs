@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use acdc_cc::CcConfig;
-use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, Segment, TcpFlags, TcpRepr};
+use acdc_packet::{Ecn, Ipv4Repr, PackOption, PacketMeta, PoolHandle, Segment, TcpFlags, TcpRepr};
 use acdc_stats::time::{Nanos, MILLISECOND, SECOND};
 use acdc_telemetry::{Counter, EventKind, Gauge, MetricsRegistry, Telemetry, NO_FLOW};
 
@@ -278,6 +278,11 @@ pub struct FlowStat {
 struct Obs<'a> {
     counters: &'a AcdcCounters,
     telemetry: &'a Telemetry,
+    /// Where this context's segment buffers recycle: the datapath's main
+    /// context rotates across the global pool's shards; a worker's
+    /// context is pinned to its own shard, so feedback packets built and
+    /// FACKs absorbed on a worker stay on that worker's free list.
+    pool: PoolHandle<'static>,
 }
 
 /// One worker's observability context: a private telemetry hub plus the
@@ -295,6 +300,10 @@ pub struct WorkerSink {
     index: usize,
     telemetry: Arc<Telemetry>,
     counters: AcdcCounters,
+    /// This worker's pinned view of the global segment pool (shard =
+    /// worker index): buffers for feedback packets built here and FACKs
+    /// absorbed here recycle through the worker's own free list.
+    pool: PoolHandle<'static>,
 }
 
 impl WorkerSink {
@@ -313,10 +322,16 @@ impl WorkerSink {
         &self.counters
     }
 
+    /// The worker's pinned segment-pool handle.
+    pub fn pool(&self) -> &PoolHandle<'static> {
+        &self.pool
+    }
+
     fn obs(&self) -> Obs<'_> {
         Obs {
             counters: &self.counters,
             telemetry: &self.telemetry,
+            pool: self.pool,
         }
     }
 }
@@ -371,13 +386,15 @@ impl AcdcDatapath {
         Obs {
             counters: &self.counters,
             telemetry: &self.telemetry,
+            pool: acdc_packet::pool::global().rotating(),
         }
     }
 
     /// Build worker `index`'s observability sink: a fresh telemetry hub
-    /// with the full counter set registered under `acdc.*`. Sinks are
-    /// cheap and independent; the engine creates one per worker and
-    /// merges their snapshots after a run.
+    /// with the full counter set registered under `acdc.*`, plus a
+    /// pool handle pinned to the worker's shard. Sinks are cheap and
+    /// independent; the engine creates one per worker and merges their
+    /// snapshots after a run.
     pub fn worker_sink(&self, index: usize) -> WorkerSink {
         let telemetry = Telemetry::with_default_capacity();
         let counters = AcdcCounters::register(telemetry.registry());
@@ -385,6 +402,7 @@ impl AcdcDatapath {
             index,
             telemetry,
             counters,
+            pool: acdc_packet::pool::global().pinned(index),
         }
     }
 
@@ -842,7 +860,7 @@ impl AcdcDatapath {
                 } else if self.cfg.disable_fack {
                     // Ablation: the feedback is simply lost.
                     AcdcCounters::bump(&obs.counters.feedback_dropped);
-                } else if let Some(fack) = make_fack(&seg, pack) {
+                } else if let Some(fack) = make_fack(&seg, pack, &obs.pool) {
                     AcdcCounters::bump(&obs.counters.facks_sent);
                     return Verdict::ForwardWithExtra(seg, fack);
                 } else {
@@ -904,6 +922,7 @@ impl AcdcDatapath {
                 if let Some(pack) = meta.pack {
                     self.absorb_feedback(&key, pack);
                 }
+                seg.recycle_into(&obs.pool);
                 return Verdict::Drop(DropReason::FackConsumed);
             }
             if meta.pack.is_some() {
@@ -938,6 +957,7 @@ impl AcdcDatapath {
             // The FACK still carries an ACK; process congestion control on
             // it so feedback takes effect immediately, then drop it.
             self.sender_ack_processing(obs, now, &mut seg, &meta, pure_ack, false);
+            seg.recycle_into(&obs.pool);
             return Verdict::Drop(DropReason::FackConsumed);
         }
 
@@ -1383,10 +1403,12 @@ impl AcdcDatapath {
 /// Build a dedicated FACK: a payload-free copy of `ack` carrying the PACK
 /// option and the FACK reserved-bit marker. The copy is produced by
 /// in-place byte patches on a clone (the paper shifts headers into skb
-/// headroom — same idea, no re-emit). `None` when even the payload-free
-/// copy has no room for the option; the caller drops the feedback.
-fn make_fack(ack: &Segment, pack: PackOption) -> Option<Segment> {
-    let mut fack = ack.clone();
+/// headroom — same idea, no re-emit). The clone's buffer is rented
+/// through `pool`, so a worker-built FACK draws on the worker's own
+/// shard. `None` when even the payload-free copy has no room for the
+/// option; the caller drops the feedback.
+fn make_fack(ack: &Segment, pack: PackOption, pool: &PoolHandle<'static>) -> Option<Segment> {
+    let mut fack = ack.clone_in(pool);
     fack.set_virtual_payload_len(0);
     fack.strip_pack_in_place();
     let vm_ece = fack.try_meta().ok()?.vm_ece;

@@ -24,15 +24,24 @@ pub struct DiffRow {
     pub metric: String,
     pub old: f64,
     pub new: f64,
-    /// Relative change in percent; positive = slower.
+    /// Relative change in percent; positive = the value went up.
     pub delta_pct: f64,
     /// Whether this row participates in the pass/fail decision.
     pub gated: bool,
+    /// Direction of goodness: `false` for latency-style metrics
+    /// (ns/packet — up is a regression), `true` for throughput-style
+    /// metrics (packets/sec — *down* is a regression).
+    pub higher_is_better: bool,
 }
 
 impl DiffRow {
     fn regressed(&self, threshold_pct: f64) -> bool {
-        self.gated && self.delta_pct > threshold_pct
+        let adverse_pct = if self.higher_is_better {
+            -self.delta_pct
+        } else {
+            self.delta_pct
+        };
+        self.gated && adverse_pct > threshold_pct
     }
 }
 
@@ -53,7 +62,10 @@ impl DiffReport {
     /// `$GITHUB_STEP_SUMMARY` and terminal output alike.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "### Datapath bench diff (ns/packet medians)\n");
+        let _ = writeln!(
+            out,
+            "### Datapath bench diff (ns/packet medians + simulator throughput)\n"
+        );
         let _ = writeln!(
             out,
             "| metric | old | new | change | gate (>{:.0}%) |",
@@ -78,40 +90,66 @@ impl DiffReport {
     }
 }
 
-/// The metric paths compared, and whether each one gates the result.
-const METRICS: &[(&str, bool)] = &[
-    ("egress.construct_ns_pkt", false),
-    ("egress.baseline_ns_pkt", false),
-    ("egress.acdc_ns_pkt", true),
-    ("ingress.construct_ns_pkt", false),
-    ("ingress.baseline_ns_pkt", false),
-    ("ingress.acdc_ns_pkt", true),
+/// The metric paths compared: (path, gated, higher_is_better).
+///
+/// ns/pkt medians gate downward (slower fails); the simulator-core
+/// throughput tier gates upward (fewer simulated packets per wall-clock
+/// second fails). A bench file may also carry an explicit
+/// `higher_is_better` boolean next to a metric (same parent object, as
+/// `datapath_bench --throughput` writes) — when present in the *new*
+/// file it overrides this table, keeping the gate self-describing as the
+/// bench format grows.
+const METRICS: &[(&str, bool, bool)] = &[
+    ("egress.construct_ns_pkt", false, false),
+    ("egress.baseline_ns_pkt", false, false),
+    ("egress.acdc_ns_pkt", true, false),
+    ("ingress.construct_ns_pkt", false, false),
+    ("ingress.baseline_ns_pkt", false, false),
+    ("ingress.acdc_ns_pkt", true, false),
+    ("throughput.sim_pkts_per_sec", true, true),
+    ("throughput.events_per_sec", false, true),
 ];
 
-/// Compare two parsed bench documents. Gated metrics must exist in both
-/// documents; ungated ones are skipped when absent (older baselines may
-/// predate them, and newer files may carry extra keys — e.g. the
-/// embedded `telemetry` snapshot — which are simply ignored).
+/// The `higher_is_better` annotation sitting next to `metric` in the
+/// same JSON object, if the document carries one.
+fn direction_override(doc: &Json, metric: &str) -> Option<bool> {
+    let (parent, _) = metric.rsplit_once('.')?;
+    doc.get_path(&format!("{parent}.higher_is_better"))
+        .and_then(Json::as_bool)
+}
+
+/// Compare two parsed bench documents. The **baseline opts metrics into
+/// the gate**: a metric absent from the baseline file is skipped no
+/// matter what the fresh run carries, so a throughput-only baseline
+/// (`BENCH_pr10.json`) gates only the simulator tier even when the fresh
+/// run also wrote ns/pkt medians, and a pre-throughput baseline
+/// (`BENCH_pr3.json`) keeps gating the medians alone. The reverse is not
+/// symmetric: a *gated* metric present in the baseline but missing from
+/// the fresh run is an error — a bench section silently vanishing must
+/// not read as a pass. Extra keys — the embedded `telemetry` snapshot,
+/// `workers` tiers — are simply ignored.
 pub fn diff(old: &Json, new: &Json, threshold_pct: f64) -> Result<DiffReport, String> {
     let mut rows = Vec::new();
-    for &(metric, gated) in METRICS {
+    for &(metric, gated, table_hib) in METRICS {
         let o = old.get_path(metric).and_then(Json::as_num);
         let n = new.get_path(metric).and_then(Json::as_num);
         let (o, n) = match (o, n, gated) {
             (Some(o), Some(n), _) => (o, n),
-            (_, _, false) => continue,
-            (None, _, true) => return Err(format!("baseline file is missing `{metric}`")),
-            (_, None, true) => return Err(format!("new file is missing `{metric}`")),
+            (None, _, _) => continue,
+            (Some(_), None, true) => return Err(format!("new file is missing `{metric}`")),
+            (Some(_), None, false) => continue,
         };
         if o <= 0.0 {
             return Err(format!("baseline `{metric}` is non-positive ({o})"));
         }
+        let higher_is_better = direction_override(new, metric).unwrap_or(table_hib);
         rows.push(DiffRow {
             metric: metric.to_string(),
             old: o,
             new: n,
             delta_pct: (n - o) / o * 100.0,
             gated,
+            higher_is_better,
         });
     }
     Ok(DiffReport {
@@ -205,5 +243,107 @@ mod tests {
         let old = bench_doc(240.0, 200.0);
         let new = parse(r#"{"egress": {"acdc_ns_pkt": 240.0}}"#).unwrap();
         assert!(diff(&old, &new, 10.0).is_err());
+    }
+
+    fn throughput_doc(pps: f64, eps: f64) -> Json {
+        parse(&format!(
+            r#"{{
+                "egress": {{"acdc_ns_pkt": 240.0}},
+                "ingress": {{"acdc_ns_pkt": 200.0}},
+                "throughput": {{"higher_is_better": true,
+                                "sim_pkts_per_sec": {pps},
+                                "events_per_sec": {eps}}}
+            }}"#
+        ))
+        .expect("valid throughput doc")
+    }
+
+    #[test]
+    fn throughput_drop_regresses() {
+        let old = throughput_doc(900_000.0, 4_500_000.0);
+        let new = throughput_doc(700_000.0, 4_400_000.0); // pps -22%
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert!(report.regressed());
+        let table = report.render_markdown();
+        assert!(table.contains("throughput.sim_pkts_per_sec"), "{table}");
+        assert!(table.contains("REGRESSED"), "{table}");
+    }
+
+    #[test]
+    fn throughput_gain_and_small_drop_pass() {
+        let old = throughput_doc(900_000.0, 4_500_000.0);
+        // +11% is an improvement on a higher-is-better metric: never fails.
+        assert!(!diff(&old, &throughput_doc(1_000_000.0, 5_000_000.0), 10.0)
+            .unwrap()
+            .regressed());
+        // -5% is within the 10% band.
+        assert!(!diff(&old, &throughput_doc(855_000.0, 4_300_000.0), 10.0)
+            .unwrap()
+            .regressed());
+        // events_per_sec is info-only: even a crash there cannot gate.
+        assert!(!diff(&old, &throughput_doc(900_000.0, 1_000.0), 10.0)
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn throughput_absent_from_both_files_is_skipped() {
+        // The pre-throughput baseline (BENCH_pr3.json shape): the gate
+        // still runs on the ns/pkt medians alone.
+        let old = bench_doc(240.0, 200.0);
+        let new = bench_doc(245.0, 201.0);
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert_eq!(report.rows.len(), 6);
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn throughput_absent_from_baseline_is_not_gated() {
+        // The fresh run carries a throughput section the baseline never
+        // measured: the baseline opts metrics in, so the section rides
+        // along ungated instead of erroring — `scripts/bench.sh` runs
+        // with extra bench flags still diff cleanly vs BENCH_pr3.json.
+        let old = bench_doc(240.0, 200.0);
+        let new = throughput_doc(100.0, 10.0); // terrible, but unbaselined
+        let report = diff(&old, &new, 10.0).unwrap();
+        assert!(!report
+            .rows
+            .iter()
+            .any(|r| r.metric.starts_with("throughput")));
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn throughput_vanishing_from_fresh_run_is_an_error() {
+        // The reverse direction is not symmetric: a gated section the
+        // baseline carries must exist in the fresh run, else the gate
+        // would silently pass on a bench that stopped measuring.
+        let old = throughput_doc(900_000.0, 4_500_000.0);
+        let new = bench_doc(240.0, 200.0);
+        let err = diff(&old, &new, 10.0).unwrap_err();
+        assert!(err.contains("throughput.sim_pkts_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn json_direction_annotation_overrides_the_table() {
+        // A file that explicitly declares throughput lower-is-better
+        // (hypothetical future metric semantics): the annotation wins,
+        // so a *rise* regresses.
+        let doc = |pps: f64| {
+            parse(&format!(
+                r#"{{
+                    "egress": {{"acdc_ns_pkt": 240.0}},
+                    "ingress": {{"acdc_ns_pkt": 200.0}},
+                    "throughput": {{"higher_is_better": false,
+                                    "sim_pkts_per_sec": {pps},
+                                    "events_per_sec": 1000.0}}
+                }}"#
+            ))
+            .expect("valid doc")
+        };
+        let report = diff(&doc(100.0), &doc(150.0), 10.0).unwrap();
+        assert!(report.regressed(), "+50% on a lower-is-better metric");
+        let report = diff(&doc(100.0), &doc(60.0), 10.0).unwrap();
+        assert!(!report.regressed(), "-40% on a lower-is-better metric");
     }
 }

@@ -44,6 +44,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse error: message plus byte offset into the input.

@@ -71,6 +71,14 @@ pub static D002: Rule = Rule {
               (iteration order must be deterministic; use BTreeMap/BTreeSet)",
 };
 
+pub static D004: Rule = Rule {
+    id: "D004",
+    name: "heap-outside-wheel",
+    summary: "no BinaryHeap in crates/netsim/src outside the timing wheel's \
+              overflow module (near-horizon timers must go through the O(1) \
+              wheel slots; wheel/overflow.rs is the single far-future heap)",
+};
+
 pub static P001: Rule = Rule {
     id: "P001",
     name: "raw-seq-arith",
@@ -168,9 +176,9 @@ pub static W003: Rule = Rule {
 
 /// All rules, in diagnostic order. The W-series runs under `analyze`, the
 /// rest under `lint`.
-pub static CATALOG: [&Rule; 15] = [
-    &D001, &D002, &D003, &P001, &P002, &P003, &P004, &P005, &O001, &S001, &H001, &H002, &W001,
-    &W002, &W003,
+pub static CATALOG: [&Rule; 16] = [
+    &D001, &D002, &D003, &D004, &P001, &P002, &P003, &P004, &P005, &O001, &S001, &H001, &H002,
+    &W001, &W002, &W003,
 ];
 
 pub fn catalog() -> &'static [&'static Rule] {
@@ -324,6 +332,11 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
     ]
     .iter()
     .any(|p| path.starts_with(p));
+    // D004 keeps the engine's fast path on the timing wheel: the far-
+    // future overflow module is the one sanctioned heap; any other
+    // BinaryHeap in the simulator core is a scheduler bypass.
+    let d004_scope =
+        path.starts_with("crates/netsim/src/") && path != "crates/netsim/src/wheel/overflow.rs";
     let p001_scope = ["crates/packet/", "crates/tcp/", "crates/vswitch/"]
         .iter()
         .any(|p| path.starts_with(p))
@@ -417,6 +430,14 @@ pub fn lint_lines(path: &str, file: &SourceFile, findings: &mut Vec<Finding>) {
                     break;
                 }
             }
+        }
+
+        if d004_scope && contains_token(code, "BinaryHeap") {
+            hits.push((
+                &D004,
+                "`BinaryHeap` bypasses the timing wheel's O(1) slots; schedule through TimerWheel (far-future storage belongs in wheel/overflow.rs)"
+                    .to_string(),
+            ));
         }
 
         if p001_scope {
@@ -692,6 +713,16 @@ mod tests {
         let mut out = Vec::new();
         analyze_lines(path, &f, &mut out);
         out.iter().map(|f| f.rule.id.to_string()).collect()
+    }
+
+    #[test]
+    fn d004_heap_banned_outside_overflow_module() {
+        let src = "use std::collections::BinaryHeap;\n";
+        assert_eq!(run("crates/netsim/src/engine.rs", src), vec!["D004"]);
+        assert_eq!(run("crates/netsim/src/wheel/mod.rs", src), vec!["D004"]);
+        assert!(run("crates/netsim/src/wheel/overflow.rs", src).is_empty());
+        assert!(run("crates/netsim/tests/wheel_props.rs", src).is_empty());
+        assert!(run("crates/core/src/host.rs", src).is_empty());
     }
 
     #[test]

@@ -86,6 +86,11 @@ fn d002_hash_map_fixture() {
 }
 
 #[test]
+fn d004_binary_heap_fixture() {
+    assert_single("d004_binary_heap", "D004", "crates/netsim/src/bad.rs");
+}
+
+#[test]
 fn d003_unseeded_rng_fixture() {
     assert_single("d003_unseeded_rng", "D003", "crates/faults/src/bad.rs");
 }
@@ -306,6 +311,46 @@ fn bench_diff_exit_codes_and_table() {
     // Unparseable / missing input: exit 2.
     let missing = run("no_such.json", &[]);
     assert_eq!(missing.status.code(), Some(2), "missing file must exit 2");
+
+    // Throughput gates in the *opposite* direction: a ~20% drop in
+    // simulated-packets/sec against a throughput-carrying baseline is a
+    // regression even though every ns/pkt median is unchanged.
+    let tput = std::process::Command::new(bin)
+        .arg("bench-diff")
+        .arg(fx.join("old_throughput.json"))
+        .arg(fx.join("new_throughput_regressed.json"))
+        .output()
+        .expect("run binary");
+    assert_eq!(tput.status.code(), Some(1), "throughput drop must exit 1");
+    let stdout = String::from_utf8_lossy(&tput.stdout);
+    assert!(
+        stdout.contains("| throughput.sim_pkts_per_sec |"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // The same throughput-carrying file against itself is clean, and a
+    // throughput baseline against a throughput-less new file errors
+    // (exit 2): the bench writer silently dropping a gated section must
+    // not pass as "nothing to compare".
+    let same = std::process::Command::new(bin)
+        .arg("bench-diff")
+        .arg(fx.join("old_throughput.json"))
+        .arg(fx.join("old_throughput.json"))
+        .output()
+        .expect("run binary");
+    assert!(same.status.success(), "identical files must pass: {same:?}");
+    let dropped = std::process::Command::new(bin)
+        .arg("bench-diff")
+        .arg(fx.join("old_throughput.json"))
+        .arg(fx.join("new_ok.json"))
+        .output()
+        .expect("run binary");
+    assert_eq!(
+        dropped.status.code(),
+        Some(2),
+        "gated section vanishing from the new file must exit 2: {dropped:?}"
+    );
 }
 
 fn repo_root() -> PathBuf {

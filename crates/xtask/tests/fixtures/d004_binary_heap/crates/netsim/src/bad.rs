@@ -1,0 +1,3 @@
+pub fn pending() -> std::collections::BinaryHeap<u64> {
+    Default::default()
+}

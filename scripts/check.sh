@@ -15,6 +15,7 @@
 #   scripts/check.sh workers    # parallel-datapath suite (plain + strict)
 #   scripts/check.sh soak       # bounded soak smoke (plain + strict)
 #   scripts/check.sh bench      # bench smoke + bench-diff vs BENCH_pr3.json
+#   scripts/check.sh throughput # simulator pkts/sec gate vs BENCH_pr10.json
 #
 # Multiple stage names may be given and run in the order listed.
 set -euo pipefail
@@ -76,6 +77,31 @@ stage_bench() {
     cargo run -q -p acdc-xtask -- "${diff_args[@]}"
 }
 
+stage_throughput() {
+    # Simulated-packets/sec on the 100k-flow tier (timing wheel + segment
+    # pool fast path, DESIGN.md §16). --throughput-only skips the ns/pkt
+    # medians (those gate separately, vs BENCH_pr3.json in stage_bench):
+    # the gate here is the simulator event loop, and the committed
+    # throughput-only baseline opts exactly that one metric into
+    # bench-diff's gate.
+    echo "==> simulator throughput smoke (datapath_bench --smoke --throughput-only)"
+    cargo build --release -q -p acdc-bench
+    ./target/release/datapath_bench --smoke --throughput-only \
+        --json /tmp/acdc-throughput-smoke.json >/dev/null
+
+    # sim_pkts_per_sec is gated with higher_is_better=true: the diff
+    # fails when the new run is *slower* than the committed baseline by
+    # more than the threshold. Same noise story as stage_bench, so the
+    # same loosened default (override with BENCH_DIFF_THRESHOLD).
+    echo "==> acdc-xtask bench-diff (vs committed BENCH_pr10.json)"
+    local diff_args=(bench-diff BENCH_pr10.json /tmp/acdc-throughput-smoke.json
+        --threshold "${BENCH_DIFF_THRESHOLD:-25}")
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        diff_args+=(--summary "$GITHUB_STEP_SUMMARY")
+    fi
+    cargo run -q -p acdc-xtask -- "${diff_args[@]}"
+}
+
 stage_chaos() {
     echo "==> chaos suite (acdc-faults unit/integration + scenario tests)"
     cargo test -q -p acdc-faults
@@ -115,11 +141,11 @@ stage_soak() {
     cargo test -q -p acdc-soak --features strict-invariants
 }
 
-ALL_STAGES=(lint analyze test bench chaos workers soak strict)
+ALL_STAGES=(lint analyze test bench throughput chaos workers soak strict)
 
 run_stage() {
     case "$1" in
-        lint | analyze | test | bench | chaos | workers | soak | strict) "stage_$1" ;;
+        lint | analyze | test | bench | throughput | chaos | workers | soak | strict) "stage_$1" ;;
         *)
             echo "error: unknown stage '$1' (expected: ${ALL_STAGES[*]})" >&2
             exit 2

@@ -120,6 +120,10 @@ impl BytesMut {
         self.inner.len()
     }
 
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
